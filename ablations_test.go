@@ -1,0 +1,195 @@
+package coaxial
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCapacityStudy(t *testing.T) {
+	rows, err := CapacityStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("capacity rows: %d", len(rows))
+	}
+	savingsAtHigh := false
+	for _, r := range rows {
+		if r.Baseline.TotalGB < r.TargetGB || r.Coaxial.TotalGB < r.TargetGB {
+			t.Errorf("%d GB: plan below target", r.TargetGB)
+		}
+		if r.TargetGB >= 1536 && r.CostSaving > 0 {
+			savingsAtHigh = true
+		}
+	}
+	if !savingsAtHigh {
+		t.Error("no cost savings at high capacity (§IV-E claim)")
+	}
+	var buf bytes.Buffer
+	ReportCapacity(&buf, rows)
+	if !strings.Contains(buf.String(), "iso-capacity") {
+		t.Error("capacity report render")
+	}
+}
+
+func TestAblationChannelScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation ablation")
+	}
+	w, _ := WorkloadByName("stream-scale")
+	rows, err := AblationChannelScaling(w, []int{1, 2, 4}, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// More channels must help a bandwidth-bound stream, monotonically
+	// within noise.
+	if rows[2].Speedup <= rows[0].Speedup {
+		t.Errorf("4ch (%.2fx) should beat 1ch (%.2fx)", rows[2].Speedup, rows[0].Speedup)
+	}
+	if rows[2].QueueNS >= rows[0].QueueNS {
+		t.Errorf("queue should shrink with channels: %v vs %v", rows[2].QueueNS, rows[0].QueueNS)
+	}
+	var buf bytes.Buffer
+	ReportChannelScaling(&buf, w.Params.Name, rows)
+	if !strings.Contains(buf.String(), "channel count") {
+		t.Error("render")
+	}
+}
+
+func TestAblationCALMThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation ablation")
+	}
+	w, _ := WorkloadByName("Components")
+	rows, err := AblationCALMThreshold(w, []float64{0.3, 0.7}, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Speedup < 0.9 {
+			t.Errorf("R=%.1f: CALM regressed badly (%.2fx)", r.R, r.Speedup)
+		}
+	}
+	// A lower threshold throttles more: FN rate should not decrease as R
+	// drops.
+	if rows[0].FNPct < rows[1].FNPct-1 {
+		t.Errorf("FN at R=0.3 (%.1f%%) should be >= FN at R=0.7 (%.1f%%)", rows[0].FNPct, rows[1].FNPct)
+	}
+	var buf bytes.Buffer
+	ReportCALMThreshold(&buf, w.Params.Name, rows)
+	if !strings.Contains(buf.String(), "CALM_R threshold") {
+		t.Error("render")
+	}
+}
+
+func TestAblationMSHRs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation ablation")
+	}
+	w, _ := WorkloadByName("kmeans")
+	rows, err := AblationMSHRs(w, []int{4, 16}, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// COAXIAL gains more from extra MLP than the bandwidth-bound baseline.
+	gain4 := rows[0].CoaxialIPC
+	gain16 := rows[1].CoaxialIPC
+	if gain16 <= gain4 {
+		t.Errorf("COAXIAL should scale with MSHRs: %.3f -> %.3f", gain4, gain16)
+	}
+	var buf bytes.Buffer
+	ReportMSHRs(&buf, w.Params.Name, rows)
+	if !strings.Contains(buf.String(), "MSHR budget") {
+		t.Error("render")
+	}
+}
+
+func TestAblationBankPermutation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation ablation")
+	}
+	w, _ := WorkloadByName("stream-copy")
+	rows, err := AblationBankPermutation(w, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The permutation must never hurt, and should win clearly on the
+		// bandwidth-bound baseline where bank conflicts bind.
+		if r.Gain < 0.97 {
+			t.Errorf("%s: permutation regressed (%.2fx)", r.Config, r.Gain)
+		}
+	}
+	if rows[0].Gain < 1.2 {
+		t.Errorf("baseline permutation gain %.2fx; expected a clear win on streams", rows[0].Gain)
+	}
+	var buf bytes.Buffer
+	ReportBankPermutation(&buf, w.Params.Name, rows)
+	if !strings.Contains(buf.String(), "permutation") {
+		t.Error("render")
+	}
+}
+
+func TestAblationIsoPin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation ablation")
+	}
+	w, _ := WorkloadByName("stream-add")
+	rows, err := AblationIsoPin([]Workload{w}, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// On a bandwidth-bound stream the fifth channel should help or tie.
+	if r.Speedup5 < r.Speedup4*0.95 {
+		t.Errorf("5x (%.2fx) regressed badly vs 4x (%.2fx)", r.Speedup5, r.Speedup4)
+	}
+	var buf bytes.Buffer
+	ReportIsoPin(&buf, rows)
+	if !strings.Contains(buf.String(), "iso-pin") {
+		t.Error("render")
+	}
+}
+
+func TestAblationWriteDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation ablation")
+	}
+	w, _ := WorkloadByName("cam4") // most write-intensive workload
+	rows, err := AblationWriteDrain(w, [][2]int{{8, 2}, {36, 12}, {46, 40}}, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.IPC <= 0 {
+			t.Errorf("watermarks %d/%d wedge the controller", r.High, r.Low)
+		}
+	}
+	var buf bytes.Buffer
+	ReportWriteDrain(&buf, w.Params.Name, rows)
+	if !strings.Contains(buf.String(), "watermarks") {
+		t.Error("render")
+	}
+}
+
+func TestAblationSameBankRefresh(t *testing.T) {
+	rows, err := AblationSameBankRefresh([]float64{0.1, 0.4}, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SameBankP99 >= r.AllBankP99 {
+			t.Errorf("util %.0f%%: REFsb p99 %.0f not below all-bank %.0f",
+				r.Util*100, r.SameBankP99, r.AllBankP99)
+		}
+	}
+	var buf bytes.Buffer
+	ReportSameBankRefresh(&buf, rows)
+	if !strings.Contains(buf.String(), "REFsb") {
+		t.Error("render")
+	}
+}

@@ -1,0 +1,125 @@
+package coaxial
+
+// Micro-benchmarks of the simulator's hot paths. The per-figure experiment
+// benchmarks live in figures_bench_test.go.
+
+import (
+	"testing"
+
+	"coaxial/internal/cache"
+	"coaxial/internal/dram"
+	"coaxial/internal/memreq"
+	"coaxial/internal/sim"
+	"coaxial/internal/trace"
+)
+
+func BenchmarkTraceGenerator(b *testing.B) {
+	w, _ := trace.WorkloadByName("PageRank")
+	g := trace.NewSynthetic(w.Params, 1<<40, 1)
+	var ins trace.Instr
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&ins)
+	}
+}
+
+func BenchmarkCacheLookupHit(b *testing.B) {
+	c := cache.New(cache.Config{SizeBytes: 512 << 10, Assoc: 8, LatencyCycles: 8})
+	for i := 0; i < 1024; i++ {
+		c.Fill(uint64(i)*64, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64(i%1024)*64, false)
+	}
+}
+
+func BenchmarkCacheFillEvict(b *testing.B) {
+	c := cache.New(cache.Config{SizeBytes: 64 << 10, Assoc: 8, LatencyCycles: 8})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i)*64, i%3 == 0)
+	}
+}
+
+type benchSink struct{ n int }
+
+func (s *benchSink) Complete(r *memreq.Request, now int64) { s.n++ }
+
+func BenchmarkDRAMSubChannelLoaded(b *testing.B) {
+	cfg := dram.DefaultConfig()
+	s := dram.NewSubChannel(cfg, 1)
+	sink := &benchSink{}
+	var now int64
+	rng := uint64(12345)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		if i%8 == 0 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			s.Enqueue(&memreq.Request{Addr: (rng % (1 << 28)) &^ 63, Kind: memreq.Read, Ret: sink}, now)
+		}
+		s.Tick(now)
+	}
+}
+
+func BenchmarkDRAMSubChannelIdle(b *testing.B) {
+	s := dram.NewSubChannel(dram.DefaultConfig(), 1)
+	var now int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		s.Tick(now)
+	}
+}
+
+func BenchmarkTimedHeap(b *testing.B) {
+	var h memreq.TimedHeap
+	r := &memreq.Request{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(int64(i%97), r)
+		if h.Len() > 64 {
+			h.PopDue(1 << 40)
+		}
+	}
+}
+
+// BenchmarkSystemCycle measures the full-system per-cycle cost of the
+// 12-core baseline under load (the simulator's end-to-end throughput).
+func BenchmarkSystemCycle(b *testing.B) {
+	w, _ := trace.WorkloadByName("PageRank")
+	wl := make([]trace.Workload, 12)
+	for i := range wl {
+		wl[i] = w
+	}
+	sys, err := sim.NewSystem(sim.Baseline(), wl, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.BenchSteps(b.N)
+}
+
+// BenchmarkEndToEndRun measures one complete small experiment (warmup +
+// measure) as a user of the public API would run it.
+func BenchmarkEndToEndRun(b *testing.B) {
+	w, _ := WorkloadByName("pop2")
+	rc := RunConfig{WarmupInstr: 2_000, MeasureInstr: 10_000, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Baseline(), w, rc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

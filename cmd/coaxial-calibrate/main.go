@@ -1,0 +1,96 @@
+// Command coaxial-calibrate characterizes the synthetic workload suite
+// against the paper's published Table IV: it runs every workload on the
+// DDR baseline and reports measured IPC and LLC MPKI next to the paper's
+// values, with relative errors and a summary of calibration quality. Use
+// it after editing internal/trace/workloads.go.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"coaxial"
+)
+
+func main() {
+	var (
+		warmup  = flag.Uint64("warmup", 10_000, "timed warmup instructions per core")
+		measure = flag.Uint64("measure", 60_000, "measured instructions per core")
+		seed    = flag.Uint64("seed", 1, "workload generation seed")
+		sortBy  = flag.String("sort", "table", "row order: table, ipc-err, mpki-err")
+	)
+	flag.Parse()
+
+	rc := coaxial.DefaultRunConfig()
+	rc.WarmupInstr, rc.MeasureInstr, rc.Seed = *warmup, *measure, *seed
+
+	type row struct {
+		name               string
+		ipc, refIPC        float64
+		mpki, refMPKI      float64
+		ipcErr, mpkiErr    float64
+		utilPct, rwRatio   float64
+		missRatio, queueNS float64
+	}
+	var rows []row
+
+	cfg := coaxial.Baseline()
+	for _, w := range coaxial.Workloads() {
+		res, err := coaxial.Run(cfg, w, rc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coaxial-calibrate: %s: %v\n", w.Params.Name, err)
+			os.Exit(1)
+		}
+		r := row{
+			name: w.Params.Name,
+			ipc:  res.IPC, refIPC: w.PaperIPC,
+			mpki: res.LLCMPKI, refMPKI: w.PaperMPKI,
+			utilPct:   res.Utilization * 100,
+			missRatio: res.LLCMissRatio,
+			queueNS:   res.QueueNS,
+		}
+		if res.WriteGBs > 0 {
+			r.rwRatio = res.ReadGBs / res.WriteGBs
+		}
+		if w.PaperIPC > 0 {
+			r.ipcErr = (res.IPC - w.PaperIPC) / w.PaperIPC * 100
+		}
+		if w.PaperMPKI > 0 {
+			r.mpkiErr = (res.LLCMPKI - w.PaperMPKI) / w.PaperMPKI * 100
+		}
+		rows = append(rows, r)
+	}
+
+	switch *sortBy {
+	case "ipc-err":
+		sort.Slice(rows, func(i, j int) bool { return math.Abs(rows[i].ipcErr) > math.Abs(rows[j].ipcErr) })
+	case "mpki-err":
+		sort.Slice(rows, func(i, j int) bool { return math.Abs(rows[i].mpkiErr) > math.Abs(rows[j].mpkiErr) })
+	}
+
+	fmt.Printf("%-15s %7s %7s %7s | %7s %7s %7s | %6s %6s %6s\n",
+		"workload", "IPC", "paper", "err%", "MPKI", "paper", "err%", "util%", "R:W", "q(ns)")
+	var ipcAbs, mpkiAbs []float64
+	for _, r := range rows {
+		ipcAbs = append(ipcAbs, math.Abs(r.ipcErr))
+		mpkiAbs = append(mpkiAbs, math.Abs(r.mpkiErr))
+		fmt.Printf("%-15s %7.2f %7.2f %+6.0f%% | %7.1f %7.1f %+6.0f%% | %5.0f%% %6.1f %6.0f\n",
+			r.name, r.ipc, r.refIPC, r.ipcErr, r.mpki, r.refMPKI, r.mpkiErr,
+			r.utilPct, r.rwRatio, r.queueNS)
+	}
+	fmt.Printf("\ncalibration quality: median |IPC err| %.0f%%, median |MPKI err| %.0f%% (n=%d)\n",
+		median(ipcAbs), median(mpkiAbs), len(rows))
+	fmt.Println("note: MIS has no Table IV row; its reference values are this project's targets.")
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,184 @@
+// Command coaxial-report regenerates the paper's figures and tables as
+// text: it runs the required simulations and prints the same rows/series
+// each figure reports.
+//
+// Usage:
+//
+//	coaxial-report -fig 5                  # Fig. 5 on the full suite
+//	coaxial-report -fig 7 -quick           # representative subset
+//	coaxial-report -table 2                # static derivation, no sims
+//	coaxial-report -all -quick             # everything, subset where slow
+//
+// Figures: 1, 2a, 2b, 5, 6, 7, 8, 9, 10, 11. Tables: 1, 2, 3, 4, 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"coaxial"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "figure to regenerate (1, 2a, 2b, 5, 6, 7, 8, 9, 10, 11)")
+		table     = flag.String("table", "", "table to regenerate (1, 2, 3, 4, 5)")
+		ablations = flag.Bool("ablations", false, "run the extension studies (capacity/cost, channel scaling, CALM threshold, MSHRs)")
+		all       = flag.Bool("all", false, "regenerate everything")
+		quick     = flag.Bool("quick", false, "representative workload subset and short windows")
+		measure   = flag.Uint64("measure", 0, "override measured instructions per core")
+		seed      = flag.Uint64("seed", 1, "workload generation seed")
+	)
+	flag.Parse()
+
+	rc := coaxial.DefaultRunConfig()
+	rc.Seed = *seed
+	workloads := coaxial.Workloads()
+	if *quick {
+		rc.WarmupInstr, rc.MeasureInstr = 10_000, 60_000
+		workloads = coaxial.RepresentativeWorkloads()
+	}
+	if *measure > 0 {
+		rc.MeasureInstr = *measure
+	}
+
+	r := &reporter{rc: rc, workloads: workloads, quick: *quick}
+
+	if *all {
+		for _, f := range []string{"1", "2a", "2b", "5", "6", "7", "8", "9", "10", "11"} {
+			r.figure(f)
+		}
+		for _, t := range []string{"1", "2", "3", "4", "5"} {
+			r.table(t)
+		}
+		return
+	}
+	if *fig != "" {
+		r.figure(*fig)
+	}
+	if *table != "" {
+		r.table(*table)
+	}
+	if *ablations {
+		r.ablations()
+	}
+	if *fig == "" && *table == "" && !*ablations {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type reporter struct {
+	rc        coaxial.RunConfig
+	workloads []coaxial.Workload
+	quick     bool
+
+	// mainRows caches the baseline-vs-4x sweep shared by several outputs.
+	mainRows []coaxial.PairRow
+}
+
+func (r *reporter) main() []coaxial.PairRow {
+	if r.mainRows == nil {
+		rows, err := coaxial.MainResults(r.workloads, r.rc)
+		check(err)
+		r.mainRows = rows
+	}
+	return r.mainRows
+}
+
+func (r *reporter) figure(f string) {
+	start := time.Now()
+	switch f {
+	case "1":
+		coaxial.ReportFig1(os.Stdout)
+	case "2a":
+		utils := []float64{0.02, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+		reqs := 20000
+		if r.quick {
+			reqs = 4000
+		}
+		pts, err := coaxial.Fig2aLoadLatency(utils, reqs/10, reqs, r.rc.Seed)
+		check(err)
+		coaxial.ReportFig2a(os.Stdout, pts)
+	case "2b":
+		coaxial.ReportFig2b(os.Stdout, r.main())
+	case "5":
+		coaxial.ReportFig5(os.Stdout, r.main())
+	case "6":
+		n := 10
+		if r.quick {
+			n = 3
+		}
+		rows, err := coaxial.Fig6Mixes(n, r.rc)
+		check(err)
+		coaxial.ReportFig6(os.Stdout, rows)
+	case "7":
+		wl := r.workloads
+		if !r.quick && len(wl) > 8 {
+			// The paper's Fig. 7 shows four workloads plus the mean; a
+			// full 36x12 sweep is available with -fig 7 -measure ... by
+			// editing the subset here, but the default keeps it tractable.
+			wl = coaxial.RepresentativeWorkloads()
+		}
+		rows, err := coaxial.Fig7CALM(wl, r.rc)
+		check(err)
+		coaxial.ReportFig7(os.Stdout, rows)
+	case "8":
+		rows, err := coaxial.Fig8Configs(r.workloads, r.rc)
+		check(err)
+		coaxial.ReportFig8(os.Stdout, rows)
+	case "9":
+		coaxial.ReportFig9(os.Stdout, r.main())
+	case "10":
+		rows, err := coaxial.Fig10LatencySensitivity(r.workloads, r.rc)
+		check(err)
+		coaxial.ReportFig10(os.Stdout, rows)
+	case "11":
+		rows, err := coaxial.Fig11Utilization(r.workloads, r.rc)
+		check(err)
+		coaxial.ReportFig11(os.Stdout, rows)
+	default:
+		fmt.Fprintf(os.Stderr, "coaxial-report: unknown figure %q\n", f)
+		os.Exit(2)
+	}
+	fmt.Printf("  [fig %s regenerated in %.1fs]\n\n", f, time.Since(start).Seconds())
+}
+
+func (r *reporter) table(t string) {
+	switch t {
+	case "1":
+		coaxial.ReportTableI(os.Stdout)
+	case "2":
+		coaxial.ReportTableII(os.Stdout)
+	case "3":
+		coaxial.ReportTableIII(os.Stdout)
+	case "4":
+		coaxial.ReportTableIV(os.Stdout, r.main(), r.workloads)
+	case "5":
+		base, coax := coaxial.TableVPower(r.main())
+		coaxial.ReportTableV(os.Stdout, base, coax)
+	default:
+		fmt.Fprintf(os.Stderr, "coaxial-report: unknown table %q\n", t)
+		os.Exit(2)
+	}
+	fmt.Println()
+}
+
+func (r *reporter) ablations() {
+	start := time.Now()
+	w, err := coaxial.WorkloadByName("stream-triad")
+	check(err)
+	sum, err := coaxial.RunAblations(w, r.rc)
+	check(err)
+	coaxial.ReportAblations(os.Stdout, sum)
+	fmt.Printf("  [ablations completed in %.1fs]\n\n", time.Since(start).Seconds())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coaxial-report: %v\n", err)
+		os.Exit(1)
+	}
+}

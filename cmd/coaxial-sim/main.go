@@ -1,0 +1,132 @@
+// Command coaxial-sim runs a single experiment: one system configuration
+// executing one workload (or one workload mix), printing the measured IPC,
+// latency breakdown, bandwidth, and CALM statistics.
+//
+// Usage:
+//
+//	coaxial-sim -config coaxial-4x -workload stream-copy
+//	coaxial-sim -config ddr-baseline -workload gcc -measure 300000
+//	coaxial-sim -config coaxial-asym -mix 3
+//	coaxial-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coaxial"
+)
+
+var configs = map[string]func() coaxial.Config{
+	"ddr-baseline": coaxial.Baseline,
+	"coaxial-2x":   coaxial.Coaxial2x,
+	"coaxial-4x":   coaxial.Coaxial4x,
+	"coaxial-5x":   coaxial.Coaxial5x,
+	"coaxial-asym": coaxial.CoaxialAsym,
+}
+
+func main() {
+	var (
+		cfgName  = flag.String("config", "coaxial-4x", "system configuration (see -list)")
+		workload = flag.String("workload", "stream-copy", "workload name (see -list)")
+		mix      = flag.Int("mix", -1, "run workload mix N instead of -workload")
+		warmup   = flag.Uint64("warmup", 40_000, "timed warmup instructions per core")
+		measure  = flag.Uint64("measure", 150_000, "measured instructions per core")
+		seed     = flag.Uint64("seed", 1, "workload generation seed")
+		cores    = flag.Int("active", 0, "active cores (0 = all)")
+		calmR    = flag.Float64("calm-r", 0.70, "CALM_R threshold (with -calm calm-r)")
+		calmKind = flag.String("calm", "", "CALM override: off, calm-r, map-i, ideal")
+		cxlNS    = flag.Float64("cxl-premium", 0, "CXL total latency premium in ns (0 = default 50)")
+		list     = flag.Bool("list", false, "list configurations and workloads")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("configurations:")
+		for name := range configs {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Println("workloads:")
+		fmt.Printf("  %s\n", strings.Join(coaxial.WorkloadNames(), " "))
+		return
+	}
+
+	mk, ok := configs[*cfgName]
+	if !ok {
+		fatalf("unknown config %q (try -list)", *cfgName)
+	}
+	cfg := mk()
+	if *cores > 0 {
+		cfg = cfg.WithActiveCores(*cores)
+	}
+	switch *calmKind {
+	case "":
+	case "off":
+		cfg = cfg.WithCALM(coaxial.CALMConfig{Kind: coaxial.CALMOff})
+	case "calm-r":
+		cfg = cfg.WithCALM(coaxial.CALMR(*calmR))
+	case "map-i":
+		cfg = cfg.WithCALM(coaxial.CALMConfig{Kind: coaxial.CALMMAPI})
+	case "ideal":
+		cfg = cfg.WithCALM(coaxial.CALMConfig{Kind: coaxial.CALMIdeal})
+	default:
+		fatalf("unknown CALM mechanism %q", *calmKind)
+	}
+	if *cxlNS > 0 {
+		cfg = cfg.WithCXLPortNS(*cxlNS / 4)
+	}
+
+	rc := coaxial.DefaultRunConfig()
+	rc.WarmupInstr, rc.MeasureInstr, rc.Seed = *warmup, *measure, *seed
+
+	var (
+		res coaxial.Result
+		err error
+	)
+	if *mix >= 0 {
+		wl := coaxial.MixWorkloads(*mix, cfg.Cores)
+		res, err = coaxial.RunMix(cfg, wl, rc)
+	} else {
+		var w coaxial.Workload
+		w, err = coaxial.WorkloadByName(*workload)
+		if err == nil {
+			res, err = coaxial.Run(cfg, w, rc)
+		}
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printResult(res)
+}
+
+func printResult(r coaxial.Result) {
+	fmt.Printf("config:    %s\n", r.Config)
+	fmt.Printf("workload:  %s\n", r.Workload)
+	fmt.Printf("cycles:    %d (%.1f us)\n", r.Cycles, float64(r.Cycles)/2400)
+	fmt.Printf("IPC:       %.3f (CPI %.2f) over %d retired instructions\n", r.IPC, r.CPI, r.Retired)
+	fmt.Printf("L2-miss latency: %.0f ns = onchip %.0f + queue %.0f + dram %.0f + cxl %.0f\n",
+		r.TotalNS, r.OnChipNS, r.QueueNS, r.ServiceNS, r.CXLNS)
+	fmt.Printf("latency percentiles: p50 %.0f ns, p90 %.0f ns, p99 %.0f ns\n", r.P50NS, r.P90NS, r.P99NS)
+	fmt.Printf("bandwidth: read %.1f GB/s + write %.1f GB/s = %.1f of %.1f GB/s peak (%.0f%%)\n",
+		r.ReadGBs, r.WriteGBs, r.ReadGBs+r.WriteGBs, r.PeakGBs, r.Utilization*100)
+	fmt.Printf("LLC:       MPKI %.1f, miss ratio %.0f%%\n", r.LLCMPKI, r.LLCMissRatio*100)
+	fmt.Printf("DRAM:      ACT %d PRE %d RD %d WR %d REF %d (row hits %d / misses %d)\n",
+		r.DRAM.ACT, r.DRAM.PRE, r.DRAM.RD, r.DRAM.WR, r.DRAM.REF, r.DRAM.RowHits, r.DRAM.RowMisses)
+	e := coaxial.DRAMEnergyOf(r)
+	fmt.Printf("DRAM energy: %.1f uJ (act %.0f%%, rd %.0f%%, wr %.0f%%, ref %.0f%%, bg %.0f%%) = %.2f W avg\n",
+		e.TotalPJ()/1e6,
+		100*e.ActivatePJ/e.TotalPJ(), 100*e.ReadPJ/e.TotalPJ(), 100*e.WritePJ/e.TotalPJ(),
+		100*e.RefreshPJ/e.TotalPJ(), 100*e.BackgroundPJ/e.TotalPJ(), e.AveragePowerW(r.Cycles))
+	d := r.CALM
+	if d.L2Misses > 0 {
+		fmt.Printf("CALM:      %d L2 misses, %d CALMed (FP %.1f%% of mem accesses, FN %.1f%% of LLC misses)\n",
+			d.L2Misses, d.CALMed, d.FPRate()*100, d.FNRate()*100)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "coaxial-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Command coaxial-sweep runs the full experiment grid (every system
+// configuration across every workload) and emits one CSV row per run, for
+// downstream analysis or plotting. It is the equivalent of the paper
+// artifact's runall.py + collect_stats.py.
+//
+// Usage:
+//
+//	coaxial-sweep > results.csv
+//	coaxial-sweep -configs ddr-baseline,coaxial-4x -measure 300000
+//	coaxial-sweep -mixes 10 >> results.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"coaxial"
+)
+
+var allConfigs = []struct {
+	name string
+	mk   func() coaxial.Config
+}{
+	{"ddr-baseline", coaxial.Baseline},
+	{"coaxial-2x", coaxial.Coaxial2x},
+	{"coaxial-4x", coaxial.Coaxial4x},
+	{"coaxial-5x", coaxial.Coaxial5x},
+	{"coaxial-asym", coaxial.CoaxialAsym},
+}
+
+func main() {
+	var (
+		cfgList  = flag.String("configs", "ddr-baseline,coaxial-2x,coaxial-4x,coaxial-asym", "comma-separated configurations")
+		warmup   = flag.Uint64("warmup", 40_000, "timed warmup instructions per core")
+		measure  = flag.Uint64("measure", 150_000, "measured instructions per core")
+		seed     = flag.Uint64("seed", 1, "workload generation seed")
+		mixes    = flag.Int("mixes", 0, "additionally run N workload mixes")
+		workList = flag.String("workloads", "", "comma-separated workload subset (default: all 36)")
+	)
+	flag.Parse()
+
+	rc := coaxial.DefaultRunConfig()
+	rc.WarmupInstr, rc.MeasureInstr, rc.Seed = *warmup, *measure, *seed
+
+	var cfgs []coaxial.Config
+	for _, name := range strings.Split(*cfgList, ",") {
+		found := false
+		for _, c := range allConfigs {
+			if c.name == name {
+				cfgs = append(cfgs, c.mk())
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "coaxial-sweep: unknown config %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	workloads := coaxial.Workloads()
+	if *workList != "" {
+		workloads = workloads[:0]
+		for _, name := range strings.Split(*workList, ",") {
+			w, err := coaxial.WorkloadByName(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "coaxial-sweep: %v\n", err)
+				os.Exit(2)
+			}
+			workloads = append(workloads, w)
+		}
+	}
+
+	out := csv.NewWriter(os.Stdout)
+	defer out.Flush()
+	header := []string{
+		"config", "workload", "ipc", "cpi", "cycles",
+		"onchip_ns", "queue_ns", "dram_ns", "cxl_ns", "total_ns",
+		"p50_ns", "p90_ns", "p99_ns",
+		"read_gbs", "write_gbs", "peak_gbs", "utilization",
+		"llc_mpki", "llc_miss_ratio",
+		"calm_l2miss", "calm_calmed", "calm_fp", "calm_fn",
+		"dram_act", "dram_rd", "dram_wr", "dram_ref", "row_hits", "row_misses",
+		"retired",
+	}
+	if err := out.Write(header); err != nil {
+		fail(err)
+	}
+
+	var jobs []coaxial.SuiteJob
+	for _, w := range workloads {
+		for _, c := range cfgs {
+			jobs = append(jobs, coaxial.SuiteJob{Config: c, Workload: w})
+		}
+	}
+	results, errs := coaxial.RunSuite(jobs, rc)
+	for i, res := range results {
+		if errs[i] != nil {
+			fail(errs[i])
+		}
+		writeRow(out, res)
+	}
+
+	for m := 0; m < *mixes; m++ {
+		wl := coaxial.MixWorkloads(m, 12)
+		for _, c := range cfgs {
+			res, err := coaxial.RunMix(c, wl, rc)
+			if err != nil {
+				fail(err)
+			}
+			res.Workload = fmt.Sprintf("mix%d", m)
+			writeRow(out, res)
+		}
+	}
+}
+
+func writeRow(out *csv.Writer, r coaxial.Result) {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	rec := []string{
+		r.Config, r.Workload, f(r.IPC), f(r.CPI), strconv.FormatInt(r.Cycles, 10),
+		f(r.OnChipNS), f(r.QueueNS), f(r.ServiceNS), f(r.CXLNS), f(r.TotalNS),
+		f(r.P50NS), f(r.P90NS), f(r.P99NS),
+		f(r.ReadGBs), f(r.WriteGBs), f(r.PeakGBs), f(r.Utilization),
+		f(r.LLCMPKI), f(r.LLCMissRatio),
+		u(r.CALM.L2Misses), u(r.CALM.CALMed), f(r.CALM.FPRate()), f(r.CALM.FNRate()),
+		u(r.DRAM.ACT), u(r.DRAM.RD), u(r.DRAM.WR), u(r.DRAM.REF), u(r.DRAM.RowHits), u(r.DRAM.RowMisses),
+		u(r.Retired),
+	}
+	if err := out.Write(rec); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "coaxial-sweep: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,218 @@
+// Package coaxial is a simulation library reproducing "COAXIAL: A
+// CXL-Centric Memory System for Scalable Servers" (SC 2024): a manycore
+// server whose processor attaches *all* memory over pin-efficient CXL
+// channels instead of DDR, trading interface latency for a large memory
+// bandwidth boost that shrinks queuing delays, plus the CALM mechanism that
+// overlaps LLC and memory access.
+//
+// The package exposes the simulated systems (DDR baseline and the COAXIAL
+// variants of Table II), the paper's 36 synthetic workloads (Table IV), the
+// experiment drivers regenerating every figure and table of the evaluation,
+// and the silicon-area and power models.
+//
+// Quick start:
+//
+//	w, _ := coaxial.WorkloadByName("stream-copy")
+//	base, _ := coaxial.Run(coaxial.Baseline(), w, coaxial.DefaultRunConfig())
+//	coax, _ := coaxial.Run(coaxial.Coaxial4x(), w, coaxial.DefaultRunConfig())
+//	fmt.Printf("speedup: %.2fx\n", coax.IPC/base.IPC)
+package coaxial
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"coaxial/internal/calm"
+	"coaxial/internal/power"
+	"coaxial/internal/sim"
+	"coaxial/internal/stats"
+	"coaxial/internal/trace"
+)
+
+// Core simulation types, re-exported from the engine.
+type (
+	// Config describes one simulated system (Table III).
+	Config = sim.Config
+	// RunConfig controls warmup and measurement windows.
+	RunConfig = sim.RunConfig
+	// Result carries one experiment's measurements.
+	Result = sim.Result
+	// Workload couples generator parameters with the paper's published
+	// baseline numbers.
+	Workload = trace.Workload
+	// WorkloadParams are the synthetic generator knobs.
+	WorkloadParams = trace.Params
+	// CALMConfig selects a concurrent LLC/memory access mechanism.
+	CALMConfig = calm.Config
+	// CALMDecisions tallies CALM outcomes (Fig. 7b).
+	CALMDecisions = calm.Decisions
+)
+
+// CALM mechanism kinds (§IV-C).
+const (
+	CALMOff       = calm.Off
+	CALMRegulated = calm.Regulated
+	CALMMAPI      = calm.MAPI
+	CALMIdeal     = calm.Ideal
+)
+
+// System presets (Table II / Table III).
+var (
+	// Baseline is the DDR-based server: 12 cores, one DDR5-4800 channel,
+	// 2 MB LLC/core.
+	Baseline = sim.Baseline
+	// Coaxial2x doubles memory bandwidth over CXL at iso-LLC.
+	Coaxial2x = sim.Coaxial2x
+	// Coaxial4x is the default COAXIAL: 4x bandwidth, LLC halved.
+	Coaxial4x = sim.Coaxial4x
+	// Coaxial5x is the iso-pin variant (more die area).
+	Coaxial5x = sim.Coaxial5x
+	// CoaxialAsym provisions CXL lanes asymmetrically (20RX/12TX) with
+	// two DDR channels per device (§IV-D).
+	CoaxialAsym = sim.CoaxialAsym
+)
+
+// DefaultRunConfig returns the standard experiment windows.
+func DefaultRunConfig() RunConfig { return sim.DefaultRunConfig() }
+
+// DefaultCALM returns the paper's default mechanism, CALM_70%.
+func DefaultCALM() CALMConfig { return calm.Default() }
+
+// CALMR returns the bandwidth-regulated mechanism at threshold r (0..1).
+func CALMR(r float64) CALMConfig { return CALMConfig{Kind: calm.Regulated, R: r} }
+
+// Workloads returns the full 36-workload suite (Table IV order).
+func Workloads() []Workload { return trace.Workloads() }
+
+// WorkloadByName looks up one workload.
+func WorkloadByName(name string) (Workload, error) { return trace.WorkloadByName(name) }
+
+// WorkloadNames returns the suite's names in Table IV order.
+func WorkloadNames() []string { return trace.Names() }
+
+// MixWorkloads returns the per-core assignment of workload mix idx
+// (Fig. 6; deterministic sampling with replacement).
+func MixWorkloads(idx, cores int) []Workload { return trace.Mix(idx, cores) }
+
+// Run executes one experiment: the system running the same workload on
+// every active core (the paper's rate mode).
+func Run(cfg Config, w Workload, rc RunConfig) (Result, error) {
+	return sim.Run(cfg, w, rc)
+}
+
+// RunMix executes one experiment with per-core workloads.
+func RunMix(cfg Config, workloads []Workload, rc RunConfig) (Result, error) {
+	return sim.RunMix(cfg, workloads, rc)
+}
+
+// SuiteJob names one (config, workload) experiment for RunSuite.
+type SuiteJob struct {
+	Config   Config
+	Workload Workload
+}
+
+// RunSuite executes jobs across GOMAXPROCS workers, preserving order.
+// Errors are returned per job.
+func RunSuite(jobs []SuiteJob, rc RunConfig) ([]Result, []error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i], errs[i] = sim.Run(jobs[i].Config, jobs[i].Workload, rc)
+			}
+		}()
+	}
+	for i := range jobs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return results, errs
+}
+
+// Speedup returns the normalized-IPC improvement of res over base.
+func Speedup(res, base Result) float64 {
+	if base.IPC <= 0 {
+		return 0
+	}
+	return res.IPC / base.IPC
+}
+
+// PerCoreSpeedupGeomean returns the geometric mean of per-core IPC ratios
+// (the mixed-workload speedup metric of Fig. 6).
+func PerCoreSpeedupGeomean(res, base Result) float64 {
+	n := len(res.PerCoreIPC)
+	if n == 0 || n != len(base.PerCoreIPC) {
+		return 0
+	}
+	prodLog := 0.0
+	for i := 0; i < n; i++ {
+		if base.PerCoreIPC[i] <= 0 || res.PerCoreIPC[i] <= 0 {
+			return 0
+		}
+		prodLog += math.Log(res.PerCoreIPC[i] / base.PerCoreIPC[i])
+	}
+	return math.Exp(prodLog / float64(n))
+}
+
+// DRAMEnergy re-exports the counter-based DRAM energy integration.
+type DRAMEnergy = power.DRAMEnergy
+
+// DRAMEnergyOf integrates DRAM energy over a result's measured window from
+// its activity counters (first-principles complement to the Table V
+// utilization fit).
+func DRAMEnergyOf(r Result) DRAMEnergy {
+	// One sub-channel = 19.2 GB/s and 32 banks; the peak encodes how many
+	// sub-channels the system had.
+	subs := int(r.PeakGBs/19.2 + 0.5)
+	if subs < 1 {
+		subs = 1
+	}
+	return power.IntegrateDRAM(r.DRAM, r.Cycles, subs*32)
+}
+
+// SeedStats aggregates one experiment across several seeds.
+type SeedStats struct {
+	// MeanIPC and StdIPC summarize the per-seed mean-IPC distribution.
+	MeanIPC float64
+	StdIPC  float64
+	// Results holds the per-seed measurements (seed = 1..n).
+	Results []Result
+}
+
+// RunSeeds repeats one experiment across n seeds and reports the IPC
+// distribution, quantifying run-to-run variance (EXPERIMENTS.md note 5).
+func RunSeeds(cfg Config, w Workload, rc RunConfig, n int) (SeedStats, error) {
+	if n < 1 {
+		n = 1
+	}
+	var (
+		agg stats.Welford
+		out SeedStats
+	)
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		rc.Seed = seed
+		res, err := Run(cfg, w, rc)
+		if err != nil {
+			return out, err
+		}
+		agg.Add(res.IPC)
+		out.Results = append(out.Results, res)
+	}
+	out.MeanIPC = agg.Mean()
+	out.StdIPC = agg.Std()
+	return out, nil
+}

@@ -1,0 +1,274 @@
+package coaxial
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickRC() RunConfig {
+	rc := DefaultRunConfig()
+	rc.WarmupInstr, rc.MeasureInstr = 6_000, 25_000
+	return rc
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	if len(Workloads()) != 36 {
+		t.Errorf("suite size %d", len(Workloads()))
+	}
+	if len(WorkloadNames()) != 36 {
+		t.Errorf("names size %d", len(WorkloadNames()))
+	}
+	if _, err := WorkloadByName("lbm"); err != nil {
+		t.Error(err)
+	}
+	if _, err := WorkloadByName("bogus"); err == nil {
+		t.Error("bogus workload accepted")
+	}
+	if got := len(MixWorkloads(0, 12)); got != 12 {
+		t.Errorf("mix size %d", got)
+	}
+	if DefaultCALM().Kind != CALMRegulated || DefaultCALM().R != 0.70 {
+		t.Error("default CALM")
+	}
+	if CALMR(0.5).R != 0.5 {
+		t.Error("CALMR")
+	}
+}
+
+func TestRunAndSpeedupHelpers(t *testing.T) {
+	w, _ := WorkloadByName("stream-scale")
+	base, err := Run(Baseline(), w, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coax, err := Run(Coaxial4x(), w, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Speedup(coax, base); s < 1.5 {
+		t.Errorf("stream-scale speedup %.2f, expected >1.5", s)
+	}
+	if Speedup(coax, Result{}) != 0 {
+		t.Error("zero-base speedup guard")
+	}
+	g := PerCoreSpeedupGeomean(coax, base)
+	if g < 1.2 {
+		t.Errorf("per-core geomean %.2f", g)
+	}
+	if PerCoreSpeedupGeomean(coax, Result{}) != 0 {
+		t.Error("mismatched per-core speedup guard")
+	}
+}
+
+func TestRunSuitePreservesOrder(t *testing.T) {
+	w1, _ := WorkloadByName("pop2")
+	w2, _ := WorkloadByName("raytrace")
+	jobs := []SuiteJob{
+		{Config: Baseline(), Workload: w1},
+		{Config: Baseline(), Workload: w2},
+		{Config: Coaxial2x(), Workload: w1},
+	}
+	results, errs := RunSuite(jobs, quickRC())
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if results[0].Workload != "pop2" || results[1].Workload != "raytrace" {
+		t.Errorf("order broken: %s, %s", results[0].Workload, results[1].Workload)
+	}
+	if results[2].Config != "coaxial-2x" {
+		t.Errorf("config mismatch: %s", results[2].Config)
+	}
+}
+
+func TestComparePair(t *testing.T) {
+	w, _ := WorkloadByName("stream-copy")
+	rows, err := ComparePair(Baseline(), Coaxial4x(), []Workload{w}, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Workload != "stream-copy" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	if rows[0].Speedup < 1.5 {
+		t.Errorf("speedup %.2f", rows[0].Speedup)
+	}
+	if MeanSpeedup(rows) != rows[0].Speedup || GeomeanSpeedup(rows) != rows[0].Speedup {
+		t.Error("aggregations over one row must equal it")
+	}
+}
+
+func TestTableVPowerFromRows(t *testing.T) {
+	rows := []PairRow{{
+		Base: Result{CPI: 2.05, Utilization: 0.54},
+		Coax: Result{CPI: 1.48, Utilization: 0.17},
+	}}
+	base, coax := TableVPower(rows)
+	if base.Ledger.TotalW() < 550 || base.Ledger.TotalW() > 720 {
+		t.Errorf("baseline power %v", base.Ledger.TotalW())
+	}
+	if coax.Metrics.RelEDP >= 1 {
+		t.Errorf("COAXIAL EDP should improve: %v", coax.Metrics.RelEDP)
+	}
+	if coax.Metrics.RelED2P >= coax.Metrics.RelEDP {
+		t.Errorf("ED2P should improve more than EDP: %v vs %v",
+			coax.Metrics.RelED2P, coax.Metrics.RelEDP)
+	}
+}
+
+func TestStaticReports(t *testing.T) {
+	var buf bytes.Buffer
+	ReportFig1(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "PCIe-5.0") || !strings.Contains(out, "DDR5-4800") {
+		t.Error("Fig. 1 output incomplete")
+	}
+	buf.Reset()
+	ReportTableI(&buf)
+	if !strings.Contains(buf.String(), "DDR channel") {
+		t.Error("Table I output incomplete")
+	}
+	buf.Reset()
+	ReportTableII(&buf)
+	out = buf.String()
+	for _, name := range []string{"DDR-based", "COAXIAL-5x", "COAXIAL-2x", "COAXIAL-4x", "COAXIAL-asym"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table II missing %s", name)
+		}
+	}
+}
+
+func TestDynamicReportsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	w, _ := WorkloadByName("stream-copy")
+	rows, err := MainResults([]Workload{w}, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ReportFig2b(&buf, rows)
+	ReportFig5(&buf, rows)
+	ReportFig9(&buf, rows)
+	ReportTableIV(&buf, rows, []Workload{w})
+	b, c := TableVPower(rows)
+	ReportTableV(&buf, b, c)
+	out := buf.String()
+	for _, s := range []string{"Fig. 2b", "Fig. 5", "Fig. 9", "Table IV", "Table V", "stream-copy"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("rendered reports missing %q", s)
+		}
+	}
+}
+
+func TestFig2aAPI(t *testing.T) {
+	pts, err := Fig2aLoadLatency([]float64{0.1, 0.5}, 200, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[1].MeanNS < pts[0].MeanNS {
+		t.Errorf("load-latency points: %+v", pts)
+	}
+	var buf bytes.Buffer
+	ReportFig2a(&buf, pts)
+	if !strings.Contains(buf.String(), "load-latency") {
+		t.Error("Fig. 2a render")
+	}
+}
+
+func TestFig7VariantsComplete(t *testing.T) {
+	vs := Fig7Variants()
+	if len(vs) != 6 {
+		t.Fatalf("variants: %d", len(vs))
+	}
+	labels := map[string]bool{}
+	for _, v := range vs {
+		labels[v.Label] = true
+	}
+	for _, want := range []string{"serial", "map-i", "calm-50", "calm-60", "calm-70", "ideal"} {
+		if !labels[want] {
+			t.Errorf("missing variant %s", want)
+		}
+	}
+}
+
+func TestRepresentativeWorkloads(t *testing.T) {
+	reps := RepresentativeWorkloads()
+	if len(reps) < 4 {
+		t.Fatalf("too few representative workloads: %d", len(reps))
+	}
+	suites := map[string]bool{}
+	for _, w := range reps {
+		suites[string(w.Suite)] = true
+	}
+	if len(suites) < 3 {
+		t.Errorf("representatives cover only %d suites", len(suites))
+	}
+}
+
+func TestFig11ActiveCores(t *testing.T) {
+	if Fig11ActiveCores() != [4]int{1, 4, 8, 12} {
+		t.Error("Fig. 11 core counts")
+	}
+}
+
+func TestReportTableIII(t *testing.T) {
+	var buf bytes.Buffer
+	ReportTableIII(&buf)
+	out := buf.String()
+	for _, s := range []string{"Table III", "DDR5-4800", "256-entry ROB", "mesh"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("Table III missing %q", s)
+		}
+	}
+}
+
+func TestDRAMEnergyOf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	w, _ := WorkloadByName("stream-copy")
+	res, err := Run(Baseline(), w, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := DRAMEnergyOf(res)
+	if e.TotalPJ() <= 0 {
+		t.Fatal("no energy integrated")
+	}
+	p := e.AveragePowerW(res.Cycles)
+	// One loaded DDR5 channel's DRAM devices: ~1-10 W.
+	if p < 0.5 || p > 12 {
+		t.Errorf("channel DRAM power %.2f W implausible", p)
+	}
+	// Dynamic energy should dominate at 80%+ utilization.
+	if e.BackgroundPJ > e.TotalPJ()/2 {
+		t.Error("background dominates despite heavy load")
+	}
+}
+
+func TestRunSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	w, _ := WorkloadByName("pop2")
+	rc := RunConfig{WarmupInstr: 2_000, MeasureInstr: 10_000}
+	st, err := RunSeeds(Baseline(), w, rc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Results) != 3 || st.MeanIPC <= 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Seeds differ, so some variance; but it should be small relative to
+	// the mean for a stationary workload.
+	if st.StdIPC > st.MeanIPC*0.2 {
+		t.Errorf("seed variance suspiciously high: mean %.3f std %.3f", st.MeanIPC, st.StdIPC)
+	}
+	if st.StdIPC == 0 {
+		t.Error("distinct seeds produced identical IPCs")
+	}
+}

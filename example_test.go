@@ -1,0 +1,76 @@
+package coaxial_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"coaxial"
+)
+
+// The smallest complete use of the library: compare the DDR baseline
+// against COAXIAL-4x on one workload.
+func Example() {
+	w, err := coaxial.WorkloadByName("stream-copy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc := coaxial.DefaultRunConfig()
+	rc.WarmupInstr, rc.MeasureInstr = 5_000, 20_000
+
+	base, _ := coaxial.Run(coaxial.Baseline(), w, rc)
+	coax, _ := coaxial.Run(coaxial.Coaxial4x(), w, rc)
+	if coaxial.Speedup(coax, base) > 1 {
+		fmt.Println("COAXIAL wins on stream-copy")
+	}
+	// Output: COAXIAL wins on stream-copy
+}
+
+// Deriving the Table II configuration space needs no simulation.
+func ExampleTableIIConfigs() {
+	for _, c := range coaxial.TableIIConfigs() {
+		if c.Name == "COAXIAL-4x" {
+			fmt.Printf("%s: %.0fx bandwidth at %.2fx area\n",
+				c.Name, c.RelativeMemBW(), c.RelativeArea())
+		}
+	}
+	// Output: COAXIAL-4x: 4x bandwidth at 1.01x area
+}
+
+// Custom workloads plug into the same Run API through WorkloadParams.
+func ExampleRun_customWorkload() {
+	w := coaxial.Workload{Params: coaxial.WorkloadParams{
+		Name:       "my-scan",
+		MemFrac:    0.4,
+		StoreFrac:  0.1,
+		WSBytes:    64 << 20,
+		StreamFrac: 1.0,
+	}}
+	rc := coaxial.DefaultRunConfig()
+	rc.WarmupInstr, rc.MeasureInstr = 5_000, 20_000
+	res, err := coaxial.Run(coaxial.Coaxial4x(), w, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.IPC > 0 {
+		fmt.Println("custom workload simulated")
+	}
+	// Output: custom workload simulated
+}
+
+// Traces record once and replay deterministically.
+func ExampleRecordTrace() {
+	w, _ := coaxial.WorkloadByName("pop2")
+	var buf bytes.Buffer
+	if err := coaxial.RecordTrace(&buf, w, 0, 10_000, 1); err != nil {
+		log.Fatal(err)
+	}
+	g, err := coaxial.OpenTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ins coaxial.Instr
+	g.Next(&ins)
+	fmt.Println(g.Name())
+	// Output: pop2
+}

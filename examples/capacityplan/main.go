@@ -1,0 +1,77 @@
+// Capacityplan explores the COAXIAL design space the way §IV of the paper
+// does: given the processor's pin and die-area budget, it derives the
+// candidate memory-system configurations (Table II), then simulates a
+// representative workload set on each to pick a design point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coaxial"
+)
+
+func main() {
+	fmt.Println("Step 1: derive the configuration space under pin/area constraints")
+	fmt.Println()
+	coaxial.ReportTableII(logWriter{})
+	fmt.Println()
+
+	fmt.Println("Step 2: simulate candidates on a representative workload set")
+	rc := coaxial.DefaultRunConfig()
+	rc.WarmupInstr, rc.MeasureInstr = 10_000, 50_000
+	workloads := coaxial.RepresentativeWorkloads()
+
+	candidates := []struct {
+		name string
+		cfg  coaxial.Config
+	}{
+		{"COAXIAL-2x (iso-LLC)", coaxial.Coaxial2x()},
+		{"COAXIAL-4x (balanced)", coaxial.Coaxial4x()},
+		{"COAXIAL-asym (max BW)", coaxial.CoaxialAsym()},
+	}
+
+	fmt.Printf("\n%-24s", "workload")
+	for _, c := range candidates {
+		fmt.Printf(" %22s", c.name)
+	}
+	fmt.Println()
+
+	sums := make([]float64, len(candidates))
+	for _, w := range workloads {
+		base, err := coaxial.Run(coaxial.Baseline(), w, rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s", w.Params.Name)
+		for i, c := range candidates {
+			res, err := coaxial.Run(c.cfg, w, rc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := coaxial.Speedup(res, base)
+			sums[i] += s
+			fmt.Printf(" %21.2fx", s)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-24s", "mean")
+	best, bestIdx := 0.0, 0
+	for i := range candidates {
+		mean := sums[i] / float64(len(workloads))
+		if mean > best {
+			best, bestIdx = mean, i
+		}
+		fmt.Printf(" %21.2fx", mean)
+	}
+	fmt.Printf("\n\nRecommended design point: %s (mean %.2fx at iso-area)\n",
+		candidates[bestIdx].name, best)
+}
+
+// logWriter adapts stdout for the report helpers.
+type logWriter struct{}
+
+func (logWriter) Write(p []byte) (int, error) {
+	fmt.Print(string(p))
+	return len(p), nil
+}

@@ -1,0 +1,35 @@
+// Loadlatency characterizes a single DDR5-4800 channel's load-latency
+// curve (the paper's Fig. 2a): it injects random reads at increasing
+// arrival rates and reports how queuing shapes the mean and tail latency.
+// This is the motivating phenomenon behind COAXIAL — at realistic loads,
+// queuing dwarfs both the DRAM service time and CXL's latency premium.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"coaxial"
+)
+
+func main() {
+	utils := []float64{0.02, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	pts, err := coaxial.Fig2aLoadLatency(utils, 1000, 8000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("DDR5-4800 channel (38.4 GB/s peak), uniformly random reads")
+	fmt.Printf("%8s %10s %9s %9s %9s  %s\n", "target", "achieved", "mean", "p90", "p99", "mean latency")
+	unloaded := pts[0].MeanNS
+	for _, p := range pts {
+		bar := strings.Repeat("#", int(p.MeanNS/8))
+		fmt.Printf("%7.0f%% %7.1fGB/s %7.0fns %7.0fns %7.0fns  %s\n",
+			p.TargetUtil*100, p.AchievedGBs, p.MeanNS, p.P90NS, p.P99NS, bar)
+	}
+	last := pts[len(pts)-1]
+	fmt.Printf("\nmean latency grows %.1fx from unloaded to %.0f%% load;", last.MeanNS/unloaded, last.TargetUtil*100)
+	fmt.Printf(" p90 grows %.1fx.\n", last.P90NS/pts[0].P90NS)
+	fmt.Println("A hypothetical +50ns CXL premium is small next to these queuing delays.")
+}

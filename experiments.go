@@ -1,0 +1,342 @@
+package coaxial
+
+import (
+	"fmt"
+
+	"coaxial/internal/area"
+	"coaxial/internal/dram"
+	"coaxial/internal/power"
+	"coaxial/internal/sim"
+	"coaxial/internal/stats"
+	"coaxial/internal/trace"
+)
+
+// This file hosts the experiment drivers that regenerate each figure and
+// table of the paper's evaluation (see DESIGN.md's experiment index).
+// Each driver is self-contained: it runs the simulations it needs and
+// returns typed rows; the rendering lives in report.go.
+
+// PairRow is one workload's (baseline, variant) measurement pair.
+type PairRow struct {
+	Workload string
+	Base     Result
+	Coax     Result
+	Speedup  float64
+}
+
+// MainResults runs the baseline and COAXIAL-4x across the given workloads
+// (Fig. 5; its baseline side is also Fig. 2b and Fig. 9, and Table IV).
+func MainResults(workloads []Workload, rc RunConfig) ([]PairRow, error) {
+	return ComparePair(Baseline(), Coaxial4x(), workloads, rc)
+}
+
+// ComparePair runs two configurations across workloads and pairs results.
+func ComparePair(base, variant Config, workloads []Workload, rc RunConfig) ([]PairRow, error) {
+	jobs := make([]SuiteJob, 0, 2*len(workloads))
+	for _, w := range workloads {
+		jobs = append(jobs, SuiteJob{Config: base, Workload: w}, SuiteJob{Config: variant, Workload: w})
+	}
+	results, errs := RunSuite(jobs, rc)
+	rows := make([]PairRow, 0, len(workloads))
+	for i, w := range workloads {
+		if errs[2*i] != nil {
+			return nil, fmt.Errorf("%s on %s: %w", base.Name, w.Params.Name, errs[2*i])
+		}
+		if errs[2*i+1] != nil {
+			return nil, fmt.Errorf("%s on %s: %w", variant.Name, w.Params.Name, errs[2*i+1])
+		}
+		b, c := results[2*i], results[2*i+1]
+		rows = append(rows, PairRow{Workload: w.Params.Name, Base: b, Coax: c, Speedup: Speedup(c, b)})
+	}
+	return rows, nil
+}
+
+// MeanSpeedup returns the arithmetic mean speedup over rows (the paper's
+// headline aggregation).
+func MeanSpeedup(rows []PairRow) float64 {
+	sp := make([]float64, len(rows))
+	for i, r := range rows {
+		sp[i] = r.Speedup
+	}
+	return stats.Mean(sp)
+}
+
+// GeomeanSpeedup returns the geometric mean speedup over rows.
+func GeomeanSpeedup(rows []PairRow) float64 {
+	sp := make([]float64, len(rows))
+	for i, r := range rows {
+		sp[i] = r.Speedup
+	}
+	return stats.Geomean(sp)
+}
+
+// LoadLatencyPoint re-exports the Fig. 2a sweep point.
+type LoadLatencyPoint = sim.LoadLatencyPoint
+
+// Fig2aLoadLatency sweeps a single DDR5-4800 channel's load-latency curve.
+func Fig2aLoadLatency(utils []float64, warmup, requests int, seed uint64) ([]LoadLatencyPoint, error) {
+	return sim.LoadLatencySweep(dram.DefaultConfig(), utils, warmup, requests, seed)
+}
+
+// MixRow is one Fig. 6 workload-mix measurement.
+type MixRow struct {
+	Mix      int
+	Names    []string
+	Base     Result
+	Coax     Result
+	Speedup  float64 // geometric mean of per-core IPC ratios
+	MeanIPCx float64 // plain mean-IPC ratio, for reference
+}
+
+// Fig6Mixes evaluates n random 12-workload mixes on baseline vs
+// COAXIAL-4x.
+func Fig6Mixes(n int, rc RunConfig) ([]MixRow, error) {
+	base, coax := Baseline(), Coaxial4x()
+	rows := make([]MixRow, 0, n)
+	for i := 0; i < n; i++ {
+		wl := MixWorkloads(i, base.Cores)
+		b, err := RunMix(base, wl, rc)
+		if err != nil {
+			return nil, fmt.Errorf("mix %d baseline: %w", i, err)
+		}
+		c, err := RunMix(coax, wl, rc)
+		if err != nil {
+			return nil, fmt.Errorf("mix %d coaxial: %w", i, err)
+		}
+		names := make([]string, len(wl))
+		for j, w := range wl {
+			names[j] = w.Params.Name
+		}
+		rows = append(rows, MixRow{
+			Mix: i, Names: names, Base: b, Coax: c,
+			Speedup:  PerCoreSpeedupGeomean(c, b),
+			MeanIPCx: Speedup(c, b),
+		})
+	}
+	return rows, nil
+}
+
+// CALMVariant names one Fig. 7 mechanism.
+type CALMVariant struct {
+	Label string
+	Cfg   CALMConfig
+}
+
+// Fig7Variants returns the mechanisms of the Fig. 7 sensitivity study.
+func Fig7Variants() []CALMVariant {
+	return []CALMVariant{
+		{Label: "serial", Cfg: CALMConfig{Kind: CALMOff}},
+		{Label: "map-i", Cfg: CALMConfig{Kind: CALMMAPI}},
+		{Label: "calm-50", Cfg: CALMR(0.50)},
+		{Label: "calm-60", Cfg: CALMR(0.60)},
+		{Label: "calm-70", Cfg: CALMR(0.70)},
+		{Label: "ideal", Cfg: CALMConfig{Kind: CALMIdeal}},
+	}
+}
+
+// Fig7Row is one workload's CALM sensitivity results: speedup of every
+// (system, mechanism) pair over the serial baseline, plus decision tallies
+// on the COAXIAL side (Fig. 7b).
+type Fig7Row struct {
+	Workload string
+	// BaseSpeedup/CoaxSpeedup are keyed by Fig7Variants order.
+	BaseSpeedup []float64
+	CoaxSpeedup []float64
+	// CoaxDecisions per variant (Fig. 7b).
+	CoaxDecisions []CALMDecisions
+}
+
+// Fig7CALM runs the CALM mechanism study on the given workloads.
+func Fig7CALM(workloads []Workload, rc RunConfig) ([]Fig7Row, error) {
+	variants := Fig7Variants()
+	rows := make([]Fig7Row, 0, len(workloads))
+	for _, w := range workloads {
+		row := Fig7Row{Workload: w.Params.Name}
+		serialBase, err := Run(Baseline().WithCALM(variants[0].Cfg), w, rc)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range variants {
+			b, err := Run(Baseline().WithCALM(v.Cfg), w, rc)
+			if err != nil {
+				return nil, err
+			}
+			c, err := Run(Coaxial4x().WithCALM(v.Cfg), w, rc)
+			if err != nil {
+				return nil, err
+			}
+			row.BaseSpeedup = append(row.BaseSpeedup, Speedup(b, serialBase))
+			row.CoaxSpeedup = append(row.CoaxSpeedup, Speedup(c, serialBase))
+			row.CoaxDecisions = append(row.CoaxDecisions, c.CALM)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig8Row compares the alternative COAXIAL designs for one workload.
+type Fig8Row struct {
+	Workload string
+	Speedup2 float64 // COAXIAL-2x over baseline
+	Speedup4 float64 // COAXIAL-4x over baseline
+	SpeedupA float64 // COAXIAL-asym over baseline
+}
+
+// Fig8Configs evaluates COAXIAL-2x/-4x/-asym against the baseline.
+func Fig8Configs(workloads []Workload, rc RunConfig) ([]Fig8Row, error) {
+	cfgs := []Config{Baseline(), Coaxial2x(), Coaxial4x(), CoaxialAsym()}
+	jobs := make([]SuiteJob, 0, len(cfgs)*len(workloads))
+	for _, w := range workloads {
+		for _, c := range cfgs {
+			jobs = append(jobs, SuiteJob{Config: c, Workload: w})
+		}
+	}
+	results, errs := RunSuite(jobs, rc)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows := make([]Fig8Row, 0, len(workloads))
+	for i, w := range workloads {
+		base := results[i*len(cfgs)]
+		rows = append(rows, Fig8Row{
+			Workload: w.Params.Name,
+			Speedup2: Speedup(results[i*len(cfgs)+1], base),
+			Speedup4: Speedup(results[i*len(cfgs)+2], base),
+			SpeedupA: Speedup(results[i*len(cfgs)+3], base),
+		})
+	}
+	return rows, nil
+}
+
+// Fig10Row is the CXL latency-premium sensitivity for one workload.
+type Fig10Row struct {
+	Workload  string
+	Speedup50 float64 // 50 ns premium (default)
+	Speedup70 float64 // 70 ns premium (pessimistic)
+	Speedup10 float64 // 10 ns OMI-class premium (§VII)
+}
+
+// Fig10LatencySensitivity evaluates COAXIAL-4x at 50/70/10 ns premiums.
+func Fig10LatencySensitivity(workloads []Workload, rc RunConfig) ([]Fig10Row, error) {
+	cfgs := []Config{
+		Baseline(),
+		Coaxial4x(),                     // 4 x 12.5 = 50 ns
+		Coaxial4x().WithCXLPortNS(17.5), // 70 ns
+		Coaxial4x().WithCXLPortNS(2.5),  // 10 ns
+	}
+	jobs := make([]SuiteJob, 0, len(cfgs)*len(workloads))
+	for _, w := range workloads {
+		for _, c := range cfgs {
+			jobs = append(jobs, SuiteJob{Config: c, Workload: w})
+		}
+	}
+	results, errs := RunSuite(jobs, rc)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows := make([]Fig10Row, 0, len(workloads))
+	for i, w := range workloads {
+		base := results[i*len(cfgs)]
+		rows = append(rows, Fig10Row{
+			Workload:  w.Params.Name,
+			Speedup50: Speedup(results[i*len(cfgs)+1], base),
+			Speedup70: Speedup(results[i*len(cfgs)+2], base),
+			Speedup10: Speedup(results[i*len(cfgs)+3], base),
+		})
+	}
+	return rows, nil
+}
+
+// Fig11Row is the core-utilization sensitivity for one workload: COAXIAL
+// speedup with 1, 4, 8, and 12 active cores, each normalized to the
+// baseline at the same active-core count.
+type Fig11Row struct {
+	Workload string
+	Speedups [4]float64 // active cores: 1, 4, 8, 12
+}
+
+// Fig11ActiveCores returns the core counts evaluated.
+func Fig11ActiveCores() [4]int { return [4]int{1, 4, 8, 12} }
+
+// Fig11Utilization runs the utilization sensitivity study.
+func Fig11Utilization(workloads []Workload, rc RunConfig) ([]Fig11Row, error) {
+	counts := Fig11ActiveCores()
+	rows := make([]Fig11Row, 0, len(workloads))
+	for _, w := range workloads {
+		var row Fig11Row
+		row.Workload = w.Params.Name
+		for ci, n := range counts {
+			b, err := Run(Baseline().WithActiveCores(n), w, rc)
+			if err != nil {
+				return nil, err
+			}
+			c, err := Run(Coaxial4x().WithActiveCores(n), w, rc)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedups[ci] = Speedup(c, b)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TableVRow is one Table V column (a system's power ledger and efficiency
+// metrics at measured CPI and utilization).
+type TableVRow struct {
+	System  string
+	Ledger  power.Ledger
+	Metrics power.Metrics
+}
+
+// TableVPower evaluates the energy model using suite-average CPI and
+// per-channel utilization measured from rows (a MainResults run).
+func TableVPower(rows []PairRow) (baseline, coaxial TableVRow) {
+	var baseCPI, coaxCPI, baseUtil, coaxUtil []float64
+	for _, r := range rows {
+		baseCPI = append(baseCPI, r.Base.CPI)
+		coaxCPI = append(coaxCPI, r.Coax.CPI)
+		baseUtil = append(baseUtil, r.Base.Utilization)
+		coaxUtil = append(coaxUtil, r.Coax.Utilization)
+	}
+	bSpec, cSpec := power.Baseline144(), power.Coaxial144()
+	bl := power.Compute(bSpec, stats.Mean(baseUtil))
+	cl := power.Compute(cSpec, stats.Mean(coaxUtil))
+	bm := power.Evaluate(bl, stats.Mean(baseCPI))
+	cm := power.Evaluate(cl, stats.Mean(coaxCPI))
+	cm = power.Compare(cm, bm)
+	bm = power.Compare(bm, bm)
+	return TableVRow{System: bSpec.Name, Ledger: bl, Metrics: bm},
+		TableVRow{System: cSpec.Name, Ledger: cl, Metrics: cm}
+}
+
+// AreaConfig re-exports the Table II derivation row.
+type AreaConfig = area.ServerConfig
+
+// TableIIConfigs returns the configuration space with derived relative
+// bandwidth, area, and pin budgets.
+func TableIIConfigs() []AreaConfig { return area.TableII() }
+
+// Fig1BandwidthPerPin returns the interface bandwidth-per-pin series
+// normalized to PCIe 1.0.
+func Fig1BandwidthPerPin() map[string]float64 { return area.NormalizedToPCIe1() }
+
+// RepresentativeWorkloads returns a small cross-suite subset used where a
+// full 36-workload sweep is too slow (benches, quick reports): the paper's
+// Fig. 7 uses a similar representative set.
+func RepresentativeWorkloads() []Workload {
+	names := []string{"lbm", "gcc", "Components", "stream-copy", "kmeans", "canneal"}
+	out := make([]Workload, 0, len(names))
+	for _, n := range names {
+		w, err := trace.WorkloadByName(n)
+		if err != nil {
+			panic(err) // static list; cannot fail
+		}
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package coaxial
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyRC makes driver tests fast; statistical quality doesn't matter here,
+// only that the drivers wire experiments correctly.
+func tinyRC() RunConfig {
+	rc := DefaultRunConfig()
+	rc.WarmupInstr, rc.MeasureInstr = 3_000, 12_000
+	return rc
+}
+
+func oneWorkload(t *testing.T, name string) []Workload {
+	t.Helper()
+	w, err := WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Workload{w}
+}
+
+func TestFig6MixesDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation driver")
+	}
+	rows, err := Fig6Mixes(2, tinyRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Names) != 12 {
+			t.Errorf("mix %d has %d names", r.Mix, len(r.Names))
+		}
+		if r.Speedup <= 0 || r.MeanIPCx <= 0 {
+			t.Errorf("mix %d: speedup %v / %v", r.Mix, r.Speedup, r.MeanIPCx)
+		}
+		// Mixes load the baseline heavily; COAXIAL should win.
+		if r.Speedup < 1.0 {
+			t.Errorf("mix %d: COAXIAL lost (%.2fx); paper reports 1.5-1.9x", r.Mix, r.Speedup)
+		}
+	}
+	var buf bytes.Buffer
+	ReportFig6(&buf, rows)
+	if !strings.Contains(buf.String(), "mix0") {
+		t.Error("Fig. 6 render")
+	}
+}
+
+func TestFig7CALMDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation driver")
+	}
+	rows, err := Fig7CALM(oneWorkload(t, "stream-scale"), tinyRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	nv := len(Fig7Variants())
+	if len(r.BaseSpeedup) != nv || len(r.CoaxSpeedup) != nv || len(r.CoaxDecisions) != nv {
+		t.Fatalf("variant vectors: %d/%d/%d", len(r.BaseSpeedup), len(r.CoaxSpeedup), len(r.CoaxDecisions))
+	}
+	// Variant 0 is serial baseline: its baseline speedup is 1.0 by
+	// definition.
+	if r.BaseSpeedup[0] < 0.99 || r.BaseSpeedup[0] > 1.01 {
+		t.Errorf("serial-baseline self-speedup = %v", r.BaseSpeedup[0])
+	}
+	// COAXIAL must beat the baseline on a stream for every mechanism.
+	for i, s := range r.CoaxSpeedup {
+		if s < 1.2 {
+			t.Errorf("variant %d: COAXIAL speedup %.2f on stream-scale", i, s)
+		}
+	}
+	// The serial variant must CALM nothing.
+	if r.CoaxDecisions[0].CALMed != 0 {
+		t.Error("serial variant CALMed accesses")
+	}
+	var buf bytes.Buffer
+	ReportFig7(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig. 7b") {
+		t.Error("Fig. 7 render")
+	}
+}
+
+func TestFig8Driver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation driver")
+	}
+	rows, err := Fig8Configs(oneWorkload(t, "stream-add"), tinyRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Speedup4 <= r.Speedup2*0.9 {
+		t.Errorf("4x (%.2f) should generally beat 2x (%.2f) on streams", r.Speedup4, r.Speedup2)
+	}
+	if r.SpeedupA < r.Speedup4*0.9 {
+		t.Errorf("asym (%.2f) should not trail 4x (%.2f) badly", r.SpeedupA, r.Speedup4)
+	}
+	var buf bytes.Buffer
+	ReportFig8(&buf, rows)
+	if !strings.Contains(buf.String(), "variants") {
+		t.Error("Fig. 8 render")
+	}
+}
+
+func TestFig10Driver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation driver")
+	}
+	rows, err := Fig10LatencySensitivity(oneWorkload(t, "stream-copy"), tinyRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if !(r.Speedup10 >= r.Speedup50*0.98 && r.Speedup50 >= r.Speedup70*0.98) {
+		t.Errorf("premium ordering: 10ns %.2f / 50ns %.2f / 70ns %.2f",
+			r.Speedup10, r.Speedup50, r.Speedup70)
+	}
+	var buf bytes.Buffer
+	ReportFig10(&buf, rows)
+	if !strings.Contains(buf.String(), "latency premium") {
+		t.Error("Fig. 10 render")
+	}
+}
+
+func TestFig11Driver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation driver")
+	}
+	rows, err := Fig11Utilization(oneWorkload(t, "Components"), tinyRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// Gains must grow with utilization on a bandwidth-bound workload.
+	if r.Speedups[3] <= r.Speedups[0] {
+		t.Errorf("12-core speedup (%.2f) should exceed 1-core (%.2f)",
+			r.Speedups[3], r.Speedups[0])
+	}
+	var buf bytes.Buffer
+	ReportFig11(&buf, rows)
+	if !strings.Contains(buf.String(), "active cores") {
+		t.Error("Fig. 11 render")
+	}
+}
+
+func TestMainResultsErrorPropagation(t *testing.T) {
+	bad := Workload{} // zero workload: zero measure would be fine, but
+	// MemFrac 0 still runs; instead break the config.
+	cfg := Baseline()
+	cfg.Cores = 0
+	if _, err := ComparePair(cfg, Coaxial4x(), []Workload{bad}, tinyRC()); err == nil {
+		t.Error("invalid config not propagated")
+	}
+}
+
+func TestRunAblationsBundle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation driver")
+	}
+	w, _ := WorkloadByName("stream-scale")
+	rc := tinyRC()
+	sum, err := RunAblations(w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Capacity) == 0 || len(sum.Channels) != 5 || len(sum.CALM) != 6 || len(sum.MSHRs) != 4 {
+		t.Fatalf("bundle sizes: %d/%d/%d/%d", len(sum.Capacity), len(sum.Channels), len(sum.CALM), len(sum.MSHRs))
+	}
+	var buf bytes.Buffer
+	ReportAblations(&buf, sum)
+	for _, s := range []string{"iso-capacity", "channel count", "CALM_R threshold", "MSHR budget"} {
+		if !strings.Contains(buf.String(), s) {
+			t.Errorf("ablation report missing %q", s)
+		}
+	}
+}

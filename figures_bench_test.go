@@ -1,0 +1,342 @@
+package coaxial
+
+// Per-figure and per-table experiment benchmarks: each regenerates its
+// figure's rows/series (on a representative workload subset sized for a
+// laptop; use cmd/coaxial-report for full-suite regeneration) and reports
+// the headline number as a benchmark metric.
+//
+// Run: go test -bench=Fig -benchtime=1x
+// Full-scale equivalents: cmd/coaxial-report -fig N / -table N.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+)
+
+// benchRC keeps figure benchmarks tractable on one CPU.
+func benchRC() RunConfig {
+	rc := DefaultRunConfig()
+	rc.WarmupInstr, rc.MeasureInstr = 6_000, 25_000
+	return rc
+}
+
+// benchWorkloads is the cross-suite representative set.
+func benchWorkloads(b *testing.B, n int) []Workload {
+	b.Helper()
+	reps := RepresentativeWorkloads()
+	if n > 0 && n < len(reps) {
+		reps = reps[:n]
+	}
+	return reps
+}
+
+func BenchmarkFig1BandwidthPerPin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		norm := Fig1BandwidthPerPin()
+		if i == 0 {
+			ReportFig1(os.Stdout)
+		}
+		_ = norm
+	}
+}
+
+func BenchmarkFig2aLoadLatency(b *testing.B) {
+	utils := []float64{0.05, 0.2, 0.4, 0.6, 0.8}
+	for i := 0; i < b.N; i++ {
+		pts, err := Fig2aLoadLatency(utils, 300, 2500, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportFig2a(os.Stdout, pts)
+			b.ReportMetric(pts[len(pts)-1].MeanNS/pts[0].MeanNS, "knee_x")
+		}
+	}
+}
+
+func BenchmarkFig2bBreakdown(b *testing.B) {
+	wl := benchWorkloads(b, 0)
+	for i := 0; i < b.N; i++ {
+		rows, err := MainResults(wl, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportFig2b(os.Stdout, rows)
+			var qshare float64
+			for _, r := range rows {
+				if r.Base.TotalNS > 0 {
+					qshare += r.Base.QueueNS / r.Base.TotalNS
+				}
+			}
+			b.ReportMetric(qshare/float64(len(rows))*100, "queue_share_%")
+		}
+	}
+}
+
+func BenchmarkFig5Main(b *testing.B) {
+	wl := benchWorkloads(b, 0)
+	for i := 0; i < b.N; i++ {
+		rows, err := MainResults(wl, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportFig5(os.Stdout, rows)
+			b.ReportMetric(MeanSpeedup(rows), "mean_speedup_x")
+		}
+	}
+}
+
+func BenchmarkFig6Mixes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig6Mixes(3, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportFig6(os.Stdout, rows)
+			var g float64 = 1
+			for _, r := range rows {
+				g *= r.Speedup
+			}
+			b.ReportMetric(pow(g, 1/float64(len(rows))), "geomean_speedup_x")
+		}
+	}
+}
+
+func BenchmarkFig7aCALM(b *testing.B) {
+	wl := benchWorkloads(b, 2) // 2 workloads x 6 mechanisms x 2 systems
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig7CALM(wl, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportFig7(os.Stdout, rows)
+			// Headline: CALM_70% lift over serial COAXIAL (variant 4 vs 0).
+			lift := 0.0
+			for _, r := range rows {
+				lift += r.CoaxSpeedup[4] / r.CoaxSpeedup[0]
+			}
+			b.ReportMetric(lift/float64(len(rows)), "calm70_lift_x")
+		}
+	}
+}
+
+func BenchmarkFig7bCALMDecisions(b *testing.B) {
+	wl := benchWorkloads(b, 2)
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig7CALM(wl[:1], benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// FP/FN of CALM_70% on COAXIAL.
+			d := rows[0].CoaxDecisions[4]
+			fmt.Printf("Fig. 7b headline (%s, calm-70): FP %.1f%% of mem accesses, FN %.1f%% of LLC misses\n",
+				rows[0].Workload, d.FPRate()*100, d.FNRate()*100)
+			b.ReportMetric(d.FPRate()*100, "fp_%")
+			b.ReportMetric(d.FNRate()*100, "fn_%")
+		}
+	}
+	_ = wl
+}
+
+func BenchmarkFig8Configs(b *testing.B) {
+	wl := benchWorkloads(b, 4)
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig8Configs(wl, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportFig8(os.Stdout, rows)
+			var s4, sa float64
+			for _, r := range rows {
+				s4 += r.Speedup4
+				sa += r.SpeedupA
+			}
+			b.ReportMetric(sa/s4, "asym_over_4x")
+		}
+	}
+}
+
+func BenchmarkFig9ReadWrite(b *testing.B) {
+	wl := benchWorkloads(b, 0)
+	for i := 0; i < b.N; i++ {
+		rows, err := MainResults(wl, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportFig9(os.Stdout, rows)
+			var rw float64
+			n := 0
+			for _, r := range rows {
+				if r.Base.WriteGBs > 0 {
+					rw += r.Base.ReadGBs / r.Base.WriteGBs
+					n++
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(rw/float64(n), "mean_rw_ratio")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10LatencySensitivity(b *testing.B) {
+	wl := benchWorkloads(b, 4)
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig10LatencySensitivity(wl, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportFig10(os.Stdout, rows)
+			var s50, s70 float64
+			for _, r := range rows {
+				s50 += r.Speedup50
+				s70 += r.Speedup70
+			}
+			b.ReportMetric(s70/s50, "premium70_retention")
+		}
+	}
+}
+
+func BenchmarkFig11Utilization(b *testing.B) {
+	wl := benchWorkloads(b, 3)
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig11Utilization(wl, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportFig11(os.Stdout, rows)
+			var oneCore, allCores float64
+			for _, r := range rows {
+				oneCore += r.Speedups[0]
+				allCores += r.Speedups[3]
+			}
+			b.ReportMetric(oneCore/float64(len(rows)), "speedup_1core_x")
+			b.ReportMetric(allCores/float64(len(rows)), "speedup_12core_x")
+		}
+	}
+}
+
+func BenchmarkTableIAreas(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if i == 0 {
+			ReportTableI(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkTableIIConfigs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfgs := TableIIConfigs()
+		if i == 0 {
+			ReportTableII(os.Stdout)
+			b.ReportMetric(cfgs[1].RelativeArea(), "coaxial5x_rel_area")
+		}
+	}
+}
+
+func BenchmarkTableIVCharacterization(b *testing.B) {
+	wl := benchWorkloads(b, 0)
+	for i := 0; i < b.N; i++ {
+		rows, err := MainResults(wl, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportTableIV(os.Stdout, rows, wl)
+		}
+	}
+}
+
+func BenchmarkTableVPower(b *testing.B) {
+	wl := benchWorkloads(b, 0)
+	for i := 0; i < b.N; i++ {
+		rows, err := MainResults(wl, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, coax := TableVPower(rows)
+		if i == 0 {
+			ReportTableV(os.Stdout, base, coax)
+			b.ReportMetric(coax.Metrics.RelEDP, "rel_edp")
+			b.ReportMetric(coax.Metrics.RelED2P, "rel_ed2p")
+		}
+	}
+}
+
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, y)
+}
+
+// BenchmarkAblationChannelScaling sweeps COAXIAL's channel count on one
+// bandwidth-bound workload (extension study).
+func BenchmarkAblationChannelScaling(b *testing.B) {
+	w, _ := WorkloadByName("stream-scale")
+	for i := 0; i < b.N; i++ {
+		rows, err := AblationChannelScaling(w, []int{1, 2, 4}, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportChannelScaling(os.Stdout, w.Params.Name, rows)
+			b.ReportMetric(rows[len(rows)-1].Speedup, "speedup_4ch_x")
+		}
+	}
+}
+
+// BenchmarkAblationCALMThreshold sweeps CALM_R's regulation threshold.
+func BenchmarkAblationCALMThreshold(b *testing.B) {
+	w, _ := WorkloadByName("Components")
+	for i := 0; i < b.N; i++ {
+		rows, err := AblationCALMThreshold(w, []float64{0.5, 0.7, 0.9}, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportCALMThreshold(os.Stdout, w.Params.Name, rows)
+			b.ReportMetric(rows[1].Speedup, "calm70_speedup_x")
+		}
+	}
+}
+
+// BenchmarkAblationMSHRs sweeps the per-core MLP budget.
+func BenchmarkAblationMSHRs(b *testing.B) {
+	w, _ := WorkloadByName("kmeans")
+	for i := 0; i < b.N; i++ {
+		rows, err := AblationMSHRs(w, []int{8, 16, 32}, benchRC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportMSHRs(os.Stdout, w.Params.Name, rows)
+			b.ReportMetric(rows[len(rows)-1].CoaxSpeedup, "speedup_32mshr_x")
+		}
+	}
+}
+
+// BenchmarkCapacityStudy evaluates the §IV-E cost model (no simulation).
+func BenchmarkCapacityStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := CapacityStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ReportCapacity(os.Stdout, rows)
+			b.ReportMetric(rows[len(rows)-1].CostSaving*100, "cost_saving_%")
+		}
+	}
+}

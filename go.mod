@@ -1,0 +1,3 @@
+module coaxial
+
+go 1.22

@@ -1,0 +1,153 @@
+// Package area implements the paper's silicon-area and interface-bandwidth
+// models: the relative component areas measured from die shots (Table I),
+// the derivation of the COAXIAL configuration space under iso-pin/iso-area
+// constraints (Table II), and the DDR-vs-PCIe bandwidth-per-pin series
+// (Fig. 1).
+package area
+
+// Component areas relative to 1 MB of LLC (Table I), derived from Golden
+// Cove (Intel 10 nm) and Zen 3 (TSMC 7 nm) die shots.
+const (
+	LLCPerMB   = 1.0
+	Zen3Core   = 6.5  // including 512 KB L2
+	PCIeX8     = 5.9  // x8 PHY + controller
+	DDRChannel = 10.8 // PHY + controller
+)
+
+// Pin requirements per interface.
+const (
+	PinsPerDDRChannel = 160 // data + ECC + command/address, CPU-side
+	PinsPerPCIeLane   = 4   // 2 TX + 2 RX
+	PinsPerX8Channel  = 8 * PinsPerPCIeLane
+)
+
+// ServerConfig is one Table II row.
+type ServerConfig struct {
+	Name       string
+	Cores      int
+	LLCPerCore float64 // MB
+	// DDRChannels / CXLChannels: exactly one is nonzero.
+	DDRChannels int
+	CXLChannels int
+	// DDRPerCXL is the number of DDR channels per type-3 device (2 for
+	// COAXIAL-asym).
+	DDRPerCXL int
+	Comment   string
+}
+
+// TableII returns the paper's configuration space for the 144-core server.
+func TableII() []ServerConfig {
+	return []ServerConfig{
+		{Name: "DDR-based", Cores: 144, LLCPerCore: 2, DDRChannels: 12, Comment: "baseline"},
+		{Name: "COAXIAL-5x", Cores: 144, LLCPerCore: 2, CXLChannels: 60, DDRPerCXL: 1, Comment: "iso-pin"},
+		{Name: "COAXIAL-2x", Cores: 144, LLCPerCore: 2, CXLChannels: 24, DDRPerCXL: 1, Comment: "iso-LLC"},
+		{Name: "COAXIAL-4x", Cores: 144, LLCPerCore: 1, CXLChannels: 48, DDRPerCXL: 1, Comment: "balanced"},
+		{Name: "COAXIAL-asym", Cores: 144, LLCPerCore: 1, CXLChannels: 48, DDRPerCXL: 2, Comment: "max BW"},
+	}
+}
+
+// DieArea returns the configuration's die area in LLC-MB-equivalent units
+// (cores + LLC + memory interfaces; uncore fabric is common and omitted,
+// as in the paper's relative comparison).
+func (c ServerConfig) DieArea() float64 {
+	a := float64(c.Cores) * Zen3Core
+	a += float64(c.Cores) * c.LLCPerCore * LLCPerMB
+	a += float64(c.DDRChannels) * DDRChannel
+	a += float64(c.CXLChannels) * PCIeX8
+	return a
+}
+
+// RelativeArea returns the die area normalized to the DDR baseline.
+func (c ServerConfig) RelativeArea() float64 {
+	base := TableII()[0]
+	return c.DieArea() / base.DieArea()
+}
+
+// MemoryPins returns the processor pins spent on memory interfaces.
+func (c ServerConfig) MemoryPins() int {
+	return c.DDRChannels*PinsPerDDRChannel + c.CXLChannels*PinsPerX8Channel
+}
+
+// RelativeMemBW returns peak memory bandwidth relative to the baseline
+// (each CXL channel fronts DDRPerCXL full DDR channels).
+func (c ServerConfig) RelativeMemBW() float64 {
+	base := TableII()[0]
+	ch := float64(c.DDRChannels)
+	if c.CXLChannels > 0 {
+		d := c.DDRPerCXL
+		if d == 0 {
+			d = 1
+		}
+		ch = float64(c.CXLChannels * d)
+	}
+	return ch / float64(base.DDRChannels)
+}
+
+// InterfaceGen is one point of the Fig. 1 bandwidth-per-pin series.
+type InterfaceGen struct {
+	Name string
+	Year int
+	// GBsPerPin is peak bandwidth per processor pin (per direction for
+	// PCIe; combined for DDR, as vendors quote them — the gap understates
+	// PCIe's advantage, as the paper notes).
+	GBsPerPin float64
+	IsPCIe    bool
+}
+
+// Fig1Series returns bandwidth-per-pin across interface generations.
+// PCIe per-lane bandwidths are per direction over 4 pins; DDR channel
+// bandwidths are spread over 160 CPU-side pins.
+func Fig1Series() []InterfaceGen {
+	ddr := func(name string, year int, gbs float64) InterfaceGen {
+		return InterfaceGen{Name: name, Year: year, GBsPerPin: gbs / PinsPerDDRChannel}
+	}
+	pcie := func(name string, year int, lane float64) InterfaceGen {
+		return InterfaceGen{Name: name, Year: year, GBsPerPin: lane / PinsPerPCIeLane, IsPCIe: true}
+	}
+	return []InterfaceGen{
+		pcie("PCIe-1.0", 2003, 0.25),
+		pcie("PCIe-2.0", 2007, 0.5),
+		pcie("PCIe-3.0", 2010, 0.985),
+		pcie("PCIe-4.0", 2017, 1.969),
+		pcie("PCIe-5.0", 2019, 3.938),
+		pcie("PCIe-6.0", 2022, 7.563),
+		ddr("DDR-400", 2000, 3.2),
+		ddr("DDR2-800", 2003, 6.4),
+		ddr("DDR3-1600", 2007, 12.8),
+		ddr("DDR4-3200", 2014, 25.6),
+		ddr("DDR5-4800", 2021, 38.4),
+		ddr("DDR5-6400", 2024, 51.2),
+	}
+}
+
+// NormalizedToPCIe1 returns the series scaled so PCIe-1.0 is 1.0 (the
+// paper's Fig. 1 normalization).
+func NormalizedToPCIe1() map[string]float64 {
+	series := Fig1Series()
+	var ref float64
+	for _, g := range series {
+		if g.Name == "PCIe-1.0" {
+			ref = g.GBsPerPin
+		}
+	}
+	out := make(map[string]float64, len(series))
+	for _, g := range series {
+		out[g.Name] = g.GBsPerPin / ref
+	}
+	return out
+}
+
+// BandwidthPerPinGap returns the current PCIe5-vs-DDR5 bandwidth-per-pin
+// ratio (the paper's headline 4x).
+func BandwidthPerPinGap() float64 {
+	var pcie5, ddr5 float64
+	for _, g := range Fig1Series() {
+		switch g.Name {
+		case "PCIe-5.0":
+			pcie5 = g.GBsPerPin
+		case "DDR5-4800":
+			ddr5 = g.GBsPerPin
+		}
+	}
+	return pcie5 / ddr5
+}

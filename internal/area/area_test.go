@@ -1,0 +1,104 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIIReproducesPaper(t *testing.T) {
+	cfgs := TableII()
+	if len(cfgs) != 5 {
+		t.Fatalf("config space has %d rows, want 5", len(cfgs))
+	}
+	want := map[string]struct {
+		relBW   float64
+		relArea float64
+		areaTol float64
+	}{
+		"DDR-based":    {1, 1.00, 0.001},
+		"COAXIAL-5x":   {5, 1.17, 0.01},
+		"COAXIAL-2x":   {2, 1.01, 0.01},
+		"COAXIAL-4x":   {4, 1.01, 0.01},
+		"COAXIAL-asym": {8, 1.01, 0.01},
+	}
+	for _, c := range cfgs {
+		w, ok := want[c.Name]
+		if !ok {
+			t.Errorf("unexpected config %q", c.Name)
+			continue
+		}
+		if got := c.RelativeMemBW(); math.Abs(got-w.relBW) > 0.001 {
+			t.Errorf("%s: relative BW %.2f, want %.2f", c.Name, got, w.relBW)
+		}
+		if got := c.RelativeArea(); math.Abs(got-w.relArea) > w.areaTol {
+			t.Errorf("%s: relative area %.3f, want %.2f (paper Table II)", c.Name, got, w.relArea)
+		}
+	}
+}
+
+func TestIsoPinConstraint(t *testing.T) {
+	cfgs := TableII()
+	base, fivex := cfgs[0], cfgs[1]
+	if base.MemoryPins() != fivex.MemoryPins() {
+		t.Errorf("COAXIAL-5x is the iso-pin design: %d vs %d pins",
+			fivex.MemoryPins(), base.MemoryPins())
+	}
+	// 160 pins buy 5 x8 CXL channels (32 pins each).
+	if PinsPerDDRChannel/PinsPerX8Channel != 5 {
+		t.Errorf("pin arithmetic: %d DDR pins / %d CXL pins != 5", PinsPerDDRChannel, PinsPerX8Channel)
+	}
+}
+
+func TestPCIeControllerSmallerThanDDR(t *testing.T) {
+	// Paper: an x8 PCIe controller is 55% of a DDR controller's area.
+	ratio := PCIeX8 / DDRChannel
+	if math.Abs(ratio-0.55) > 0.01 {
+		t.Errorf("PCIe/DDR area ratio %.3f, want ~0.55", ratio)
+	}
+}
+
+func TestFig1Series(t *testing.T) {
+	norm := NormalizedToPCIe1()
+	if norm["PCIe-1.0"] != 1.0 {
+		t.Errorf("normalization anchor: %v", norm["PCIe-1.0"])
+	}
+	gap := BandwidthPerPinGap()
+	if gap < 3.5 || gap < 4.0 && gap > 4.5 {
+		t.Errorf("PCIe5/DDR5 gap %.2f, want ~4x (paper's headline)", gap)
+	}
+	if gap < 3.9 || gap > 4.3 {
+		t.Errorf("PCIe5/DDR5 gap %.2f outside [3.9, 4.3]", gap)
+	}
+	// Each DDR generation must fall below the contemporary PCIe point.
+	series := Fig1Series()
+	byName := map[string]InterfaceGen{}
+	for _, g := range series {
+		byName[g.Name] = g
+	}
+	if byName["DDR5-4800"].GBsPerPin >= byName["PCIe-5.0"].GBsPerPin {
+		t.Error("DDR5 should trail PCIe5 per pin")
+	}
+	// Monotone within each family.
+	prevPCIe, prevDDR := 0.0, 0.0
+	for _, g := range series {
+		if g.IsPCIe {
+			if g.GBsPerPin <= prevPCIe {
+				t.Errorf("PCIe series not increasing at %s", g.Name)
+			}
+			prevPCIe = g.GBsPerPin
+		} else {
+			if g.GBsPerPin <= prevDDR {
+				t.Errorf("DDR series not increasing at %s", g.Name)
+			}
+			prevDDR = g.GBsPerPin
+		}
+	}
+}
+
+func TestDieAreaComposition(t *testing.T) {
+	c := ServerConfig{Cores: 144, LLCPerCore: 2, DDRChannels: 12}
+	want := 144*Zen3Core + 288*LLCPerMB + 12*DDRChannel
+	if got := c.DieArea(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("die area %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,209 @@
+// Package cache implements the set-associative caches of the simulated
+// hierarchy: per-core L1/L2 and the distributed, shared, non-inclusive LLC.
+//
+// Caches here are timing-functional: lookups and fills mutate the state at
+// issue time while latencies are applied by the caller (the hierarchy model
+// in internal/sim). This is the standard fast-simulation compromise — it
+// preserves hit/miss behaviour, capacity and conflict effects, and dirty
+// write-back traffic, which are what the memory-system study needs.
+package cache
+
+import "coaxial/internal/memreq"
+
+// Config sizes one cache.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// LatencyCycles is the lookup (hit) latency.
+	LatencyCycles int64
+}
+
+// line is one cache line's bookkeeping. Tags store the full line address
+// (address >> 6) for simplicity; the set index is derived from it.
+type line struct {
+	tag   uint64
+	stamp uint32 // LRU clock value at last touch
+	valid bool
+	dirty bool
+}
+
+// Cache is a single set-associative write-back, write-allocate cache with
+// per-set LRU replacement.
+type Cache struct {
+	cfg    Config
+	sets   int
+	mask   uint64
+	lines  []line // sets*assoc, set-major
+	clock  uint32
+	stats  Stats
+	shift  uint // additional index shift above the line offset
+	hasher bool // XOR-fold high bits into the index (for shared LLC slices)
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Fills      uint64
+	DirtyEvict uint64
+	CleanEvict uint64
+}
+
+// New constructs a cache. SizeBytes/Assoc must yield a power-of-two set
+// count; New panics otherwise (configurations are static and validated at
+// system construction).
+func New(cfg Config) *Cache {
+	if cfg.Assoc < 1 {
+		panic("cache: associativity must be >= 1")
+	}
+	setBytes := cfg.Assoc * memreq.LineSize
+	if cfg.SizeBytes%setBytes != 0 {
+		panic("cache: size not divisible by assoc*line")
+	}
+	sets := cfg.SizeBytes / setBytes
+	if sets&(sets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		mask:  uint64(sets - 1),
+		lines: make([]line, sets*cfg.Assoc),
+	}
+}
+
+// Latency returns the configured hit latency.
+func (c *Cache) Latency() int64 { return c.cfg.LatencyCycles }
+
+// Sets returns the number of sets (for tests).
+func (c *Cache) Sets() int { return c.sets }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) index(lineAddr uint64) uint64 {
+	// Fold high bits so distinct per-core address spaces spread over sets.
+	h := lineAddr ^ (lineAddr >> 17) ^ (lineAddr >> 31)
+	return h & c.mask
+}
+
+func (c *Cache) set(lineAddr uint64) []line {
+	i := c.index(lineAddr)
+	return c.lines[i*uint64(c.cfg.Assoc) : (i+1)*uint64(c.cfg.Assoc)]
+}
+
+// Lookup probes the cache for addr, updating LRU on a hit. If markDirty is
+// set and the line hits, it is marked dirty (store hit).
+func (c *Cache) Lookup(addr uint64, markDirty bool) bool {
+	la := addr >> memreq.LineShift
+	set := c.set(la)
+	c.stats.Accesses++
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			c.clock++
+			set[i].stamp = c.clock
+			if markDirty {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Probe checks residency without updating LRU or counters (used by the
+// ideal CALM oracle).
+func (c *Cache) Probe(addr uint64) bool {
+	la := addr >> memreq.LineShift
+	set := c.set(la)
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a line displaced by a fill.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+	Valid bool
+}
+
+// Fill inserts addr (allocating on miss); dirty sets the installed line's
+// dirty bit (e.g. an RFO fill or a write-back allocation). The displaced
+// victim, if any, is returned for the caller to propagate.
+func (c *Cache) Fill(addr uint64, dirty bool) Victim {
+	la := addr >> memreq.LineShift
+	set := c.set(la)
+	c.stats.Fills++
+
+	// If present (e.g. a racing fill), refresh it.
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			c.clock++
+			set[i].stamp = c.clock
+			if dirty {
+				set[i].dirty = true
+			}
+			return Victim{}
+		}
+	}
+
+	// Prefer an invalid way.
+	vi := -1
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+	}
+	var out Victim
+	if vi < 0 {
+		// Evict LRU.
+		vi = 0
+		oldest := set[0].stamp
+		for i := 1; i < len(set); i++ {
+			if set[i].stamp < oldest {
+				oldest = set[i].stamp
+				vi = i
+			}
+		}
+		out = Victim{
+			Addr:  set[vi].tag << memreq.LineShift,
+			Dirty: set[vi].dirty,
+			Valid: true,
+		}
+		if out.Dirty {
+			c.stats.DirtyEvict++
+		} else {
+			c.stats.CleanEvict++
+		}
+	}
+	c.clock++
+	set[vi] = line{tag: la, stamp: c.clock, valid: true, dirty: dirty}
+	return out
+}
+
+// Invalidate removes addr if present, returning whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	la := addr >> memreq.LineShift
+	set := c.set(la)
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			d := set[i].dirty
+			set[i] = line{}
+			return true, d
+		}
+	}
+	return false, false
+}

@@ -1,0 +1,243 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coaxial/internal/memreq"
+)
+
+func small() *Cache {
+	return New(Config{SizeBytes: 4 * 64 * 2, Assoc: 2, LatencyCycles: 4}) // 4 sets x 2 ways
+}
+
+func TestNewValidation(t *testing.T) {
+	defertest := func(name string, cfg Config) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			New(cfg)
+		})
+	}
+	defertest("zero-assoc", Config{SizeBytes: 1024, Assoc: 0})
+	defertest("non-divisible", Config{SizeBytes: 100, Assoc: 1})
+	defertest("non-pow2-sets", Config{SizeBytes: 3 * 64, Assoc: 1})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if c.Lookup(0x1000, false) {
+		t.Error("cold lookup must miss")
+	}
+	c.Fill(0x1000, false)
+	if !c.Lookup(0x1000, false) {
+		t.Error("filled line must hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 || st.Fills != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{SizeBytes: 2 * 64, Assoc: 2, LatencyCycles: 1}) // 1 set, 2 ways
+	c.Fill(0*64, false)
+	c.Fill(1*64, false)
+	c.Lookup(0*64, false) // touch 0: 1 is now LRU
+	v := c.Fill(2*64, false)
+	if !v.Valid || v.Addr != 1*64 {
+		t.Errorf("expected eviction of line 1, got %+v", v)
+	}
+	if !c.Probe(0 * 64) {
+		t.Error("MRU line evicted")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	c := New(Config{SizeBytes: 1 * 64, Assoc: 1, LatencyCycles: 1})
+	c.Fill(0, false)
+	c.Lookup(0, true) // store hit marks dirty
+	v := c.Fill(64, false)
+	if !v.Valid || !v.Dirty || v.Addr != 0 {
+		t.Errorf("dirty eviction expected, got %+v", v)
+	}
+	v2 := c.Fill(128, false)
+	if v2.Dirty {
+		t.Error("clean line evicted dirty")
+	}
+	st := c.Stats()
+	if st.DirtyEvict != 1 || st.CleanEvict != 1 {
+		t.Errorf("evict stats: %+v", st)
+	}
+}
+
+func TestFillDirtyFlag(t *testing.T) {
+	c := New(Config{SizeBytes: 1 * 64, Assoc: 1, LatencyCycles: 1})
+	c.Fill(0, true) // RFO-style dirty install
+	if v := c.Fill(64, false); !v.Dirty {
+		t.Error("dirty install lost")
+	}
+}
+
+func TestRefillRefreshesAndMerges(t *testing.T) {
+	c := New(Config{SizeBytes: 2 * 64, Assoc: 2, LatencyCycles: 1})
+	c.Fill(0, false)
+	c.Fill(64, false)
+	// Re-fill line 0 with dirty: no victim, dirty bit set, LRU refresh.
+	if v := c.Fill(0, true); v.Valid {
+		t.Errorf("refill produced victim %+v", v)
+	}
+	v := c.Fill(128, false) // should evict 64 (LRU), not 0
+	if v.Addr != 64 {
+		t.Errorf("evicted %#x, want 64", v.Addr)
+	}
+	v2 := c.Fill(192, false) // now 0 goes, dirty
+	if v2.Addr != 0 || !v2.Dirty {
+		t.Errorf("expected dirty 0, got %+v", v2)
+	}
+}
+
+func TestProbeNoSideEffects(t *testing.T) {
+	c := New(Config{SizeBytes: 2 * 64, Assoc: 2, LatencyCycles: 1})
+	c.Fill(0, false)
+	c.Fill(64, false)
+	before := c.Stats()
+	c.Probe(0) // must not touch LRU or stats
+	if c.Stats() != before {
+		t.Error("probe mutated stats")
+	}
+	// 0 must still be LRU (fill order): eviction takes 0.
+	if v := c.Fill(128, false); v.Addr != 0 {
+		t.Errorf("probe changed LRU: evicted %#x", v.Addr)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Fill(0, true)
+	present, dirty := c.Invalidate(0)
+	if !present || !dirty {
+		t.Errorf("invalidate: present=%v dirty=%v", present, dirty)
+	}
+	if c.Probe(0) {
+		t.Error("line survived invalidate")
+	}
+	if p, _ := c.Invalidate(0xdead000); p {
+		t.Error("invalidate of absent line reported present")
+	}
+}
+
+// TestCapacityProperty: after any access sequence the cache never holds
+// more valid lines than its capacity, and each set at most Assoc.
+func TestCapacityProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(Config{SizeBytes: 8 * 64 * 4, Assoc: 4, LatencyCycles: 1})
+		for _, op := range ops {
+			addr := uint64(op) * 64
+			if !c.Lookup(addr, op%3 == 0) {
+				c.Fill(addr, op%5 == 0)
+			}
+		}
+		dirty, valid := c.DebugDirtyCount()
+		return valid <= 8*4 && dirty <= valid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInclusionOfRecentLines: with fewer distinct lines than capacity,
+// everything filled remains resident.
+func TestInclusionOfRecentLines(t *testing.T) {
+	c := New(Config{SizeBytes: 64 * 64 * 8, Assoc: 8, LatencyCycles: 1})
+	rng := rand.New(rand.NewSource(5))
+	lines := make([]uint64, 100) // 100 distinct lines << 512 capacity
+	for i := range lines {
+		lines[i] = uint64(rng.Intn(1<<20)) * 64
+	}
+	for _, l := range lines {
+		if !c.Lookup(l, false) {
+			c.Fill(l, false)
+		}
+	}
+	for _, l := range lines {
+		if !c.Probe(l) {
+			t.Fatalf("line %#x evicted below capacity", l)
+		}
+	}
+}
+
+func TestLLCSliceMapping(t *testing.T) {
+	l := NewLLC(12, 1<<20, 16, 20)
+	if l.Slices() != 12 || l.Latency() != 20 {
+		t.Fatalf("geometry: %d slices lat %d", l.Slices(), l.Latency())
+	}
+	// Stable mapping.
+	for i := 0; i < 100; i++ {
+		a := uint64(i) * 977 * 64
+		if l.SliceOf(a) != l.SliceOf(a) {
+			t.Fatal("slice mapping unstable")
+		}
+	}
+	// Spread: sequential lines cover most slices.
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[l.SliceOf(uint64(i)*64)] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("sequential lines cover only %d/12 slices", len(seen))
+	}
+}
+
+func TestLLCLookupFillStats(t *testing.T) {
+	l := NewLLC(4, 64*64*4, 4, 20)
+	if l.Lookup(0x5000, false) {
+		t.Error("cold LLC lookup hit")
+	}
+	l.Fill(0x5000, false)
+	if !l.Lookup(0x5000, false) {
+		t.Error("LLC fill lost")
+	}
+	if !l.Probe(0x5000) {
+		t.Error("LLC probe lost")
+	}
+	st := l.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Fills != 1 {
+		t.Errorf("LLC stats: %+v", st)
+	}
+	l.ResetStats()
+	if l.Stats().Accesses != 0 {
+		t.Error("LLC stats reset")
+	}
+}
+
+func TestLLCSingleSlice(t *testing.T) {
+	l := NewLLC(1, 64*64, 4, 20)
+	if l.SliceOf(0xABCDEF00) != 0 {
+		t.Error("single-slice mapping")
+	}
+}
+
+// TestSetIsolation: filling one set never evicts lines from another.
+func TestSetIsolation(t *testing.T) {
+	c := New(Config{SizeBytes: 16 * 64 * 2, Assoc: 2, LatencyCycles: 1})
+	anchor := uint64(0)
+	c.Fill(anchor, false)
+	set0 := c.index(anchor >> memreq.LineShift)
+	// Hammer a different set.
+	hammered := 0
+	for i := uint64(1); hammered < 64; i++ {
+		a := i * 64
+		if c.index(a>>memreq.LineShift) != set0 {
+			c.Fill(a, false)
+			hammered++
+		}
+	}
+	if !c.Probe(anchor) {
+		t.Error("cross-set eviction")
+	}
+}

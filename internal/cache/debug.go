@@ -1,0 +1,14 @@
+package cache
+
+// DebugDirtyCount reports (dirty, valid) line counts (test helper).
+func (c *Cache) DebugDirtyCount() (dirty, valid int) {
+	for i := range c.lines {
+		if c.lines[i].valid {
+			valid++
+			if c.lines[i].dirty {
+				dirty++
+			}
+		}
+	}
+	return
+}

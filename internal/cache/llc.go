@@ -1,0 +1,82 @@
+package cache
+
+import "coaxial/internal/memreq"
+
+// LLC is the distributed, shared last-level cache: one slice per tile,
+// address-interleaved. It is non-inclusive of the private levels; fills
+// install lines on memory fill, and dirty L2 victims are absorbed
+// (allocated) on write-back, victim-cache style.
+type LLC struct {
+	slices []*Cache
+	lat    int64
+}
+
+// NewLLC builds an LLC of n slices, each sliceBytes large with the given
+// associativity and lookup latency.
+func NewLLC(n, sliceBytes, assoc int, latency int64) *LLC {
+	l := &LLC{lat: latency}
+	for i := 0; i < n; i++ {
+		l.slices = append(l.slices, New(Config{
+			SizeBytes:     sliceBytes,
+			Assoc:         assoc,
+			LatencyCycles: latency,
+		}))
+	}
+	return l
+}
+
+// Slices returns the number of slices.
+func (l *LLC) Slices() int { return len(l.slices) }
+
+// Latency returns the slice lookup latency.
+func (l *LLC) Latency() int64 { return l.lat }
+
+// SliceOf maps an address to its home slice index.
+func (l *LLC) SliceOf(addr uint64) int {
+	if len(l.slices) == 1 {
+		return 0
+	}
+	line := addr >> memreq.LineShift
+	h := line ^ (line >> 10) ^ (line >> 21)
+	return int(h % uint64(len(l.slices)))
+}
+
+// Slice returns slice i.
+func (l *LLC) Slice(i int) *Cache { return l.slices[i] }
+
+// Lookup probes the home slice (LRU update on hit).
+func (l *LLC) Lookup(addr uint64, markDirty bool) bool {
+	return l.slices[l.SliceOf(addr)].Lookup(addr, markDirty)
+}
+
+// Probe checks residency without side effects.
+func (l *LLC) Probe(addr uint64) bool {
+	return l.slices[l.SliceOf(addr)].Probe(addr)
+}
+
+// Fill installs addr in its home slice, returning any displaced victim.
+func (l *LLC) Fill(addr uint64, dirty bool) Victim {
+	return l.slices[l.SliceOf(addr)].Fill(addr, dirty)
+}
+
+// Stats sums slice counters.
+func (l *LLC) Stats() Stats {
+	var total Stats
+	for _, s := range l.slices {
+		st := s.Stats()
+		total.Accesses += st.Accesses
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Fills += st.Fills
+		total.DirtyEvict += st.DirtyEvict
+		total.CleanEvict += st.CleanEvict
+	}
+	return total
+}
+
+// ResetStats zeroes all slice counters.
+func (l *LLC) ResetStats() {
+	for _, s := range l.slices {
+		s.ResetStats()
+	}
+}

@@ -1,0 +1,179 @@
+// Package calm implements the paper's Concurrent Access of LLC and Memory
+// mechanisms (§IV-C): the decision, per L2 miss, of whether to look up the
+// LLC and memory in parallel, trading memory bandwidth for the removal of
+// LLC lookup latency from the miss path.
+//
+// Three deciders are provided, matching §IV-C and the Fig. 7 sensitivity
+// study:
+//
+//   - BandwidthRegulated (CALM_R): monitors the LLC-filtered and unfiltered
+//     memory bandwidth demand over epochs; performs CALM with probability
+//     min(1, (R-bw_filtered)/bw_unfiltered) when the filtered demand is
+//     below the R threshold, and never when above.
+//   - MAPI: a PC-indexed saturating-counter predictor of LLC misses
+//     (MAP-I from Qureshi & Loh), CALMing predicted misses.
+//   - Ideal: an oracle that probes the LLC without side effects.
+//   - Off: the conventional serial LLC-then-memory access.
+package calm
+
+// Kind selects the CALM mechanism.
+type Kind uint8
+
+const (
+	// Off serializes LLC and memory access (conventional hierarchy).
+	Off Kind = iota
+	// Regulated is CALM_R: bandwidth-utilization-regulated probabilistic
+	// CALM.
+	Regulated
+	// MAPI uses the PC-indexed MAP-I LLC miss predictor.
+	MAPI
+	// Ideal uses an oracle LLC probe.
+	Ideal
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Off:
+		return "serial"
+	case Regulated:
+		return "calm-r"
+	case MAPI:
+		return "map-i"
+	case Ideal:
+		return "ideal"
+	default:
+		return "invalid"
+	}
+}
+
+// Config selects and parameterizes a mechanism.
+type Config struct {
+	Kind Kind
+	// R is the bandwidth-utilization threshold for Regulated, as a
+	// fraction of peak (the paper's default is 0.70).
+	R float64
+	// EpochCycles is the bandwidth estimation epoch for Regulated
+	// (default 20k cycles).
+	EpochCycles int64
+}
+
+// Default returns the paper's default mechanism: CALM_70%.
+func Default() Config { return Config{Kind: Regulated, R: 0.70} }
+
+// Decisions tallies CALM outcomes for Fig. 7b: a false positive is a CALM
+// access that hit in the LLC (wasted memory bandwidth); a false negative is
+// a serial access that missed in the LLC (serialized latency).
+type Decisions struct {
+	L2Misses  uint64
+	CALMed    uint64
+	TruePos   uint64 // CALM and LLC miss
+	FalsePos  uint64 // CALM but LLC hit
+	TrueNeg   uint64 // serial and LLC hit
+	FalseNeg  uint64 // serial but LLC miss
+	LLCMisses uint64
+}
+
+// FPRate returns false positives as a fraction of memory accesses (the
+// paper's Fig. 7b metric: wasted accesses / true memory accesses).
+func (d Decisions) FPRate() float64 {
+	if d.LLCMisses == 0 {
+		return 0
+	}
+	return float64(d.FalsePos) / float64(d.LLCMisses)
+}
+
+// FNRate returns false negatives as a fraction of all LLC misses.
+func (d Decisions) FNRate() float64 {
+	if d.LLCMisses == 0 {
+		return 0
+	}
+	return float64(d.FalseNeg) / float64(d.LLCMisses)
+}
+
+// Policy is the per-system CALM decision engine. Implementations are not
+// safe for concurrent use; each simulated system owns one.
+type Policy interface {
+	// Decide returns whether this L2 miss should access LLC and memory
+	// concurrently. probe reports LLC residency without side effects
+	// (used only by the Ideal oracle).
+	Decide(core int, pc uint64, now int64, probe func() bool) bool
+	// Observe records the access outcome after the LLC lookup: whether
+	// the line hit in the LLC and whether CALM was performed, updating
+	// predictor state, bandwidth estimates, and decision tallies.
+	Observe(core int, pc uint64, llcHit, didCALM bool)
+	// Decisions returns the tally so far.
+	Decisions() Decisions
+	// Reset clears tallies (epoch state and predictor tables persist, as
+	// they would across a warmup boundary in hardware).
+	Reset()
+}
+
+// New constructs the policy for a config. peakGBs is the memory system's
+// peak bandwidth (for Regulated's utilization estimates); cores sizes
+// per-core predictor state.
+func New(cfg Config, cores int, peakGBs float64) Policy {
+	switch cfg.Kind {
+	case Regulated:
+		r := cfg.R
+		if r <= 0 {
+			r = 0.70
+		}
+		epoch := cfg.EpochCycles
+		if epoch <= 0 {
+			epoch = 20000
+		}
+		return newRegulated(r, epoch, peakGBs)
+	case MAPI:
+		return newMAPI(cores)
+	case Ideal:
+		return &ideal{}
+	default:
+		return &off{}
+	}
+}
+
+// off never CALMs.
+type off struct{ d Decisions }
+
+func (o *off) Decide(int, uint64, int64, func() bool) bool { return false }
+
+func (o *off) Observe(_ int, _ uint64, llcHit, didCALM bool) {
+	tally(&o.d, llcHit, didCALM)
+}
+
+func (o *off) Decisions() Decisions { return o.d }
+func (o *off) Reset()               { o.d = Decisions{} }
+
+// ideal CALMs exactly the L2 misses that miss in the LLC.
+type ideal struct{ d Decisions }
+
+func (i *ideal) Decide(_ int, _ uint64, _ int64, probe func() bool) bool {
+	return !probe()
+}
+
+func (i *ideal) Observe(_ int, _ uint64, llcHit, didCALM bool) {
+	tally(&i.d, llcHit, didCALM)
+}
+
+func (i *ideal) Decisions() Decisions { return i.d }
+func (i *ideal) Reset()               { i.d = Decisions{} }
+
+func tally(d *Decisions, llcHit, didCALM bool) {
+	d.L2Misses++
+	if !llcHit {
+		d.LLCMisses++
+	}
+	switch {
+	case didCALM && llcHit:
+		d.CALMed++
+		d.FalsePos++
+	case didCALM && !llcHit:
+		d.CALMed++
+		d.TruePos++
+	case !didCALM && llcHit:
+		d.TrueNeg++
+	default:
+		d.FalseNeg++
+	}
+}

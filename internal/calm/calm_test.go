@@ -1,0 +1,225 @@
+package calm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Off: "serial", Regulated: "calm-r", MAPI: "map-i", Ideal: "ideal", Kind(99): "invalid"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestDefault(t *testing.T) {
+	d := Default()
+	if d.Kind != Regulated || d.R != 0.70 {
+		t.Errorf("default = %+v, want CALM_70%%", d)
+	}
+}
+
+func TestOffNeverCALMs(t *testing.T) {
+	p := New(Config{Kind: Off}, 12, 38.4)
+	for i := 0; i < 100; i++ {
+		if p.Decide(i%12, uint64(i), int64(i), func() bool { return i%2 == 0 }) {
+			t.Fatal("Off policy decided to CALM")
+		}
+		p.Observe(i%12, uint64(i), i%2 == 0, false)
+	}
+	d := p.Decisions()
+	if d.CALMed != 0 || d.L2Misses != 100 || d.FalseNeg != 50 || d.TrueNeg != 50 {
+		t.Errorf("tally: %+v", d)
+	}
+}
+
+func TestIdealMatchesOracle(t *testing.T) {
+	p := New(Config{Kind: Ideal}, 12, 38.4)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		hit := rng.Float64() < 0.3
+		did := p.Decide(0, uint64(i), int64(i), func() bool { return hit })
+		if did == hit {
+			t.Fatalf("ideal decided CALM=%v for hit=%v", did, hit)
+		}
+		p.Observe(0, uint64(i), hit, did)
+	}
+	d := p.Decisions()
+	if d.FalsePos != 0 || d.FalseNeg != 0 {
+		t.Errorf("oracle produced errors: %+v", d)
+	}
+}
+
+func TestMAPILearnsPerPC(t *testing.T) {
+	p := New(Config{Kind: MAPI}, 2, 38.4)
+	const hitPC, missPC = 0x100, 0x2000
+	// Train: hitPC always hits, missPC always misses.
+	for i := 0; i < 32; i++ {
+		d1 := p.Decide(0, hitPC, int64(i), nil)
+		p.Observe(0, hitPC, true, d1)
+		d2 := p.Decide(0, missPC, int64(i), nil)
+		p.Observe(0, missPC, false, d2)
+	}
+	if p.Decide(0, hitPC, 100, nil) {
+		t.Error("MAP-I still predicts miss for always-hit PC")
+	}
+	if !p.Decide(0, missPC, 100, nil) {
+		t.Error("MAP-I predicts hit for always-miss PC")
+	}
+	// Per-core isolation: core 1's table is untrained (init = weak miss).
+	if !p.Decide(1, hitPC, 100, nil) {
+		t.Error("core 1 table should still hold the initial miss bias")
+	}
+}
+
+func TestRegulatedThrottlesAtHighUtilization(t *testing.T) {
+	// peak 38.4 GB/s = 16 bytes/cycle. Feed an epoch where LLC-missing
+	// traffic alone exceeds R: policy must stop CALMing.
+	p := newRegulated(0.70, 1000, 38.4)
+	// Epoch 1: 1000 cycles, 500 L2 misses all LLC misses = 32 KB over
+	// 1000 cycles = 32 B/cycle = 200% of peak -> utilFiltered >> R.
+	for i := 0; i < 500; i++ {
+		p.Observe(0, 0, false, false)
+	}
+	p.rollEpoch(1000)
+	calmed := 0
+	for i := 0; i < 200; i++ {
+		if p.Decide(0, 0, 1000+int64(i), nil) {
+			calmed++
+		}
+	}
+	if calmed != 0 {
+		t.Errorf("CALMed %d times above the R threshold", calmed)
+	}
+}
+
+func TestRegulatedCALMsWhenIdle(t *testing.T) {
+	p := newRegulated(0.70, 1000, 38.4)
+	// Epoch with tiny filtered demand: 10 LLC misses in 10000 cycles.
+	for i := 0; i < 10; i++ {
+		p.Observe(0, 0, false, false)
+	}
+	p.rollEpoch(10_000)
+	calmed := 0
+	for i := 0; i < 200; i++ {
+		if p.Decide(0, 0, 10_000+int64(i), nil) {
+			calmed++
+		}
+	}
+	if calmed < 190 {
+		t.Errorf("only %d/200 CALMed at near-zero utilization", calmed)
+	}
+}
+
+func TestRegulatedProbabilityBand(t *testing.T) {
+	// utilFiltered = 0.35, utilUnfiltered = 0.70 -> p = (0.7-0.35)/0.7 = 0.5.
+	p := newRegulated(0.70, 1000, 38.4)
+	// 16 B/cycle peak; epoch 1000 cycles; filtered 0.35 => 5600 B =
+	// 87.5 lines; unfiltered 0.7 => 175 lines.
+	for i := 0; i < 175; i++ {
+		p.Observe(0, 0, i >= 87, false) // first 87 miss LLC (llcHit=false)... inverted below
+	}
+	// Recount precisely: we want 87 LLC misses of 175 L2 misses.
+	p.l2Misses, p.llcMisses = 175, 87
+	p.rollEpoch(1000)
+	// Keep the estimate alive across epochs by observing the same demand
+	// mix while deciding.
+	calmed := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		now := 1000 + int64(i)
+		if p.Decide(0, 0, now, nil) {
+			calmed++
+		}
+		// ~0.175 L2 misses/cycle with ~50% LLC miss ratio.
+		if i%6 == 0 {
+			p.Observe(0, 0, i%12 != 0, false)
+		}
+	}
+	frac := float64(calmed) / n
+	if frac < 0.35 || frac > 0.68 {
+		t.Errorf("CALM probability %.2f, want ~0.5", frac)
+	}
+}
+
+func TestTallyInvariants(t *testing.T) {
+	f := func(events []bool) bool {
+		var d Decisions
+		rng := rand.New(rand.NewSource(7))
+		for _, hit := range events {
+			tally(&d, hit, rng.Intn(2) == 0)
+		}
+		return d.L2Misses == uint64(len(events)) &&
+			d.CALMed == d.TruePos+d.FalsePos &&
+			d.L2Misses == d.TruePos+d.FalsePos+d.TrueNeg+d.FalseNeg &&
+			d.LLCMisses == d.TruePos+d.FalseNeg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRates(t *testing.T) {
+	d := Decisions{LLCMisses: 100, FalsePos: 4, FalseNeg: 11}
+	if d.FPRate() != 0.04 || d.FNRate() != 0.11 {
+		t.Errorf("rates: %v %v", d.FPRate(), d.FNRate())
+	}
+	var empty Decisions
+	if empty.FPRate() != 0 || empty.FNRate() != 0 {
+		t.Error("empty rates must be 0")
+	}
+}
+
+func TestResetKeepsLearnedState(t *testing.T) {
+	p := New(Config{Kind: MAPI}, 1, 38.4)
+	for i := 0; i < 16; i++ {
+		p.Observe(0, 0x42, true, false) // train toward hit
+	}
+	p.Reset()
+	if p.Decisions().L2Misses != 0 {
+		t.Error("tallies survived reset")
+	}
+	if p.Decide(0, 0x42, 0, nil) {
+		t.Error("predictor training lost across reset")
+	}
+}
+
+func TestNewDefaultsByKind(t *testing.T) {
+	if _, ok := New(Config{Kind: Regulated}, 1, 38.4).(*regulated); !ok {
+		t.Error("Regulated constructor")
+	}
+	if _, ok := New(Config{Kind: Off}, 1, 38.4).(*off); !ok {
+		t.Error("Off constructor")
+	}
+	if _, ok := New(Config{Kind: Ideal}, 1, 38.4).(*ideal); !ok {
+		t.Error("Ideal constructor")
+	}
+	if _, ok := New(Config{Kind: MAPI}, 1, 38.4).(*mapi); !ok {
+		t.Error("MAPI constructor")
+	}
+	if _, ok := New(Config{Kind: Kind(42)}, 1, 38.4).(*off); !ok {
+		t.Error("unknown kind must fall back to Off")
+	}
+}
+
+func TestRegulatedDeterministic(t *testing.T) {
+	mk := func() []bool {
+		p := newRegulated(0.7, 100, 38.4)
+		p.l2Misses, p.llcMisses = 40, 20
+		p.rollEpoch(100)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, p.Decide(0, 0, 100+int64(i), nil))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("regulated decisions not deterministic")
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package capacity implements the paper's §IV-E analysis: COAXIAL's
+// memory capacity and cost benefits. Servers optimized for capacity run
+// two DIMMs per channel (2DPC), paying ~15% of channel bandwidth, and
+// climb a superlinear DIMM price curve (128 GB and 256 GB DIMMs cost ~5x
+// and ~20x a 64 GB DIMM). By multiplying DDR channels behind CXL, COAXIAL
+// reaches the same capacity at 1DPC with low-density (cheap) DIMMs.
+package capacity
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DIMM describes one module option.
+type DIMM struct {
+	GB int
+	// RelCost is the price relative to the 64 GB module.
+	RelCost float64
+}
+
+// Catalog returns the DIMM options with the paper's relative cost curve
+// (§IV-E: 128/256 GB cost 5x/20x the 64 GB module), extended downward with
+// near-linear pricing for commodity densities.
+func Catalog() []DIMM {
+	return []DIMM{
+		{GB: 16, RelCost: 0.22},
+		{GB: 32, RelCost: 0.45},
+		{GB: 64, RelCost: 1.0},
+		{GB: 128, RelCost: 5.0},
+		{GB: 256, RelCost: 20.0},
+	}
+}
+
+// TwoDPCBandwidthPenalty is the fraction of channel bandwidth lost when
+// running two DIMMs per channel (§IV-E: ~15%).
+const TwoDPCBandwidthPenalty = 0.15
+
+// Plan is one way to provision a capacity target.
+type Plan struct {
+	Channels     int
+	DIMMsPerChan int // 1 or 2
+	DIMM         DIMM
+	// TotalGB is the provisioned capacity.
+	TotalGB int
+	// RelCost is the total DIMM cost in 64 GB-module units.
+	RelCost float64
+	// RelBandwidth is the deliverable DRAM bandwidth relative to one
+	// full-rate channel (accounts for the 2DPC penalty).
+	RelBandwidth float64
+}
+
+// options enumerates plans for a channel count that meet the capacity.
+func options(channels, targetGB int) []Plan {
+	var out []Plan
+	for _, d := range Catalog() {
+		for _, dpc := range []int{1, 2} {
+			total := channels * dpc * d.GB
+			if total < targetGB {
+				continue
+			}
+			bw := float64(channels)
+			if dpc == 2 {
+				bw *= 1 - TwoDPCBandwidthPenalty
+			}
+			out = append(out, Plan{
+				Channels:     channels,
+				DIMMsPerChan: dpc,
+				DIMM:         d,
+				TotalGB:      total,
+				RelCost:      float64(channels*dpc) * d.RelCost,
+				RelBandwidth: bw,
+			})
+		}
+	}
+	return out
+}
+
+// Cheapest returns the lowest-cost plan meeting targetGB on the given
+// channel count, breaking ties toward higher bandwidth then lower
+// overprovisioning.
+func Cheapest(channels, targetGB int) (Plan, error) {
+	opts := options(channels, targetGB)
+	if len(opts) == 0 {
+		return Plan{}, fmt.Errorf("capacity: %d GB unreachable with %d channels", targetGB, channels)
+	}
+	sort.Slice(opts, func(i, j int) bool {
+		if opts[i].RelCost != opts[j].RelCost {
+			return opts[i].RelCost < opts[j].RelCost
+		}
+		if opts[i].RelBandwidth != opts[j].RelBandwidth {
+			return opts[i].RelBandwidth > opts[j].RelBandwidth
+		}
+		return opts[i].TotalGB < opts[j].TotalGB
+	})
+	return opts[0], nil
+}
+
+// Comparison contrasts the baseline (12 DDR channels) against COAXIAL-4x
+// (48 channels) at one capacity target.
+type Comparison struct {
+	TargetGB     int
+	Baseline     Plan
+	Coaxial      Plan
+	CostSaving   float64 // 1 - coax/base cost
+	BWAdvantage  float64 // coax/base deliverable bandwidth
+	BaselineDesc string
+	CoaxialDesc  string
+}
+
+// Compare evaluates a capacity target on both systems.
+func Compare(targetGB int) (Comparison, error) {
+	base, err := Cheapest(12, targetGB)
+	if err != nil {
+		return Comparison{}, err
+	}
+	coax, err := Cheapest(48, targetGB)
+	if err != nil {
+		return Comparison{}, err
+	}
+	c := Comparison{
+		TargetGB: targetGB,
+		Baseline: base,
+		Coaxial:  coax,
+	}
+	if base.RelCost > 0 {
+		c.CostSaving = 1 - coax.RelCost/base.RelCost
+	}
+	if base.RelBandwidth > 0 {
+		c.BWAdvantage = coax.RelBandwidth / base.RelBandwidth
+	}
+	c.BaselineDesc = desc(base)
+	c.CoaxialDesc = desc(coax)
+	return c, nil
+}
+
+func desc(p Plan) string {
+	return fmt.Sprintf("%dch x %dDPC x %dGB = %dGB (cost %.1f, bw %.1f)",
+		p.Channels, p.DIMMsPerChan, p.DIMM.GB, p.TotalGB, p.RelCost, p.RelBandwidth)
+}
+
+// SweepTargets returns the capacity points used by the capacity report
+// (up to the baseline's 2DPC x 256 GB x 12-channel ceiling of 6 TB).
+func SweepTargets() []int { return []int{768, 1536, 3072, 6144} }

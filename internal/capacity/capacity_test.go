@@ -1,0 +1,110 @@
+package capacity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogCostCurve(t *testing.T) {
+	cat := Catalog()
+	byGB := map[int]float64{}
+	for _, d := range cat {
+		byGB[d.GB] = d.RelCost
+	}
+	if byGB[64] != 1.0 {
+		t.Fatalf("64 GB module is the cost unit, got %v", byGB[64])
+	}
+	// Paper: 128/256 GB cost 5x/20x a 64 GB module.
+	if byGB[128] != 5.0 || byGB[256] != 20.0 {
+		t.Errorf("high-density premium: 128->%v 256->%v", byGB[128], byGB[256])
+	}
+	// Superlinear above 64 GB: cost per GB strictly increases.
+	if byGB[128]/128 <= byGB[64]/64 || byGB[256]/256 <= byGB[128]/128 {
+		t.Error("cost per GB must grow superlinearly at high density")
+	}
+}
+
+func TestCheapestMeetsTarget(t *testing.T) {
+	f := func(raw uint16) bool {
+		target := int(raw%8192) + 64
+		p, err := Cheapest(12, target)
+		if err != nil {
+			// Unreachable targets only beyond max capacity.
+			return target > 12*2*256
+		}
+		return p.TotalGB >= target && p.RelCost > 0 && p.RelBandwidth > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheapestUnreachable(t *testing.T) {
+	if _, err := Cheapest(12, 1<<20); err == nil {
+		t.Error("impossible capacity accepted")
+	}
+}
+
+func TestTwoDPCPenaltyApplied(t *testing.T) {
+	// Force a 2DPC plan: 12 channels, 6144 GB needs 2DPC x 256 GB.
+	p, err := Cheapest(12, 6144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DIMMsPerChan != 2 {
+		t.Fatalf("expected 2DPC plan for max capacity, got %+v", p)
+	}
+	want := 12 * (1 - TwoDPCBandwidthPenalty)
+	if p.RelBandwidth != want {
+		t.Errorf("2DPC bandwidth %v, want %v", p.RelBandwidth, want)
+	}
+}
+
+func TestCoaxialCheaperAtHighCapacity(t *testing.T) {
+	// §IV-E's claim: at capacity targets that force the baseline onto
+	// high-density DIMMs, COAXIAL's channel abundance reaches the same
+	// capacity with cheap modules.
+	for _, target := range []int{1536, 3072, 6144} {
+		c, err := Compare(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Coaxial.RelCost >= c.Baseline.RelCost {
+			t.Errorf("%d GB: COAXIAL cost %.1f not below baseline %.1f",
+				target, c.Coaxial.RelCost, c.Baseline.RelCost)
+		}
+		if c.BWAdvantage < 2 {
+			t.Errorf("%d GB: bandwidth advantage %.1fx, expected >= 2x", target, c.BWAdvantage)
+		}
+		if c.CostSaving <= 0 {
+			t.Errorf("%d GB: no cost saving (%.2f)", target, c.CostSaving)
+		}
+	}
+}
+
+func TestCompareLowCapacity(t *testing.T) {
+	// At small targets both use cheap DIMMs; COAXIAL may overprovision
+	// channels but must still meet capacity.
+	c, err := Compare(768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Baseline.TotalGB < 768 || c.Coaxial.TotalGB < 768 {
+		t.Errorf("capacity not met: %+v", c)
+	}
+	if c.BaselineDesc == "" || c.CoaxialDesc == "" {
+		t.Error("descriptions empty")
+	}
+}
+
+func TestSweepTargets(t *testing.T) {
+	ts := SweepTargets()
+	if len(ts) < 3 {
+		t.Fatal("sweep too small")
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Error("sweep not increasing")
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package clock provides time-base conversions for the COAXIAL simulator.
+//
+// The simulated CPU runs at 2.4 GHz and DDR5-4800's command clock is also
+// 2.4 GHz (4800 MT/s with two transfers per clock), so the whole simulator
+// conveniently runs on a single cycle domain: one cycle = 1/2.4 ns.
+package clock
+
+// FreqGHz is the frequency of the unified simulation clock domain.
+const FreqGHz = 2.4
+
+// CyclePS is the duration of one simulation cycle in picoseconds.
+const CyclePS = 1e3 / FreqGHz // 416.67 ps
+
+// Cycles converts a duration in nanoseconds to a whole number of cycles,
+// rounding to nearest. Latency parameters quoted in ns by the paper (CXL
+// port latency, serialization delays) are converted with this.
+func Cycles(ns float64) int64 {
+	c := int64(ns*FreqGHz + 0.5)
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// NS converts a cycle count back to nanoseconds.
+func NS(cycles int64) float64 {
+	return float64(cycles) / FreqGHz
+}
+
+// BytesPerCycle converts a bandwidth in GB/s into bytes transferred per
+// simulation cycle. 1 GB/s = 1e9 bytes/s; one cycle = 1/(2.4e9) s.
+func BytesPerCycle(gbps float64) float64 {
+	return gbps / FreqGHz
+}
+
+// SerializationCycles returns the number of cycles a message of size bytes
+// occupies a link of the given goodput (GB/s), rounded up to at least 1.
+func SerializationCycles(bytes int, gbps float64) int64 {
+	if gbps <= 0 {
+		return 1
+	}
+	c := int64(float64(bytes)/BytesPerCycle(gbps) + 0.9999)
+	if c < 1 {
+		return 1
+	}
+	return c
+}

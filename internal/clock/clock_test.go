@@ -1,0 +1,75 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCycles(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want int64
+	}{
+		{0, 0},
+		{12.5, 30},
+		{2.5, 6},
+		{50, 120},
+		{0.41667, 1},
+		{-5, 0},
+	}
+	for _, c := range cases {
+		if got := Cycles(c.ns); got != c.want {
+			t.Errorf("Cycles(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestNSRoundTrip(t *testing.T) {
+	f := func(c uint16) bool {
+		cy := int64(c)
+		back := Cycles(NS(cy))
+		return back == cy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesPerCycle(t *testing.T) {
+	// 38.4 GB/s over a 2.4 GHz clock = 16 bytes per cycle.
+	if got := BytesPerCycle(38.4); math.Abs(got-16) > 1e-9 {
+		t.Errorf("BytesPerCycle(38.4) = %v, want 16", got)
+	}
+}
+
+func TestSerializationCycles(t *testing.T) {
+	// 64B at 26 GB/s ~ 2.46 ns ~ 6 cycles (paper: 2.5 ns).
+	if got := SerializationCycles(64, 26); got != 6 {
+		t.Errorf("64B @ 26GB/s = %d cycles, want 6", got)
+	}
+	// 64B at 13 GB/s ~ 4.9 ns ~ 12 cycles (paper quotes 5.5 ns).
+	if got := SerializationCycles(64, 13); got < 12 || got > 14 {
+		t.Errorf("64B @ 13GB/s = %d cycles, want 12-14", got)
+	}
+	// Degenerate inputs floor at one cycle.
+	if got := SerializationCycles(1, 1000); got != 1 {
+		t.Errorf("tiny message = %d cycles, want 1", got)
+	}
+	if got := SerializationCycles(64, 0); got != 1 {
+		t.Errorf("zero goodput = %d cycles, want 1 (guard)", got)
+	}
+}
+
+func TestSerializationMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a)+1, int(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		return SerializationCycles(x, 10) <= SerializationCycles(y, 10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

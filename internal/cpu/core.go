@@ -1,0 +1,402 @@
+// Package cpu implements the simplified out-of-order core model: a
+// reorder-buffer-windowed, 4-wide fetch/retire engine whose memory-level
+// parallelism is bounded by MSHRs and by explicit load-load dependencies in
+// the instruction stream (pointer chases). It reproduces the IPC-limiting
+// behaviour of the paper's ChampSim cores (4-wide, 256-entry ROB) without
+// modelling individual functional units.
+package cpu
+
+import (
+	"math"
+
+	"coaxial/internal/memreq"
+	"coaxial/internal/trace"
+)
+
+// PathResult is the hierarchy's answer to one first-touch memory access.
+type PathResult struct {
+	// When is the completion cycle when Async is false.
+	When int64
+	// Async means the access went to memory; completion arrives through
+	// Core.ResolveMiss.
+	Async bool
+}
+
+// Hierarchy is implemented by the system model (internal/sim): it performs
+// the cache/NoC/memory path for a first access to a line and either
+// returns a synchronous completion time (a cache hit at some level) or
+// registers an in-flight memory access.
+type Hierarchy interface {
+	Access(core int, addr, pc uint64, store bool, now int64) PathResult
+}
+
+const (
+	robSize = 256
+	width   = 4
+)
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	doneAt int64
+	ready  bool // completion time known
+}
+
+// missEntry tracks one in-flight memory line (an MSHR).
+type missEntry struct {
+	waiters []uint64 // ROB sequence numbers of loads waiting on the fill
+	dirty   bool     // a store merged into this miss: fill dirty (RFO)
+}
+
+// deferred is a dependent load whose issue waits on a producer load.
+type deferred struct {
+	seq      uint64
+	producer uint64
+	addr     uint64
+	pc       uint64
+	store    bool
+}
+
+// Stats counts core activity over the measurement window.
+type Stats struct {
+	Retired uint64
+	Loads   uint64
+	Stores  uint64
+	// StallMSHR counts dispatch stalls due to MSHR exhaustion.
+	StallMSHR uint64
+}
+
+// Core is one simulated out-of-order core.
+type Core struct {
+	ID int
+
+	gen   trace.Generator
+	hier  Hierarchy
+	mshrs int
+
+	// Dispatch-rate cap (token bucket): tokens accrue at ipcCap per cycle
+	// and each dispatched instruction consumes one, modelling the
+	// workload's inherent ILP limit.
+	ipcCap float64
+	tokens float64
+
+	rob          [robSize]robEntry
+	headSeq      uint64 // oldest un-retired sequence number
+	tailSeq      uint64 // next sequence number to allocate
+	lastLoadSeq  uint64 // most recent load, for dependency chaining
+	haveLastLoad bool
+	// Pointer chases serialize on the previous *dependent* load, forming
+	// a[i] -> a[a[i]] chains rather than chaining to (usually L1-hit)
+	// unrelated recent loads.
+	lastDepSeq uint64
+	haveDep    bool
+
+	pending map[uint64]*missEntry // line address -> MSHR
+	defq    []deferred
+
+	// One fetched-but-undispatched instruction (held across stalls).
+	held    trace.Instr
+	hasHeld bool
+
+	stats Stats
+
+	// Measurement bookkeeping.
+	target          uint64 // retired-instruction target for this phase
+	FinishCycle     int64  // cycle the target was reached (-1 while running)
+	retiredAtFinish uint64 // snapshot of Retired at FinishCycle
+	measureStart    int64
+}
+
+// New builds a core. mshrs bounds outstanding memory-line misses; ipcCap
+// bounds the average dispatch rate (<= 0 means the full machine width).
+func New(id int, gen trace.Generator, hier Hierarchy, mshrs int, ipcCap float64) *Core {
+	if mshrs < 1 {
+		mshrs = 16
+	}
+	if ipcCap <= 0 || ipcCap > width {
+		ipcCap = width
+	}
+	return &Core{
+		ID:          id,
+		gen:         gen,
+		hier:        hier,
+		mshrs:       mshrs,
+		ipcCap:      ipcCap,
+		pending:     make(map[uint64]*missEntry, mshrs*2),
+		FinishCycle: -1,
+	}
+}
+
+// SetTarget arms the retirement target; FinishCycle records when the
+// core's retired count (since the last ResetStats) reaches it.
+func (c *Core) SetTarget(instr uint64) {
+	c.target = instr
+	c.FinishCycle = -1
+}
+
+// Done reports whether the retirement target has been reached.
+func (c *Core) Done() bool { return c.FinishCycle >= 0 }
+
+// Stats returns the activity counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ResetStats zeroes counters at the warmup/measure boundary.
+func (c *Core) ResetStats(now int64) {
+	c.stats = Stats{}
+	c.measureStart = now
+	c.FinishCycle = -1
+}
+
+// IPC returns retired instructions per cycle since the last reset. Once
+// the retirement target has been reached, the rate freezes at that point:
+// the core keeps executing (to sustain memory pressure for slower cores)
+// but the extra retirement must not inflate its measured IPC.
+func (c *Core) IPC(now int64) float64 {
+	end, retired := now, c.stats.Retired
+	if c.FinishCycle >= 0 {
+		end, retired = c.FinishCycle, c.retiredAtFinish
+	}
+	span := end - c.measureStart
+	if span <= 0 {
+		return 0
+	}
+	return float64(retired) / float64(span)
+}
+
+// robAt returns the entry for a sequence number.
+func (c *Core) robAt(seq uint64) *robEntry { return &c.rob[seq%robSize] }
+
+// producerDone reports whether the producer load of a dependency has
+// completed by cycle now. A retired producer has necessarily completed.
+func (c *Core) producerDone(producer uint64, now int64) bool {
+	if producer < c.headSeq {
+		return true
+	}
+	e := c.robAt(producer)
+	return e.ready && e.doneAt <= now
+}
+
+// Tick advances the core one cycle: resolve deferred issues, retire, and
+// dispatch.
+func (c *Core) Tick(now int64) {
+	c.issueDeferred(now)
+	c.retire(now)
+	c.dispatch(now)
+}
+
+func (c *Core) issueDeferred(now int64) {
+	// Issue in order; stop at the first MSHR stall to preserve the chain.
+	n := 0
+	for _, d := range c.defq {
+		if !c.producerDone(d.producer, now) {
+			c.defq[n] = d
+			n++
+			continue
+		}
+		if !c.tryIssueMem(d.seq, d.addr, d.pc, d.store, now) {
+			c.stats.StallMSHR++
+			c.defq[n] = d
+			n++
+			continue
+		}
+	}
+	c.defq = c.defq[:n]
+}
+
+func (c *Core) retire(now int64) {
+	for i := 0; i < width && c.headSeq < c.tailSeq; i++ {
+		e := c.robAt(c.headSeq)
+		if !e.ready || e.doneAt > now {
+			return
+		}
+		c.headSeq++
+		c.stats.Retired++
+		if c.FinishCycle < 0 && c.target > 0 && c.stats.Retired >= c.target {
+			c.FinishCycle = now
+			c.retiredAtFinish = c.stats.Retired
+		}
+	}
+}
+
+func (c *Core) dispatch(now int64) {
+	c.tokens += c.ipcCap
+	if c.tokens > width { // bucket depth: at most one full-width burst
+		c.tokens = width
+	}
+	for i := 0; i < width; i++ {
+		if c.tokens < 1 {
+			return // ILP limit this cycle
+		}
+		if c.tailSeq-c.headSeq >= robSize {
+			return // ROB full
+		}
+		if !c.hasHeld {
+			c.gen.Next(&c.held)
+			c.hasHeld = true
+		}
+		ins := &c.held
+
+		if !ins.IsMem {
+			seq := c.alloc()
+			e := c.robAt(seq)
+			lat := int64(ins.ExecLat)
+			if lat < 1 {
+				lat = 1
+			}
+			e.ready = true
+			e.doneAt = now + lat
+			c.tokens--
+			c.hasHeld = false
+			continue
+		}
+
+		// Memory instruction.
+		line := memreq.LineAddr(ins.Addr)
+		producer, haveProducer := c.lastDepSeq, c.haveDep
+		if !haveProducer {
+			producer, haveProducer = c.lastLoadSeq, c.haveLastLoad
+		}
+		if ins.Dependent && haveProducer && !c.producerDone(producer, now) {
+			// Allocate the ROB slot; defer the access until the producer
+			// completes.
+			seq := c.alloc()
+			e := c.robAt(seq)
+			if ins.IsStore {
+				// Stores retire through the store buffer regardless.
+				e.ready = true
+				e.doneAt = now + 1
+				c.stats.Stores++
+			} else {
+				e.ready = false
+				e.doneAt = math.MaxInt64
+				c.stats.Loads++
+			}
+			c.defq = append(c.defq, deferred{
+				seq: seq, producer: producer,
+				addr: ins.Addr, pc: ins.PC, store: ins.IsStore,
+			})
+			if !ins.IsStore {
+				c.lastLoadSeq = seq
+				c.haveLastLoad = true
+				c.lastDepSeq = seq
+				c.haveDep = true
+			}
+			c.tokens--
+			c.hasHeld = false
+			continue
+		}
+
+		// Check the MSHR budget before committing to the access; merges
+		// into an in-flight line are always allowed.
+		if _, merging := c.pending[line]; !merging && len(c.pending) >= c.mshrs {
+			c.stats.StallMSHR++
+			return // structural stall: retry next cycle
+		}
+
+		seq := c.alloc()
+		if ins.IsStore {
+			c.stats.Stores++
+			e := c.robAt(seq)
+			e.ready = true
+			e.doneAt = now + 1
+		} else {
+			c.stats.Loads++
+			c.lastLoadSeq = seq
+			c.haveLastLoad = true
+			if ins.Dependent {
+				c.lastDepSeq = seq
+				c.haveDep = true
+			}
+		}
+		c.startMem(seq, ins.Addr, ins.PC, ins.IsStore, now)
+		c.tokens--
+		c.hasHeld = false
+	}
+}
+
+// alloc reserves the next ROB slot.
+func (c *Core) alloc() uint64 {
+	seq := c.tailSeq
+	c.tailSeq++
+	*c.robAt(seq) = robEntry{}
+	return seq
+}
+
+// startMem performs the access for a memory instruction whose MSHR check
+// has passed. Store ROB entries are completed at their dispatch site
+// (store-buffer semantics); startMem never touches them, since a deferred
+// store may issue after its ROB slot has been retired and recycled.
+func (c *Core) startMem(seq uint64, addr, pc uint64, store bool, now int64) {
+	line := memreq.LineAddr(addr)
+
+	if m, ok := c.pending[line]; ok {
+		// Merge into the in-flight miss.
+		if store {
+			m.dirty = true
+		} else {
+			e := c.robAt(seq)
+			e.ready = false
+			e.doneAt = math.MaxInt64
+			m.waiters = append(m.waiters, seq)
+		}
+		return
+	}
+
+	res := c.hier.Access(c.ID, addr, pc, store, now)
+	if !res.Async {
+		if !store {
+			e := c.robAt(seq)
+			e.ready = true
+			e.doneAt = res.When
+		}
+		return
+	}
+
+	m := &missEntry{dirty: store}
+	if !store {
+		e := c.robAt(seq)
+		e.ready = false
+		e.doneAt = math.MaxInt64
+		m.waiters = append(m.waiters, seq)
+	}
+	c.pending[line] = m
+}
+
+// tryIssueMem issues a deferred access, honoring the MSHR budget. It
+// returns false on a structural stall.
+func (c *Core) tryIssueMem(seq uint64, addr, pc uint64, store bool, now int64) bool {
+	line := memreq.LineAddr(addr)
+	if _, merging := c.pending[line]; !merging && len(c.pending) >= c.mshrs {
+		return false
+	}
+	c.startMem(seq, addr, pc, store, now)
+	return true
+}
+
+// ResolveMiss is called by the hierarchy when the fill for line completes;
+// `when` is the cycle data reaches the core. It returns whether the fill
+// must install dirty (a store merged into the miss) and releases the MSHR.
+func (c *Core) ResolveMiss(line uint64, when int64) (dirty bool) {
+	m, ok := c.pending[line]
+	if !ok {
+		return false
+	}
+	delete(c.pending, line)
+	for _, seq := range m.waiters {
+		if seq < c.headSeq {
+			continue // already retired (shouldn't happen; defensive)
+		}
+		e := c.robAt(seq)
+		e.ready = true
+		e.doneAt = when
+	}
+	return m.dirty
+}
+
+// OutstandingMisses reports the in-flight miss count (tests).
+func (c *Core) OutstandingMisses() int { return len(c.pending) }
+
+// MeasureStart returns the cycle of the last stats reset.
+func (c *Core) MeasureStart() int64 { return c.measureStart }
+
+// Gen exposes the instruction generator (for functional cache warmup).
+func (c *Core) Gen() trace.Generator { return c.gen }

@@ -1,0 +1,281 @@
+package cpu
+
+import (
+	"testing"
+
+	"coaxial/internal/memreq"
+	"coaxial/internal/trace"
+)
+
+// scriptGen replays a fixed instruction list, then pads with no-ops.
+type scriptGen struct {
+	instrs []trace.Instr
+	pos    int
+}
+
+func (g *scriptGen) Name() string { return "script" }
+func (g *scriptGen) Next(ins *trace.Instr) {
+	if g.pos < len(g.instrs) {
+		*ins = g.instrs[g.pos]
+		g.pos++
+		return
+	}
+	*ins = trace.Instr{ExecLat: 1}
+}
+
+// stubHier is a controllable memory hierarchy: every first-touch access is
+// async with a fixed latency, resolved by pump().
+type stubHier struct {
+	lat      int64
+	core     *Core
+	inflight map[uint64]int64 // line -> completion cycle
+	accesses []uint64
+	syncHit  bool // if set, respond synchronously at now+4 instead
+}
+
+func (h *stubHier) Access(core int, addr, pc uint64, store bool, now int64) PathResult {
+	line := memreq.LineAddr(addr)
+	h.accesses = append(h.accesses, line)
+	if h.syncHit {
+		return PathResult{When: now + 4}
+	}
+	h.inflight[line] = now + h.lat
+	return PathResult{Async: true}
+}
+
+// pump delivers due completions.
+func (h *stubHier) pump(now int64) {
+	for line, at := range h.inflight {
+		if at <= now {
+			delete(h.inflight, line)
+			h.core.ResolveMiss(line, at)
+		}
+	}
+}
+
+func newTestCore(instrs []trace.Instr, lat int64, mshrs int, cap float64) (*Core, *stubHier) {
+	h := &stubHier{lat: lat, inflight: map[uint64]int64{}}
+	c := New(0, &scriptGen{instrs: instrs}, h, mshrs, cap)
+	h.core = c
+	return c, h
+}
+
+// run advances the core by `cycles` from where the previous run left off.
+var runClock = map[*Core]int64{}
+
+func run(c *Core, h *stubHier, cycles int64) {
+	start := runClock[c]
+	for now := start + 1; now <= start+cycles; now++ {
+		h.pump(now)
+		c.Tick(now)
+	}
+	runClock[c] += cycles
+}
+
+func TestComputeOnlyIPC(t *testing.T) {
+	c, h := newTestCore(nil, 0, 16, 0) // all no-ops, full width
+	c.SetTarget(4000)
+	run(c, h, 1100)
+	if !c.Done() {
+		t.Fatalf("4000 no-ops not retired in 1100 cycles (retired %d)", c.Stats().Retired)
+	}
+	ipc := c.IPC(1100)
+	if ipc < 3.5 || ipc > 4.01 {
+		t.Errorf("compute IPC = %.2f, want ~4", ipc)
+	}
+}
+
+func TestIPCCapBinds(t *testing.T) {
+	c, h := newTestCore(nil, 0, 16, 0.5)
+	c.SetTarget(1000)
+	run(c, h, 2100)
+	if !c.Done() {
+		t.Fatalf("target not reached; retired %d", c.Stats().Retired)
+	}
+	ipc := float64(1000) / float64(c.FinishCycle)
+	if ipc > 0.55 || ipc < 0.40 {
+		t.Errorf("capped IPC = %.3f, want ~0.5", ipc)
+	}
+}
+
+func TestLoadBlocksRetirement(t *testing.T) {
+	instrs := []trace.Instr{
+		{IsMem: true, Addr: 0x1000, PC: 1, ExecLat: 1},
+	}
+	c, h := newTestCore(instrs, 200, 16, 0)
+	c.SetTarget(1)
+	run(c, h, 150)
+	if c.Done() {
+		t.Fatal("load retired before its data returned")
+	}
+	run(c, h, 100) // total 250 > 200
+	if !c.Done() {
+		t.Fatal("load never retired after completion")
+	}
+}
+
+func TestStoreRetiresImmediately(t *testing.T) {
+	instrs := []trace.Instr{
+		{IsMem: true, IsStore: true, Addr: 0x2000, PC: 1, ExecLat: 1},
+	}
+	c, h := newTestCore(instrs, 1_000_000, 16, 0) // memory "never" returns
+	c.SetTarget(1)
+	run(c, h, 10)
+	if !c.Done() {
+		t.Error("store must retire through the store buffer without waiting")
+	}
+	if len(h.accesses) != 1 {
+		t.Errorf("store RFO not issued: %d accesses", len(h.accesses))
+	}
+}
+
+func TestMSHRMergeSameLine(t *testing.T) {
+	instrs := []trace.Instr{
+		{IsMem: true, Addr: 0x3000, PC: 1, ExecLat: 1},
+		{IsMem: true, Addr: 0x3008, PC: 2, ExecLat: 1}, // same line
+		{IsMem: true, Addr: 0x3010, PC: 3, ExecLat: 1}, // same line
+	}
+	c, h := newTestCore(instrs, 100, 16, 0)
+	c.SetTarget(3)
+	run(c, h, 200)
+	if !c.Done() {
+		t.Fatal("merged loads never completed")
+	}
+	if len(h.accesses) != 1 {
+		t.Errorf("same-line loads issued %d hierarchy accesses, want 1", len(h.accesses))
+	}
+}
+
+func TestMSHRLimitStallsDispatch(t *testing.T) {
+	var instrs []trace.Instr
+	for i := 0; i < 32; i++ {
+		instrs = append(instrs, trace.Instr{IsMem: true, Addr: uint64(i) * 4096, PC: 1, ExecLat: 1})
+	}
+	c, h := newTestCore(instrs, 1000, 4, 0)
+	run(c, h, 100)
+	if got := c.OutstandingMisses(); got > 4 {
+		t.Errorf("outstanding misses %d exceed MSHR limit 4", got)
+	}
+	if c.Stats().StallMSHR == 0 {
+		t.Error("expected MSHR stalls")
+	}
+}
+
+func TestDependentLoadSerializes(t *testing.T) {
+	// Two dependent loads to distinct lines: the second may not issue
+	// until the first completes.
+	instrs := []trace.Instr{
+		{IsMem: true, Addr: 0x1000, PC: 1, Dependent: true, ExecLat: 1},
+		{IsMem: true, Addr: 0x2000, PC: 2, Dependent: true, ExecLat: 1},
+	}
+	c, h := newTestCore(instrs, 100, 16, 0)
+	c.SetTarget(2)
+	run(c, h, 90) // before the producer completes at ~101
+	if len(h.accesses) != 1 {
+		t.Fatalf("dependent load issued early: %d accesses by cycle 90", len(h.accesses))
+	}
+	run(c, h, 60) // past first completion at ~101
+	if len(h.accesses) != 2 {
+		t.Fatalf("dependent load never issued")
+	}
+	run(c, h, 100)
+	if !c.Done() {
+		t.Error("chain did not retire")
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	// N independent loads should complete in ~1 latency, not N.
+	var instrs []trace.Instr
+	for i := 0; i < 8; i++ {
+		instrs = append(instrs, trace.Instr{IsMem: true, Addr: uint64(i) * 4096, PC: 1, ExecLat: 1})
+	}
+	c, h := newTestCore(instrs, 100, 16, 0)
+	c.SetTarget(8)
+	run(c, h, 130)
+	if !c.Done() {
+		t.Errorf("8 independent loads (lat 100) not done by cycle 130; retired %d", c.Stats().Retired)
+	}
+}
+
+func TestROBCapacityLimitsWindow(t *testing.T) {
+	// One very slow load followed by compute: retirement blocks at the
+	// load, so at most robSize instructions dispatch.
+	instrs := []trace.Instr{{IsMem: true, Addr: 0x7000, PC: 1, ExecLat: 1}}
+	c, h := newTestCore(instrs, 1_000_000, 16, 0)
+	run(c, h, 2000)
+	if got := c.Stats().Retired; got != 0 {
+		t.Errorf("retired %d past a blocked head", got)
+	}
+	// tail-head <= robSize by construction; verify dispatch stopped.
+	if c.tailSeq-c.headSeq > robSize {
+		t.Errorf("ROB overfilled: %d", c.tailSeq-c.headSeq)
+	}
+	if c.tailSeq-c.headSeq < robSize {
+		t.Errorf("ROB should be full while blocked, has %d", c.tailSeq-c.headSeq)
+	}
+}
+
+func TestSyncHitFastPath(t *testing.T) {
+	instrs := []trace.Instr{{IsMem: true, Addr: 0x100, PC: 1, ExecLat: 1}}
+	c, h := newTestCore(instrs, 0, 16, 0)
+	h.syncHit = true
+	c.SetTarget(1)
+	run(c, h, 10)
+	if !c.Done() {
+		t.Error("sync hit did not retire quickly")
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	instrs := []trace.Instr{
+		{IsMem: true, Addr: 0x1, PC: 1, ExecLat: 1},
+		{IsMem: true, IsStore: true, Addr: 0x4000, PC: 2, ExecLat: 1},
+		{ExecLat: 1},
+	}
+	c, h := newTestCore(instrs, 10, 16, 0)
+	c.SetTarget(3)
+	run(c, h, 100)
+	st := c.Stats()
+	if st.Loads != 1 || st.Stores != 1 {
+		t.Errorf("loads/stores = %d/%d", st.Loads, st.Stores)
+	}
+	c.ResetStats(100)
+	if c.Stats().Retired != 0 || c.MeasureStart() != 100 {
+		t.Error("reset incomplete")
+	}
+	if c.IPC(100) != 0 {
+		t.Error("IPC with empty window must be 0")
+	}
+}
+
+func TestResolveUnknownLineHarmless(t *testing.T) {
+	c, _ := newTestCore(nil, 10, 16, 0)
+	if dirty := c.ResolveMiss(0xDEAD000, 5); dirty {
+		t.Error("unknown line resolve returned dirty")
+	}
+}
+
+func TestDependentStoreDoesNotCorruptROB(t *testing.T) {
+	// A dependent store defers its access but retires immediately; when
+	// the deferred access finally issues, it must not touch the (long
+	// recycled) ROB slot. Regression test for the slot-reuse hazard.
+	instrs := []trace.Instr{
+		{IsMem: true, Addr: 0x1000, PC: 1, Dependent: true, ExecLat: 1},
+		{IsMem: true, IsStore: true, Addr: 0x2000, PC: 2, Dependent: true, ExecLat: 1},
+	}
+	// Pad with compute so the ROB recycles the store's slot before the
+	// producer load completes.
+	for i := 0; i < 600; i++ {
+		instrs = append(instrs, trace.Instr{ExecLat: 1})
+	}
+	c, h := newTestCore(instrs, 400, 16, 0)
+	c.SetTarget(uint64(len(instrs)))
+	run(c, h, 3000)
+	if !c.Done() {
+		t.Fatalf("stream did not retire; retired=%d", c.Stats().Retired)
+	}
+	if len(h.accesses) != 2 {
+		t.Errorf("expected 2 accesses (load + deferred store RFO), got %d", len(h.accesses))
+	}
+}

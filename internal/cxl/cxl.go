@@ -1,0 +1,362 @@
+// Package cxl models a CXL.mem channel: the processor- and device-side CXL
+// port pipelines, the serial PCIe link with direction-dependent
+// serialization delays and occupancy (queuing), and the type-3 device whose
+// DDR controller(s) the requests terminate at.
+//
+// Latency model (paper §V): each of the four port traversals (CPU egress,
+// device ingress, device egress, CPU ingress) costs 12.5 ns of flit
+// packing, encoding/decoding and packet processing. The PCIe bus adds a
+// serialization delay set by direction, bus width, and goodput: a 64B line
+// is received (DRAM->CPU) in 2.5 ns on a symmetric x8 channel (26 GB/s
+// goodput) and transmitted (CPU->DRAM) in 5.5 ns (13 GB/s goodput). The
+// asymmetric 20RX/12TX variant receives in 2 ns (32 GB/s) and transmits in
+// 9 ns (10 GB/s). Unloaded read adder: 4 x 12.5 + 2.5 = 52.5 ns.
+package cxl
+
+import (
+	"coaxial/internal/clock"
+	"coaxial/internal/dram"
+	"coaxial/internal/memreq"
+)
+
+// LinkParams captures one CXL channel's interface timing and bandwidth.
+type LinkParams struct {
+	// Name identifies the configuration in reports.
+	Name string
+	// PortNS is the one-way latency of a single CXL port traversal in ns
+	// (12.5 by default; the 70 ns sensitivity study uses 17.5; an
+	// OMI-class 10 ns interface uses 2.5).
+	PortNS float64
+	// RXGoodputGBs is the DRAM->CPU goodput after header overheads.
+	RXGoodputGBs float64
+	// TXGoodputGBs is the CPU->DRAM goodput after header overheads.
+	TXGoodputGBs float64
+	// ReqHeaderBytes is the size of a read request message on the TX link.
+	ReqHeaderBytes int
+}
+
+// SymmetricX8 returns the default x8 CXL channel: 32 pins, 16 per
+// direction, 26/13 GB/s RX/TX goodput.
+func SymmetricX8() LinkParams {
+	return LinkParams{Name: "x8", PortNS: 12.5, RXGoodputGBs: 26, TXGoodputGBs: 13, ReqHeaderBytes: 8}
+}
+
+// AsymmetricX8 returns the CXL-asym channel (§IV-D): the same 32 pins
+// repurposed as 20 RX and 12 TX, for 32/10 GB/s RX/TX goodput.
+func AsymmetricX8() LinkParams {
+	return LinkParams{Name: "x8-asym", PortNS: 12.5, RXGoodputGBs: 32, TXGoodputGBs: 10, ReqHeaderBytes: 8}
+}
+
+// WithPortNS returns a copy with a different per-traversal port latency,
+// used by the latency sensitivity studies (50 ns premium = 12.5 ns/port,
+// 70 ns = 17.5, OMI-class 10 ns = 2.5).
+func (p LinkParams) WithPortNS(ns float64) LinkParams {
+	p.PortNS = ns
+	return p
+}
+
+// portCycles returns one port traversal in cycles.
+func (p LinkParams) portCycles() int64 { return clock.Cycles(p.PortNS) }
+
+// rxSerCycles returns the RX serialization of a 64B line.
+func (p LinkParams) rxSerCycles() int64 {
+	return clock.SerializationCycles(memreq.LineSize, p.RXGoodputGBs)
+}
+
+// txDataSerCycles returns the TX serialization of a 64B write.
+func (p LinkParams) txDataSerCycles() int64 {
+	return clock.SerializationCycles(memreq.LineSize, p.TXGoodputGBs)
+}
+
+// txReqSerCycles returns the TX serialization of a read request header.
+func (p LinkParams) txReqSerCycles() int64 {
+	return clock.SerializationCycles(p.ReqHeaderBytes, p.TXGoodputGBs)
+}
+
+// UnloadedReadAdderNS returns the minimum latency the channel adds to a
+// read, for documentation and tests (52.5 ns for the default symmetric x8).
+func (p LinkParams) UnloadedReadAdderNS() float64 {
+	return 4*p.PortNS + clock.NS(p.rxSerCycles())
+}
+
+// ChannelConfig describes one CXL channel and its type-3 device.
+type ChannelConfig struct {
+	Link LinkParams
+	// DDR configures each DDR channel on the type-3 device.
+	DDR dram.Config
+	// DDRChannels is the number of DDR channels behind this CXL channel
+	// (1 for symmetric x8; 2 for CXL-asym, §IV-D).
+	DDRChannels int
+	// IngressDepth bounds requests accepted but not yet handed to the
+	// device's DDR controllers (CXL controller message queues).
+	IngressDepth int
+}
+
+// DefaultChannelConfig returns a symmetric x8 channel with one DDR5-4800
+// channel on the device.
+func DefaultChannelConfig() ChannelConfig {
+	return ChannelConfig{
+		Link:         SymmetricX8(),
+		DDR:          dram.DefaultConfig(),
+		DDRChannels:  1,
+		IngressDepth: 64,
+	}
+}
+
+// Stats counts link-level activity.
+type Stats struct {
+	ReadsForwarded  uint64
+	WritesForwarded uint64
+	RespDelivered   uint64
+	// RetryCycles accumulates cycles requests spent waiting at the device
+	// for a DDR controller queue slot (backpressure).
+	RetryCycles uint64
+}
+
+// waiting is a request stalled at the device ingress on DDR backpressure.
+type waiting struct {
+	req   *memreq.Request
+	since int64
+}
+
+// Channel implements memreq.Backend for a CXL-attached memory channel.
+type Channel struct {
+	cfg                  ChannelConfig
+	port                 int64
+	rxSer, txData, txReq int64
+
+	ddr []*dram.Channel
+
+	// Link occupancy cursors.
+	txFree int64
+	rxFree int64
+
+	// ingress: requests accepted from the cache hierarchy, ordered by
+	// their on-chip arrival cycle, awaiting TX link allocation.
+	ingress memreq.TimedHeap
+	// deviceQ: requests in flight on the link, ordered by device arrival.
+	deviceQ memreq.TimedHeap
+	// stalled: requests at the device waiting for a DDR queue slot.
+	stalled []waiting
+	// responses: completed reads traversing back, ordered by CPU-side
+	// delivery cycle.
+	responses memreq.TimedHeap
+
+	// outstanding counts requests admitted but not yet accepted by a DDR
+	// controller (the CXL controller's message queue population).
+	outstanding int
+
+	stats Stats
+	now   int64
+}
+
+// NewChannel builds a CXL channel. systemSubChannels densifies the DDR
+// address decode as for direct channels.
+func NewChannel(cfg ChannelConfig, systemSubChannels int) *Channel {
+	if cfg.DDRChannels < 1 {
+		cfg.DDRChannels = 1
+	}
+	if cfg.IngressDepth < 1 {
+		cfg.IngressDepth = 64
+	}
+	c := &Channel{
+		cfg:    cfg,
+		port:   cfg.Link.portCycles(),
+		rxSer:  cfg.Link.rxSerCycles(),
+		txData: cfg.Link.txDataSerCycles(),
+		txReq:  cfg.Link.txReqSerCycles(),
+	}
+	for i := 0; i < cfg.DDRChannels; i++ {
+		c.ddr = append(c.ddr, dram.NewChannel(cfg.DDR, systemSubChannels))
+	}
+	return c
+}
+
+// Enqueue implements memreq.Backend: the request enters the CPU-side CXL
+// controller at cycle `at`.
+func (c *Channel) Enqueue(r *memreq.Request, at int64) bool {
+	if c.outstanding >= c.cfg.IngressDepth {
+		return false
+	}
+	if at < c.now {
+		at = c.now
+	}
+	c.outstanding++
+	// Interpose on the completion path: remember the requester's
+	// completer and route DRAM completions back through this channel.
+	r.Inner = r.Ret
+	r.Ret = c
+	c.ingress.Push(at, r)
+	return true
+}
+
+// Complete receives DRAM-side completions (read data ready on the device,
+// or write committed) and schedules the response path.
+func (c *Channel) Complete(r *memreq.Request, now int64) {
+	if r.Kind == memreq.Write {
+		// Write data was already transferred; no response modeled (CXL
+		// write completions are small NDR messages off the critical path).
+		if r.Inner != nil {
+			r.Inner.Complete(r, now)
+		}
+		return
+	}
+	// Response path: device egress port, RX serialization under link
+	// occupancy, CPU ingress port.
+	ready := now + c.port
+	start := ready
+	if c.rxFree > start {
+		start = c.rxFree
+	}
+	c.rxFree = start + c.rxSer
+	deliver := start + c.rxSer + c.port
+	r.CXLTime += deliver - now
+	c.responses.Push(deliver, r)
+}
+
+// Tick implements memreq.Backend.
+func (c *Channel) Tick(now int64) {
+	c.now = now
+
+	// Deliver due responses to the original requesters.
+	for {
+		r, ok := c.responses.PopDue(now)
+		if !ok {
+			break
+		}
+		c.stats.RespDelivered++
+		if r.Inner != nil {
+			r.Inner.Complete(r, now)
+		}
+	}
+
+	// Admit due ingress requests onto the TX link.
+	for {
+		r, ok := c.ingress.PopDue(now)
+		if !ok {
+			break
+		}
+		ser := c.txReq
+		if r.Kind == memreq.Write {
+			ser = c.txData
+		}
+		ready := now + c.port
+		start := ready
+		if c.txFree > start {
+			start = c.txFree
+		}
+		c.txFree = start + ser
+		arrive := start + ser + c.port
+		r.CXLTime += arrive - now
+		c.deviceQ.Push(arrive, r)
+	}
+
+	// Retry device-stalled requests first (FIFO) to preserve ordering.
+	for len(c.stalled) > 0 {
+		w := c.stalled[0]
+		if !c.ddrEnqueue(w.req, now) {
+			break
+		}
+		// Waiting for a DDR queue slot is memory queuing, not interface
+		// time; attribute it alongside controller-queue spill.
+		c.stats.RetryCycles += uint64(now - w.since)
+		w.req.Spill += now - w.since
+		c.stalled = c.stalled[1:]
+		c.noteForwarded(w.req)
+	}
+
+	// Hand requests arriving at the device to its DDR controllers.
+	if len(c.stalled) == 0 {
+		for {
+			r, ok := c.deviceQ.PopDue(now)
+			if !ok {
+				break
+			}
+			if c.ddrEnqueue(r, now) {
+				c.noteForwarded(r)
+			} else {
+				c.stalled = append(c.stalled, waiting{req: r, since: now})
+				break
+			}
+		}
+	}
+
+	for _, d := range c.ddr {
+		d.Tick(now)
+	}
+}
+
+func (c *Channel) noteForwarded(r *memreq.Request) {
+	c.outstanding--
+	if r.Kind == memreq.Write {
+		c.stats.WritesForwarded++
+	} else {
+		c.stats.ReadsForwarded++
+	}
+}
+
+// ddrEnqueue routes a request to the device DDR channel for its address.
+func (c *Channel) ddrEnqueue(r *memreq.Request, now int64) bool {
+	d := c.ddr[0]
+	if len(c.ddr) > 1 {
+		line := r.Addr >> memreq.LineShift
+		h := line ^ (line >> 6) ^ (line >> 11)
+		d = c.ddr[h%uint64(len(c.ddr))]
+	}
+	return d.Enqueue(r, now)
+}
+
+// PeakGBs implements memreq.Backend: the deliverable peak is the DDR
+// capacity behind the channel (utilization in the paper's figures is
+// quoted against DRAM peak).
+func (c *Channel) PeakGBs() float64 {
+	var total float64
+	for _, d := range c.ddr {
+		total += d.PeakGBs()
+	}
+	return total
+}
+
+// Counters sums the device's DRAM activity.
+func (c *Channel) Counters() dram.Counters {
+	var total dram.Counters
+	for _, d := range c.ddr {
+		ct := d.Counters()
+		total.ACT += ct.ACT
+		total.PRE += ct.PRE
+		total.RD += ct.RD
+		total.WR += ct.WR
+		total.REF += ct.REF
+		total.ReadBytes += ct.ReadBytes
+		total.WriteBytes += ct.WriteBytes
+		total.ActiveBankCycles += ct.ActiveBankCycles
+		total.RowHits += ct.RowHits
+		total.RowMisses += ct.RowMisses
+	}
+	return total
+}
+
+// ResetCounters zeroes device DRAM and link counters.
+func (c *Channel) ResetCounters() {
+	for _, d := range c.ddr {
+		d.ResetCounters()
+	}
+	c.stats = Stats{}
+}
+
+// Stats returns link activity counters.
+func (c *Channel) LinkStats() Stats { return c.stats }
+
+// Idle reports whether the channel and its device have fully drained.
+func (c *Channel) Idle() bool {
+	if c.outstanding != 0 || c.ingress.Len() != 0 || c.deviceQ.Len() != 0 ||
+		len(c.stalled) != 0 || c.responses.Len() != 0 {
+		return false
+	}
+	for _, d := range c.ddr {
+		if !d.Idle() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,250 @@
+package cxl
+
+import (
+	"math"
+	"testing"
+
+	"coaxial/internal/clock"
+	"coaxial/internal/dram"
+	"coaxial/internal/memreq"
+)
+
+type collector struct {
+	done  []*memreq.Request
+	times []int64
+}
+
+func (c *collector) Complete(r *memreq.Request, now int64) {
+	c.done = append(c.done, r)
+	c.times = append(c.times, now)
+}
+
+func drain(t *testing.T, ch *Channel, deadline int64) int64 {
+	t.Helper()
+	var now int64
+	for !ch.Idle() {
+		now++
+		ch.Tick(now)
+		if now > deadline {
+			t.Fatalf("CXL channel did not drain in %d cycles", deadline)
+		}
+	}
+	return now
+}
+
+func TestLinkParams(t *testing.T) {
+	sym := SymmetricX8()
+	if got := sym.UnloadedReadAdderNS(); math.Abs(got-52.5) > 0.3 {
+		t.Errorf("symmetric unloaded read adder = %.2f ns, want ~52.5", got)
+	}
+	asym := AsymmetricX8()
+	if asym.RXGoodputGBs != 32 || asym.TXGoodputGBs != 10 {
+		t.Errorf("asym goodput: %+v", asym)
+	}
+	if asym.rxSerCycles() >= sym.txDataSerCycles() {
+		t.Error("asym RX serialization should be short")
+	}
+	// The 70 ns study: 17.5 ns per port.
+	p70 := sym.WithPortNS(17.5)
+	if got := p70.UnloadedReadAdderNS(); math.Abs(got-72.5) > 0.3 {
+		t.Errorf("70ns-premium adder = %.2f ns, want ~72.5", got)
+	}
+	if sym.PortNS != 12.5 {
+		t.Error("WithPortNS mutated the receiver")
+	}
+}
+
+func TestUnloadedReadLatencyAdder(t *testing.T) {
+	// Compare a read through CXL against a direct DDR read: the delta
+	// must be the unloaded adder (ports + RX serialization), since the
+	// request-path TX serialization is a single header flit.
+	ddrCfg := dram.DefaultConfig()
+
+	direct := dram.NewChannel(ddrCfg, ddrCfg.SubChannels)
+	dc := &collector{}
+	direct.Enqueue(&memreq.Request{Addr: 0x4000, Kind: memreq.Read, Ret: dc}, 1)
+	var now int64
+	for len(dc.done) == 0 {
+		now++
+		direct.Tick(now)
+	}
+	directDone := dc.times[0]
+
+	ch := NewChannel(DefaultChannelConfig(), ddrCfg.SubChannels)
+	cc := &collector{}
+	ch.Enqueue(&memreq.Request{Addr: 0x4000, Kind: memreq.Read, Ret: cc}, 1)
+	now = 0
+	for len(cc.done) == 0 {
+		now++
+		ch.Tick(now)
+		if now > 100000 {
+			t.Fatal("CXL read never completed")
+		}
+	}
+	cxlDone := cc.times[0]
+
+	adder := cxlDone - directDone
+	// 4 ports (30 cycles each) + RX ser (6) + TX header ser (~1) = ~127.
+	wantLo, wantHi := int64(120), int64(136)
+	if adder < wantLo || adder > wantHi {
+		t.Errorf("CXL unloaded adder = %d cycles (%.1f ns), want in [%d,%d]",
+			adder, clock.NS(adder), wantLo, wantHi)
+	}
+	if cc.done[0].CXLTime < 120 {
+		t.Errorf("request's CXLTime = %d, want >= 120", cc.done[0].CXLTime)
+	}
+}
+
+func TestRXSerializationSpacing(t *testing.T) {
+	// Two reads completing in DRAM nearly simultaneously must be spaced
+	// by at least the RX serialization delay on delivery.
+	cfg := DefaultChannelConfig()
+	ch := NewChannel(cfg, cfg.DDR.SubChannels)
+	c := &collector{}
+	// Same row, adjacent lines: DRAM returns them ~8 cycles apart, which
+	// is above rxSer=6 — so instead check the invariant on many requests:
+	// deliveries never violate the link rate.
+	const n = 32
+	for i := 0; i < n; i++ {
+		ch.Enqueue(&memreq.Request{Addr: uint64(i) * 64, Kind: memreq.Read, Ret: c}, 1)
+	}
+	drain(t, ch, 1_000_000)
+	if len(c.done) != n {
+		t.Fatalf("completed %d/%d", len(c.done), n)
+	}
+	rx := cfg.Link.rxSerCycles()
+	for i := 1; i < len(c.times); i++ {
+		if c.times[i]-c.times[i-1] < rx {
+			t.Errorf("deliveries %d cycles apart, below RX serialization %d", c.times[i]-c.times[i-1], rx)
+		}
+	}
+}
+
+func TestWritePathAndStats(t *testing.T) {
+	cfg := DefaultChannelConfig()
+	ch := NewChannel(cfg, cfg.DDR.SubChannels)
+	c := &collector{}
+	ch.Enqueue(&memreq.Request{Addr: 0x100, Kind: memreq.Write, Ret: c}, 1)
+	ch.Enqueue(&memreq.Request{Addr: 0x8000, Kind: memreq.Read, Ret: c}, 1)
+	drain(t, ch, 1_000_000)
+	st := ch.LinkStats()
+	if st.WritesForwarded != 1 || st.ReadsForwarded != 1 {
+		t.Errorf("forward stats: %+v", st)
+	}
+	if st.RespDelivered != 1 {
+		t.Errorf("resp delivered = %d, want 1 (reads only)", st.RespDelivered)
+	}
+	if len(c.done) != 2 {
+		t.Errorf("completions = %d, want 2 (write ack + read)", len(c.done))
+	}
+	ct := ch.Counters()
+	if ct.WR != 1 || ct.RD != 1 {
+		t.Errorf("device DRAM counters: %+v", ct)
+	}
+}
+
+func TestIngressBackpressure(t *testing.T) {
+	cfg := DefaultChannelConfig()
+	cfg.IngressDepth = 4
+	ch := NewChannel(cfg, cfg.DDR.SubChannels)
+	c := &collector{}
+	accepted := 0
+	for i := 0; i < 16; i++ {
+		if ch.Enqueue(&memreq.Request{Addr: uint64(i) * 4096, Kind: memreq.Read, Ret: c}, 1) {
+			accepted++
+		}
+	}
+	if accepted != 4 {
+		t.Errorf("accepted %d with ingress depth 4", accepted)
+	}
+	drain(t, ch, 1_000_000)
+	if len(c.done) != 4 {
+		t.Errorf("completed %d", len(c.done))
+	}
+}
+
+func TestDeviceStallAccountedAsQueue(t *testing.T) {
+	// Tiny DDR queues force device-side stalls; that wait must appear in
+	// Spill (queuing), not CXLTime.
+	cfg := DefaultChannelConfig()
+	cfg.DDR.ReadQueueDepth = 2
+	cfg.IngressDepth = 64
+	ch := NewChannel(cfg, cfg.DDR.SubChannels)
+	c := &collector{}
+	for i := 0; i < 32; i++ {
+		// Conflicting rows on one bank: slow service, queues fill.
+		addr := uint64(i) * uint64(cfg.DDR.RowBytes) * uint64(cfg.DDR.Banks()) * 2
+		ch.Enqueue(&memreq.Request{Addr: addr, Kind: memreq.Read, Ret: c}, 1)
+	}
+	drain(t, ch, 5_000_000)
+	if len(c.done) != 32 {
+		t.Fatalf("completed %d/32", len(c.done))
+	}
+	if ch.LinkStats().RetryCycles == 0 {
+		t.Skip("no device stalls materialized; nothing to verify")
+	}
+	var spilled int
+	for _, r := range c.done {
+		if r.Spill > 0 {
+			spilled++
+		}
+	}
+	if spilled == 0 {
+		t.Error("device stalls happened but no request carries Spill time")
+	}
+}
+
+func TestAsymChannelTwoDDR(t *testing.T) {
+	cfg := DefaultChannelConfig()
+	cfg.Link = AsymmetricX8()
+	cfg.DDRChannels = 2
+	ch := NewChannel(cfg, 2*cfg.DDR.SubChannels)
+	if got := ch.PeakGBs(); math.Abs(got-76.8) > 1e-9 {
+		t.Errorf("asym channel peak = %v, want 76.8 (two DDR channels)", got)
+	}
+	c := &collector{}
+	const n = 64
+	for i := 0; i < n; i++ {
+		ch.Enqueue(&memreq.Request{Addr: uint64(i) * 64 * 131, Kind: memreq.Read, Ret: c}, 1)
+	}
+	drain(t, ch, 1_000_000)
+	if len(c.done) != n {
+		t.Fatalf("completed %d/%d", len(c.done), n)
+	}
+	// Both device DDR channels should have served traffic.
+	ct := ch.Counters()
+	if ct.RD != n {
+		t.Errorf("device reads = %d", ct.RD)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	cfg := DefaultChannelConfig()
+	ch := NewChannel(cfg, cfg.DDR.SubChannels)
+	c := &collector{}
+	ch.Enqueue(&memreq.Request{Addr: 0, Kind: memreq.Read, Ret: c}, 1)
+	drain(t, ch, 100000)
+	ch.ResetCounters()
+	if ch.Counters().RD != 0 || ch.LinkStats().ReadsForwarded != 0 {
+		t.Error("counters survived reset")
+	}
+}
+
+func TestTXLinkSharedByWritesAndReads(t *testing.T) {
+	// A burst of writes occupies the TX link; a subsequent read request
+	// header must wait, increasing its CXLTime beyond the unloaded adder.
+	cfg := DefaultChannelConfig()
+	ch := NewChannel(cfg, cfg.DDR.SubChannels)
+	c := &collector{}
+	for i := 0; i < 16; i++ {
+		ch.Enqueue(&memreq.Request{Addr: uint64(i) * 64, Kind: memreq.Write, Ret: c}, 1)
+	}
+	read := &memreq.Request{Addr: 1 << 20, Kind: memreq.Read, Ret: c}
+	ch.Enqueue(read, 1)
+	drain(t, ch, 1_000_000)
+	// Unloaded CXLTime ~ 127; the read behind 16x13-cycle write bursts
+	// must see substantially more.
+	if read.CXLTime < 150 {
+		t.Errorf("read CXLTime = %d; expected TX queuing behind writes", read.CXLTime)
+	}
+}

@@ -1,0 +1,92 @@
+package dram
+
+import (
+	"coaxial/internal/memreq"
+)
+
+// Channel bundles a DDR channel's sub-channels and implements
+// memreq.Backend for direct-attached (baseline) DDR memory. Requests are
+// interleaved across sub-channels by a folded line hash.
+type Channel struct {
+	cfg  Config
+	subs []*SubChannel
+}
+
+// NewChannel builds a channel. systemSubChannels is the total number of
+// sub-channels across all channels in the system, used to densify each
+// sub-channel's decoded address space.
+func NewChannel(cfg Config, systemSubChannels int) *Channel {
+	if systemSubChannels < cfg.SubChannels {
+		systemSubChannels = cfg.SubChannels
+	}
+	c := &Channel{cfg: cfg}
+	for i := 0; i < cfg.SubChannels; i++ {
+		c.subs = append(c.subs, NewSubChannel(cfg, systemSubChannels))
+	}
+	return c
+}
+
+// subOf selects the sub-channel for an address.
+func (c *Channel) subOf(addr uint64) *SubChannel {
+	if len(c.subs) == 1 {
+		return c.subs[0]
+	}
+	line := addr >> memreq.LineShift
+	h := line ^ (line >> 7) ^ (line >> 13)
+	return c.subs[h%uint64(len(c.subs))]
+}
+
+// Enqueue implements memreq.Backend.
+func (c *Channel) Enqueue(r *memreq.Request, at int64) bool {
+	return c.subOf(r.Addr).Enqueue(r, at)
+}
+
+// Tick implements memreq.Backend.
+func (c *Channel) Tick(now int64) {
+	for _, s := range c.subs {
+		s.Tick(now)
+	}
+}
+
+// PeakGBs implements memreq.Backend.
+func (c *Channel) PeakGBs() float64 { return c.cfg.PeakGBs() }
+
+// Counters sums all sub-channel activity counters.
+func (c *Channel) Counters() Counters {
+	var total Counters
+	for _, s := range c.subs {
+		ct := s.Counters()
+		total.ACT += ct.ACT
+		total.PRE += ct.PRE
+		total.RD += ct.RD
+		total.WR += ct.WR
+		total.REF += ct.REF
+		total.ReadBytes += ct.ReadBytes
+		total.WriteBytes += ct.WriteBytes
+		total.ActiveBankCycles += ct.ActiveBankCycles
+		total.RowHits += ct.RowHits
+		total.RowMisses += ct.RowMisses
+	}
+	return total
+}
+
+// ResetCounters zeroes all sub-channel counters.
+func (c *Channel) ResetCounters() {
+	for _, s := range c.subs {
+		s.ResetCounters()
+	}
+}
+
+// Idle reports whether every sub-channel has drained.
+func (c *Channel) Idle() bool {
+	for _, s := range c.subs {
+		if !s.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// SubChannels exposes the underlying sub-channels (for CXL type-3 devices
+// and tests).
+func (c *Channel) SubChannels() []*SubChannel { return c.subs }

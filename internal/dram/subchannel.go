@@ -1,0 +1,661 @@
+package dram
+
+import (
+	"coaxial/internal/memreq"
+)
+
+// bank is the per-bank state machine: open row and the earliest cycles at
+// which each command class may next issue to this bank.
+type bank struct {
+	open       bool
+	row        uint64
+	actAllowed int64 // next ACT (covers tRP after PRE and tRC after ACT)
+	preAllowed int64 // next PRE (covers tRAS, tRTP, write recovery)
+	casAllowed int64 // next CAS (covers tRCD after ACT)
+	lastUse    int64 // last ACT/CAS cycle, for idle precharge
+}
+
+// entry is a queued request with its decoded bank/row coordinates.
+type entry struct {
+	req  *memreq.Request
+	row  uint64
+	bnk  int32
+	grp  int32
+	seen bool // first command issued (StartSvc recorded)
+}
+
+// Counters accumulates DRAM activity for bandwidth and power accounting.
+type Counters struct {
+	ACT, PRE, RD, WR, REF uint64
+	ReadBytes             uint64
+	WriteBytes            uint64
+	// ActiveBankCycles integrates (open banks x cycles) for background
+	// power; PrechargeCycles is derived as banks*window - active.
+	ActiveBankCycles uint64
+	// RowHits / RowMisses classify column accesses for locality stats.
+	RowHits, RowMisses uint64
+}
+
+// SubChannel models one independent 32-bit DDR5 sub-channel: one rank of
+// banks, its command/data buses, controller queues, and FR-FCFS scheduler.
+type SubChannel struct {
+	cfg Config
+	t   Timing
+
+	banks []bank
+
+	readQ  []entry
+	writeQ []entry
+
+	arrivals    memreq.TimedHeap
+	completions memreq.TimedHeap
+
+	// Rank-level constraints.
+	actTimes     [4]int64 // FAW ring of the last four ACT issue cycles
+	actIdx       int
+	lastActTime  int64
+	lastActGroup int32
+	lastCASTime  int64
+	lastCASGroup int32
+	lastCASWrite bool
+	busFree      int64 // data bus next-free cycle
+
+	draining   bool
+	refreshing bool
+	refreshEnd int64
+	refreshDue int64
+	// Same-bank refresh state: next bank index and its due cycle.
+	sbNext int32
+	sbDue  int64
+
+	// Decode parameters.
+	divisor     uint64 // total sub-channels in the system (strided out)
+	linesPerRow uint64
+	nBanks      uint64
+	banksPerGrp int32
+	noPermute   bool
+
+	// Starvation guard: when the oldest request has waited longer than
+	// this, row-hit-first bypassing is suspended.
+	starvationLimit int64
+
+	openBanks int
+	lastInteg int64
+	idleScan  int // round-robin cursor for idle precharge
+
+	// pendingR/pendingW count requests pushed but not yet arrived, so
+	// queue-depth admission covers in-flight arrivals too.
+	pendingR, pendingW int
+
+	ctr Counters
+
+	// cmdTrace, when non-nil, receives every issued command (testing and
+	// analysis hook; nil in normal operation).
+	cmdTrace func(Command)
+
+	// now tracks the last ticked cycle for monotonicity.
+	now int64
+}
+
+// CommandKind enumerates DRAM bus commands for tracing.
+type CommandKind uint8
+
+// Command kinds observed on the command bus.
+const (
+	CmdACT CommandKind = iota
+	CmdPRE
+	CmdRD
+	CmdWR
+	CmdREF
+)
+
+// String implements fmt.Stringer.
+func (k CommandKind) String() string {
+	switch k {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdRD:
+		return "RD"
+	case CmdWR:
+		return "WR"
+	case CmdREF:
+		return "REF"
+	default:
+		return "?"
+	}
+}
+
+// Command is one traced command-bus event.
+type Command struct {
+	Cycle int64
+	Kind  CommandKind
+	Bank  int32
+	Group int32
+	Row   uint64
+}
+
+// SetCommandTrace installs a per-command observer (nil to disable). For
+// verification: the observer must not mutate the sub-channel.
+func (s *SubChannel) SetCommandTrace(fn func(Command)) { s.cmdTrace = fn }
+
+func (s *SubChannel) trace(kind CommandKind, bnk, grp int32, row uint64, now int64) {
+	if s.cmdTrace != nil {
+		s.cmdTrace(Command{Cycle: now, Kind: kind, Bank: bnk, Group: grp, Row: row})
+	}
+}
+
+// NewSubChannel constructs a sub-channel. divisor is the total number of
+// sub-channels across the whole memory system; line addresses are divided
+// by it before bank/row decoding so each sub-channel sees a dense space.
+func NewSubChannel(cfg Config, divisor int) *SubChannel {
+	if divisor < 1 {
+		divisor = 1
+	}
+	s := &SubChannel{
+		cfg:             cfg,
+		t:               cfg.Timing,
+		banks:           make([]bank, cfg.Banks()),
+		divisor:         uint64(divisor),
+		linesPerRow:     uint64(cfg.RowBytes / memreq.LineSize),
+		nBanks:          uint64(cfg.Banks()),
+		banksPerGrp:     int32(cfg.BanksPerGroup),
+		noPermute:       cfg.DisableBankPermutation,
+		starvationLimit: 8000,
+		refreshDue:      cfg.Timing.REFI,
+		lastCASTime:     -1 << 40,
+		lastActTime:     -1 << 40,
+	}
+	for i := range s.actTimes {
+		s.actTimes[i] = -1 << 40
+	}
+	return s
+}
+
+// decode maps a line-aligned address to (row, bank, bankGroup) using an
+// open-page-friendly layout (column bits low) with permutation-based bank
+// interleaving: the bank index is XOR-permuted by a fold of the row bits
+// (including high bits, so distinct per-core address-space bases land on
+// different banks) while staying a within-row permutation, so distinct
+// lines never alias to the same (bank, row, column).
+func (s *SubChannel) decode(addr uint64) (row uint64, bnk, grp int32) {
+	line := (addr >> memreq.LineShift) / s.divisor
+	rest := line / s.linesPerRow
+	bankRaw := rest % s.nBanks
+	row = rest / s.nBanks
+	if s.noPermute {
+		return row, int32(bankRaw), int32(bankRaw) / s.banksPerGrp
+	}
+	fold := row ^ (row >> 7) ^ (row >> 13) ^ (row >> 19) ^ (row >> 25)
+	b := bankRaw ^ (fold % s.nBanks)
+	return row, int32(b), int32(b) / s.banksPerGrp
+}
+
+// Enqueue accepts a request that becomes visible to the scheduler at cycle
+// `at`. It returns false when the corresponding queue (plus not-yet-arrived
+// requests) is at capacity.
+func (s *SubChannel) Enqueue(r *memreq.Request, at int64) bool {
+	if r.Kind == memreq.Write {
+		if len(s.writeQ)+s.pendingOf(memreq.Write) >= s.cfg.WriteQueueDepth {
+			return false
+		}
+	} else {
+		if len(s.readQ)+s.pendingOf(memreq.Read) >= s.cfg.ReadQueueDepth {
+			return false
+		}
+	}
+	if at < s.now {
+		at = s.now
+	}
+	s.arrivals.Push(at, r)
+	if r.Kind == memreq.Write {
+		s.pendingW++
+	} else {
+		s.pendingR++
+	}
+	return true
+}
+
+func (s *SubChannel) pendingOf(k memreq.Kind) int {
+	if k == memreq.Write {
+		return s.pendingW
+	}
+	return s.pendingR
+}
+
+// QueueOccupancy reports current read/write queue depths including
+// in-flight arrivals (for backpressure decisions by the CXL layer).
+func (s *SubChannel) QueueOccupancy() (reads, writes int) {
+	return len(s.readQ) + s.pendingR, len(s.writeQ) + s.pendingW
+}
+
+// Counters returns a copy of the activity counters (after integrating
+// background state up to the last ticked cycle).
+func (s *SubChannel) Counters() Counters {
+	s.integrate(s.now)
+	return s.ctr
+}
+
+// ResetCounters zeroes activity counters (used at the warmup/measure
+// boundary).
+func (s *SubChannel) ResetCounters() {
+	s.integrate(s.now)
+	s.ctr = Counters{}
+	s.lastInteg = s.now
+}
+
+func (s *SubChannel) integrate(now int64) {
+	if now > s.lastInteg {
+		s.ctr.ActiveBankCycles += uint64(s.openBanks) * uint64(now-s.lastInteg)
+		s.lastInteg = now
+	}
+}
+
+// Tick advances the sub-channel one cycle. At most one command issues per
+// tick, mirroring a single command bus.
+func (s *SubChannel) Tick(now int64) {
+	s.now = now
+
+	// Deliver completions due this cycle.
+	for {
+		r, ok := s.completions.PopDue(now)
+		if !ok {
+			break
+		}
+		if r.Ret != nil {
+			r.Ret.Complete(r, r.DataDone)
+		}
+	}
+
+	// Move due arrivals into the scheduler queues.
+	for {
+		r, ok := s.arrivals.PopDue(now)
+		if !ok {
+			break
+		}
+		row, bnk, grp := s.decode(r.Addr)
+		r.ArriveMC = now
+		e := entry{req: r, row: row, bnk: bnk, grp: grp}
+		if r.Kind == memreq.Write {
+			s.writeQ = append(s.writeQ, e)
+			s.pendingW--
+		} else {
+			s.readQ = append(s.readQ, e)
+			s.pendingR--
+		}
+	}
+
+	if s.cfg.SameBankRefresh {
+		// Fine-granularity refresh: each due REFsb blocks only its bank.
+		if now >= s.sbDue {
+			if s.stepRefreshSameBank(now) {
+				return // command slot consumed this cycle
+			}
+		}
+		s.tryIssue(now)
+		return
+	}
+
+	if s.refreshing {
+		if now < s.refreshEnd {
+			return
+		}
+		s.refreshing = false
+	}
+
+	// Refresh has priority once due: quiesce (precharge all banks), then
+	// hold the rank for tRFC.
+	if now >= s.refreshDue {
+		if s.stepRefresh(now) {
+			return
+		}
+		// Refresh issued or a PRE consumed the command slot.
+		return
+	}
+
+	s.tryIssue(now)
+}
+
+// stepRefresh drives the quiesce-then-REF sequence. It returns true if the
+// command slot was consumed (or the rank is still waiting on timing).
+func (s *SubChannel) stepRefresh(now int64) bool {
+	allClosed := true
+	for i := range s.banks {
+		b := &s.banks[i]
+		if b.open {
+			allClosed = false
+			if now >= b.preAllowed {
+				s.issuePRE(int32(i), now)
+				return true
+			}
+		}
+	}
+	if !allClosed {
+		return true // waiting for a PRE window
+	}
+	// All banks precharged: issue REF.
+	s.refreshing = true
+	s.refreshEnd = now + s.t.RFC
+	s.refreshDue += s.t.REFI
+	for i := range s.banks {
+		if a := s.refreshEnd; a > s.banks[i].actAllowed {
+			s.banks[i].actAllowed = a
+		}
+	}
+	s.ctr.REF++
+	s.trace(CmdREF, -1, -1, 0, now)
+	return true
+}
+
+// stepRefreshSameBank advances the round-robin REFsb schedule. Each bank
+// must refresh once per tREFI; banks take turns every tREFI/nBanks cycles,
+// blocked individually for tRFCsb. Returns true if the command slot was
+// consumed.
+func (s *SubChannel) stepRefreshSameBank(now int64) bool {
+	b := &s.banks[s.sbNext]
+	if b.open {
+		if now >= b.preAllowed {
+			s.issuePRE(s.sbNext, now)
+			return true
+		}
+		return false // wait for the PRE window; others may proceed? No slot used.
+	}
+	// Bank closed: issue REFsb, blocking only this bank.
+	blockUntil := now + s.t.RFCsb
+	if blockUntil > b.actAllowed {
+		b.actAllowed = blockUntil
+	}
+	s.ctr.REF++
+	s.trace(CmdREF, s.sbNext, s.sbNext/s.banksPerGrp, 0, now)
+	s.sbNext = (s.sbNext + 1) % int32(len(s.banks))
+	s.sbDue += s.t.REFI / int64(len(s.banks))
+	return true
+}
+
+// tryIssue performs one FR-FCFS scheduling decision.
+func (s *SubChannel) tryIssue(now int64) {
+	// Write-drain hysteresis.
+	if s.draining {
+		if len(s.writeQ) <= s.cfg.WriteLow {
+			s.draining = false
+		}
+	} else if len(s.writeQ) >= s.cfg.WriteHigh {
+		s.draining = true
+	}
+
+	useWrites := s.draining
+	if !useWrites && len(s.readQ) == 0 && len(s.writeQ) > 0 {
+		useWrites = true // opportunistic write issue on an idle read queue
+	}
+
+	q := &s.readQ
+	isWrite := false
+	if useWrites {
+		q = &s.writeQ
+		isWrite = true
+	}
+	if len(*q) == 0 {
+		return
+	}
+
+	// Per-bank mask of banks whose open row has queued hits; precharging
+	// such a bank would throw away guaranteed row hits.
+	var hitMask uint64
+	for i := range *q {
+		e := &(*q)[i]
+		b := &s.banks[e.bnk]
+		if b.open && b.row == e.row {
+			hitMask |= 1 << uint(e.bnk)
+		}
+	}
+
+	// Starvation guard: when the oldest request has waited pathologically
+	// long, serve it exclusively this slot (ignoring row-hit protection).
+	if oldest := &(*q)[0]; now-oldest.req.ArriveMC > s.starvationLimit {
+		b := &s.banks[oldest.bnk]
+		switch {
+		case b.open && b.row == oldest.row:
+			if s.casOK(oldest, isWrite, now) {
+				s.issueCAS(q, 0, isWrite, now)
+				return
+			}
+		case !b.open:
+			if s.actOK(oldest, now) {
+				s.issueACT(oldest, now)
+				return
+			}
+		default:
+			if now >= b.preAllowed {
+				if !oldest.seen {
+					oldest.seen = true
+					oldest.req.StartSvc = now
+				}
+				s.issuePRE(oldest.bnk, now)
+				return
+			}
+		}
+		// The oldest request's own timing blocks it; let others proceed.
+	}
+
+	// Pass 1 (FR): oldest row hit whose CAS can issue now.
+	for i := range *q {
+		e := &(*q)[i]
+		b := &s.banks[e.bnk]
+		if b.open && b.row == e.row && s.casOK(e, isWrite, now) {
+			s.issueCAS(q, i, isWrite, now)
+			return
+		}
+	}
+
+	// Pass 2 (FCFS prep, bank-parallel): oldest request on a closed bank
+	// whose ACT can issue now.
+	for i := range *q {
+		e := &(*q)[i]
+		if b := &s.banks[e.bnk]; !b.open && s.actOK(e, now) {
+			s.issueACT(e, now)
+			return
+		}
+	}
+
+	// Pass 3: oldest row-conflict request whose bank holds no pending row
+	// hits; precharge it.
+	for i := range *q {
+		e := &(*q)[i]
+		b := &s.banks[e.bnk]
+		if b.open && b.row != e.row && hitMask&(1<<uint(e.bnk)) == 0 && now >= b.preAllowed {
+			if !e.seen {
+				e.seen = true
+				e.req.StartSvc = now
+			}
+			s.issuePRE(e.bnk, now)
+			return
+		}
+	}
+
+	// Pass 4 (idle precharge): spend an otherwise-wasted command slot
+	// closing a bank that has been idle past the timeout and has no queued
+	// row hits, so future random accesses skip the conflict precharge.
+	s.tryIdlePrecharge(now, hitMask)
+}
+
+// idlePreTimeout is the open-row idle window before speculative precharge.
+const idlePreTimeout = 120
+
+// tryIdlePrecharge closes one stale open bank, if any.
+func (s *SubChannel) tryIdlePrecharge(now int64, hitMask uint64) {
+	if s.openBanks == 0 {
+		return
+	}
+	// Protect banks targeted by any queued request in either queue (a
+	// pending ACT would only be delayed by tRP anyway; row hits would be
+	// thrown away).
+	target := hitMask
+	for i := range s.readQ {
+		target |= 1 << uint(s.readQ[i].bnk)
+	}
+	for i := range s.writeQ {
+		target |= 1 << uint(s.writeQ[i].bnk)
+	}
+	start := s.idleScan
+	n := len(s.banks)
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		b := &s.banks[i]
+		if b.open && target&(1<<uint(i)) == 0 &&
+			now >= b.preAllowed && now-b.lastUse > idlePreTimeout {
+			s.issuePRE(int32(i), now)
+			s.idleScan = i + 1
+			return
+		}
+	}
+	s.idleScan = start
+}
+
+// casOK reports whether a column command for e may issue at cycle now,
+// checking bank tRCD, rank CAS-to-CAS spacing, write-to-read turnaround,
+// and data-bus availability.
+func (s *SubChannel) casOK(e *entry, isWrite bool, now int64) bool {
+	b := &s.banks[e.bnk]
+	if now < b.casAllowed {
+		return false
+	}
+	var earliest int64
+	sameGroup := e.grp == s.lastCASGroup
+	switch {
+	case !isWrite && s.lastCASWrite:
+		// Read after write: wait for write data plus tWTR.
+		wtr := s.t.WTRS
+		if sameGroup {
+			wtr = s.t.WTRL
+		}
+		earliest = s.lastCASTime + s.t.WL + s.t.BURST + wtr
+	case isWrite && !s.lastCASWrite:
+		// Write after read: CCD plus turnaround bubble.
+		ccd := s.t.CCDS
+		if sameGroup {
+			ccd = s.t.CCDL
+		}
+		earliest = s.lastCASTime + ccd + s.t.RTW
+	default:
+		ccd := s.t.CCDS
+		if sameGroup {
+			ccd = s.t.CCDL
+		}
+		earliest = s.lastCASTime + ccd
+	}
+	if now < earliest {
+		return false
+	}
+	lat := s.t.RL
+	if isWrite {
+		lat = s.t.WL
+	}
+	return now+lat >= s.busFree
+}
+
+// actOK reports whether an ACT for e may issue at cycle now, checking bank
+// tRP/tRC, rank tRRD, and the four-activate window.
+func (s *SubChannel) actOK(e *entry, now int64) bool {
+	if now < s.banks[e.bnk].actAllowed {
+		return false
+	}
+	rrd := s.t.RRDS
+	if e.grp == s.lastActGroup {
+		rrd = s.t.RRDL
+	}
+	if now < s.lastActTime+rrd {
+		return false
+	}
+	return now >= s.actTimes[s.actIdx]+s.t.FAW
+}
+
+func (s *SubChannel) issueACT(e *entry, now int64) {
+	b := &s.banks[e.bnk]
+	s.integrate(now)
+	b.open = true
+	b.row = e.row
+	b.lastUse = now
+	b.casAllowed = now + s.t.RCD
+	b.preAllowed = now + s.t.RAS
+	b.actAllowed = now + s.t.RC
+	s.actTimes[s.actIdx] = now
+	s.actIdx = (s.actIdx + 1) % len(s.actTimes)
+	s.lastActTime = now
+	s.lastActGroup = e.grp
+	s.openBanks++
+	s.ctr.ACT++
+	s.trace(CmdACT, e.bnk, e.grp, e.row, now)
+	if !e.seen {
+		e.seen = true
+		e.req.StartSvc = now
+	}
+}
+
+func (s *SubChannel) issuePRE(bnk int32, now int64) {
+	b := &s.banks[bnk]
+	s.integrate(now)
+	b.open = false
+	if a := now + s.t.RP; a > b.actAllowed {
+		b.actAllowed = a
+	}
+	s.openBanks--
+	s.ctr.PRE++
+	s.trace(CmdPRE, bnk, bnk/s.banksPerGrp, b.row, now)
+}
+
+func (s *SubChannel) issueCAS(q *[]entry, i int, isWrite bool, now int64) {
+	e := (*q)[i]
+	b := &s.banks[e.bnk]
+	lat := s.t.RL
+	if isWrite {
+		lat = s.t.WL
+	}
+	dataStart := now + lat
+	dataEnd := dataStart + s.t.BURST
+	b.lastUse = now
+	s.busFree = dataEnd
+	s.lastCASTime = now
+	s.lastCASGroup = e.grp
+	s.lastCASWrite = isWrite
+
+	if !e.seen {
+		e.req.StartSvc = now
+		s.ctr.RowHits++
+	} else {
+		s.ctr.RowMisses++
+	}
+	e.req.DataDone = dataEnd
+
+	if isWrite {
+		// Write recovery gates the next PRE.
+		if a := dataEnd + s.t.WR; a > b.preAllowed {
+			b.preAllowed = a
+		}
+		s.ctr.WR++
+		s.ctr.WriteBytes += memreq.LineSize
+		s.trace(CmdWR, e.bnk, e.grp, e.row, now)
+	} else {
+		if a := now + s.t.RTP; a > b.preAllowed {
+			b.preAllowed = a
+		}
+		s.ctr.RD++
+		s.ctr.ReadBytes += memreq.LineSize
+		s.trace(CmdRD, e.bnk, e.grp, e.row, now)
+	}
+
+	// Remove from queue preserving order.
+	*q = append((*q)[:i], (*q)[i+1:]...)
+
+	if e.req.Ret != nil {
+		s.completions.Push(dataEnd, e.req)
+	}
+}
+
+// Idle reports whether the sub-channel has no queued work, arrivals, or
+// completions outstanding (used by drain loops).
+func (s *SubChannel) Idle() bool {
+	return len(s.readQ) == 0 && len(s.writeQ) == 0 &&
+		s.arrivals.Len() == 0 && s.completions.Len() == 0 &&
+		s.pendingR == 0 && s.pendingW == 0
+}

@@ -1,0 +1,129 @@
+// Package dram implements a cycle-level DDR5 memory model: per-bank state
+// machines with JEDEC-style timing constraints, an FR-FCFS scheduler with
+// write-drain hysteresis, refresh, open-page row-buffer policy, and
+// activity counters for the power model.
+//
+// The schedulable unit is the SubChannel: DDR5 splits each 64-bit channel
+// into two independent 32-bit sub-channels, each with its own command bus
+// and (here) one rank of 32 banks (8 bank groups x 4 banks), matching the
+// paper's configuration. A Channel bundles two sub-channels and implements
+// memreq.Backend for direct-attached DDR.
+//
+// All timing parameters are in command-clock cycles (nCK). DDR5-4800's
+// command clock is 2.4 GHz, identical to the simulated CPU clock, so no
+// domain crossing is needed (see internal/clock).
+package dram
+
+// Timing holds DDR device timing constraints in clock cycles (nCK).
+// Field names follow JEDEC conventions.
+type Timing struct {
+	RL    int64 // read latency (CAS read to first data)
+	WL    int64 // write latency (CAS write to first data)
+	BURST int64 // data bus occupancy of one 64B transfer (BL16 on x32: 8 nCK)
+
+	RCD  int64 // ACT to CAS delay
+	RP   int64 // PRE to ACT delay
+	RAS  int64 // ACT to PRE minimum
+	RC   int64 // ACT to ACT same bank
+	RTP  int64 // read CAS to PRE
+	WR   int64 // end of write data to PRE (write recovery)
+	CCDL int64 // CAS to CAS, same bank group
+	CCDS int64 // CAS to CAS, different bank group
+	RRDL int64 // ACT to ACT, same bank group
+	RRDS int64 // ACT to ACT, different bank group
+	FAW  int64 // four-activate window per rank
+	WTRL int64 // end of write data to read CAS, same bank group
+	WTRS int64 // end of write data to read CAS, different bank group
+	RTW  int64 // extra bubble between read CAS and write CAS (turnaround)
+
+	REFI  int64 // average refresh interval
+	RFC   int64 // all-bank refresh cycle time
+	RFCsb int64 // same-bank refresh cycle time (DDR5 REFsb)
+}
+
+// DDR5_4800 returns timing for a DDR5-4800 device (tCK = 0.41667 ns),
+// following Micron's DDR5 core datasheet for the -4800 speed grade. Values
+// in ns are converted at 2.4 GCK/s.
+func DDR5_4800() Timing {
+	return Timing{
+		RL:    40, // CL40
+		WL:    38, // CWL38
+		BURST: 8,  // BL16, two beats per clock, x32 sub-channel
+
+		RCD:  39, // 16.0 ns
+		RP:   39,
+		RAS:  77, // 32 ns
+		RC:   116,
+		RTP:  18, // 7.5 ns
+		WR:   72, // 30 ns
+		CCDL: 12,
+		CCDS: 8,
+		RRDL: 12,
+		RRDS: 8,
+		FAW:  32,
+		WTRL: 24, // 10 ns
+		WTRS: 6,  // 2.5 ns
+		RTW:  4,
+
+		REFI:  9360, // 3.9 us
+		RFC:   708,  // tRFC1 = 295 ns (16 Gb DDR5 device)
+		RFCsb: 312,  // tRFCsb = 130 ns
+	}
+}
+
+// Config describes one DDR channel as simulated.
+type Config struct {
+	Timing Timing
+
+	// Geometry of each sub-channel (one rank).
+	BankGroups    int // 8
+	BanksPerGroup int // 4
+	RowBytes      int // row-buffer (page) size in bytes covered per bank
+
+	SubChannels int // 2 for DDR5
+
+	// Controller queue provisioning per sub-channel.
+	ReadQueueDepth  int
+	WriteQueueDepth int
+	// Write-drain hysteresis thresholds (entries in the write queue).
+	WriteHigh int
+	WriteLow  int
+
+	// PeakGBsPerSub is the theoretical peak bandwidth of one sub-channel
+	// (19.2 GB/s for DDR5-4800 x32).
+	PeakGBsPerSub float64
+
+	// DisableBankPermutation turns off the XOR permutation of bank
+	// indices by folded row bits (an ablation knob: without it, strided
+	// patterns and per-core address-space bases collide on banks).
+	DisableBankPermutation bool
+
+	// SameBankRefresh uses DDR5's fine-granularity REFsb: banks refresh
+	// round-robin, each blocking only itself for tRFCsb, instead of
+	// all-bank REF stalling the whole rank for tRFC. Trims the refresh
+	// tail latency at a small scheduling-overhead cost.
+	SameBankRefresh bool
+}
+
+// DefaultConfig returns the paper's DDR5-4800 channel configuration: two
+// 32-bit sub-channels, one rank each, 32 banks per rank, 8 KiB rows.
+func DefaultConfig() Config {
+	return Config{
+		Timing:          DDR5_4800(),
+		BankGroups:      8,
+		BanksPerGroup:   4,
+		RowBytes:        8192,
+		SubChannels:     2,
+		ReadQueueDepth:  48,
+		WriteQueueDepth: 48,
+		WriteHigh:       36,
+		WriteLow:        12,
+		PeakGBsPerSub:   19.2,
+	}
+}
+
+// Banks returns the number of banks per sub-channel rank.
+func (c Config) Banks() int { return c.BankGroups * c.BanksPerGroup }
+
+// PeakGBs returns the whole channel's peak bandwidth.
+func (c Config) PeakGBs() float64 { return c.PeakGBsPerSub * float64(c.SubChannels) }

@@ -1,0 +1,89 @@
+package memreq
+
+// Timed pairs a request with the cycle at which it becomes visible
+// (arrival) or completes (completion).
+type Timed struct {
+	At  int64
+	Req *Request
+}
+
+// TimedHeap is a binary min-heap of Timed items ordered by At. It is used
+// for future arrivals into controller queues and for scheduled completions.
+// The zero value is ready to use.
+type TimedHeap struct {
+	items []Timed
+	seq   []uint64 // tie-break: FIFO among equal timestamps
+	next  uint64
+}
+
+// Len returns the number of queued items.
+func (h *TimedHeap) Len() int { return len(h.items) }
+
+// Push inserts an item.
+func (h *TimedHeap) Push(at int64, r *Request) {
+	h.items = append(h.items, Timed{At: at, Req: r})
+	h.seq = append(h.seq, h.next)
+	h.next++
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// PeekAt returns the earliest timestamp, or ok=false when empty.
+func (h *TimedHeap) PeekAt() (int64, bool) {
+	if len(h.items) == 0 {
+		return 0, false
+	}
+	return h.items[0].At, true
+}
+
+// PopDue removes and returns the earliest item if its timestamp is <= now.
+func (h *TimedHeap) PopDue(now int64) (*Request, bool) {
+	if len(h.items) == 0 || h.items[0].At > now {
+		return nil, false
+	}
+	r := h.items[0].Req
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	h.seq = h.seq[:last]
+	h.down(0)
+	return r, true
+}
+
+func (h *TimedHeap) less(i, j int) bool {
+	if h.items[i].At != h.items[j].At {
+		return h.items[i].At < h.items[j].At
+	}
+	return h.seq[i] < h.seq[j]
+}
+
+func (h *TimedHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.seq[i], h.seq[j] = h.seq[j], h.seq[i]
+}
+
+func (h *TimedHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

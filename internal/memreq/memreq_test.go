@@ -1,0 +1,169 @@
+package memreq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0x12345) != 0x12340 {
+		t.Errorf("LineAddr(0x12345) = %#x", LineAddr(0x12345))
+	}
+	f := func(a uint64) bool {
+		la := LineAddr(a)
+		return la%LineSize == 0 && la <= a && a-la < LineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("kind strings")
+	}
+	if Kind(9).String() != "invalid" {
+		t.Error("invalid kind string")
+	}
+}
+
+func TestRequestDelays(t *testing.T) {
+	r := Request{ArriveMC: 100, StartSvc: 130, DataDone: 190}
+	if r.QueueDelay() != 30 || r.ServiceTime() != 60 {
+		t.Errorf("delays: q=%d s=%d", r.QueueDelay(), r.ServiceTime())
+	}
+}
+
+func TestInterleaveRange(t *testing.T) {
+	for _, ch := range []int{1, 2, 3, 4, 5, 8} {
+		iv := Interleave{Channels: ch}
+		f := func(a uint64) bool {
+			c := iv.ChannelOf(a)
+			return c >= 0 && c < ch
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("channels=%d: %v", ch, err)
+		}
+	}
+}
+
+func TestInterleaveUniformity(t *testing.T) {
+	// Sequential lines and strided patterns must spread roughly evenly.
+	for _, ch := range []int{2, 4, 5} {
+		iv := Interleave{Channels: ch}
+		for _, stride := range []uint64{64, 64 * 2, 64 * 128, 4096} {
+			counts := make([]int, ch)
+			const n = 8000
+			for i := uint64(0); i < n; i++ {
+				counts[iv.ChannelOf(i*stride)]++
+			}
+			for c, k := range counts {
+				frac := float64(k) / n
+				want := 1.0 / float64(ch)
+				if frac < want*0.5 || frac > want*1.6 {
+					t.Errorf("channels=%d stride=%d: channel %d got %.2f of traffic (want ~%.2f)",
+						ch, stride, c, frac, want)
+				}
+			}
+		}
+	}
+}
+
+func TestInterleaveSingleChannel(t *testing.T) {
+	iv := Interleave{Channels: 0}
+	if iv.ChannelOf(12345) != 0 {
+		t.Error("degenerate channel count must map to 0")
+	}
+}
+
+func TestTimedHeapOrdering(t *testing.T) {
+	var h TimedHeap
+	rng := rand.New(rand.NewSource(1))
+	var times []int64
+	for i := 0; i < 500; i++ {
+		at := int64(rng.Intn(10000))
+		times = append(times, at)
+		h.Push(at, &Request{Meta: uint64(i)})
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	var popped []int64
+	for {
+		at, ok := h.PeekAt()
+		if !ok {
+			break
+		}
+		r, ok := h.PopDue(1 << 40)
+		if !ok || r == nil {
+			t.Fatal("PopDue with infinite now must succeed while non-empty")
+		}
+		popped = append(popped, at)
+	}
+	if len(popped) != len(times) {
+		t.Fatalf("popped %d of %d", len(popped), len(times))
+	}
+	for i := range popped {
+		if popped[i] != times[i] {
+			t.Fatalf("pop order broken at %d: got %d want %d", i, popped[i], times[i])
+		}
+	}
+}
+
+func TestTimedHeapFIFOAmongEqual(t *testing.T) {
+	var h TimedHeap
+	for i := 0; i < 10; i++ {
+		h.Push(42, &Request{Meta: uint64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		r, ok := h.PopDue(42)
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		if r.Meta != uint64(i) {
+			t.Fatalf("equal-timestamp order: got %d want %d", r.Meta, i)
+		}
+	}
+}
+
+func TestTimedHeapPopDueRespectsNow(t *testing.T) {
+	var h TimedHeap
+	h.Push(100, &Request{})
+	if _, ok := h.PopDue(99); ok {
+		t.Error("popped before due time")
+	}
+	if _, ok := h.PopDue(100); !ok {
+		t.Error("did not pop at due time")
+	}
+	if _, ok := h.PopDue(1000); ok {
+		t.Error("popped from empty heap")
+	}
+	if h.Len() != 0 {
+		t.Error("len after drain")
+	}
+}
+
+func TestTimedHeapProperty(t *testing.T) {
+	// Property: popping everything yields a non-decreasing sequence.
+	f := func(ats []int16) bool {
+		var h TimedHeap
+		for _, a := range ats {
+			h.Push(int64(a), &Request{})
+		}
+		prev := int64(-1 << 60)
+		for h.Len() > 0 {
+			at, _ := h.PeekAt()
+			if _, ok := h.PopDue(1 << 40); !ok {
+				return false
+			}
+			if at < prev {
+				return false
+			}
+			prev = at
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package noc models the on-chip 2D mesh interconnect as a hop-latency
+// model: 3 cycles per hop over Manhattan routes (paper Table III). Each
+// core tile hosts an LLC slice; memory interface ports (DDR PHYs or CXL
+// controllers) sit on the mesh perimeter.
+//
+// Link contention is not modelled: the paper accounts NoC time as a pure
+// per-hop latency and its on-chip component is dominated by distance, not
+// congestion, at the simulated scales.
+package noc
+
+// Mesh is a W x H tile grid.
+type Mesh struct {
+	W, H int
+	// HopCycles is the per-hop latency (3 in the paper).
+	HopCycles int64
+}
+
+// Default12 returns the 4x3 mesh used for the 12-core simulated systems.
+func Default12() Mesh { return Mesh{W: 4, H: 3, HopCycles: 3} }
+
+// Tile is a mesh coordinate.
+type Tile struct{ X, Y int }
+
+// CoreTile returns the tile of core i (row-major placement).
+func (m Mesh) CoreTile(i int) Tile {
+	n := m.W * m.H
+	if n > 0 {
+		i %= n
+		if i < 0 {
+			i += n
+		}
+	}
+	return Tile{X: i % m.W, Y: i / m.W}
+}
+
+// SliceTile returns the tile hosting LLC slice i (colocated with core i).
+func (m Mesh) SliceTile(i int) Tile { return m.CoreTile(i) }
+
+// PortTile returns the tile adjacent to memory interface port ch of
+// total ports, distributed around the mesh perimeter so channels spread
+// evenly (matching a pin-ring floorplan).
+func (m Mesh) PortTile(ch, total int) Tile {
+	if total < 1 {
+		total = 1
+	}
+	perim := m.perimeter()
+	if len(perim) == 0 {
+		return Tile{}
+	}
+	idx := ch * len(perim) / total
+	if idx >= len(perim) {
+		idx = len(perim) - 1
+	}
+	return perim[idx]
+}
+
+// perimeter enumerates boundary tiles clockwise from the origin.
+func (m Mesh) perimeter() []Tile {
+	var ts []Tile
+	if m.W <= 0 || m.H <= 0 {
+		return ts
+	}
+	if m.H == 1 {
+		for x := 0; x < m.W; x++ {
+			ts = append(ts, Tile{x, 0})
+		}
+		return ts
+	}
+	if m.W == 1 {
+		for y := 0; y < m.H; y++ {
+			ts = append(ts, Tile{0, y})
+		}
+		return ts
+	}
+	for x := 0; x < m.W; x++ {
+		ts = append(ts, Tile{x, 0})
+	}
+	for y := 1; y < m.H; y++ {
+		ts = append(ts, Tile{m.W - 1, y})
+	}
+	for x := m.W - 2; x >= 0; x-- {
+		ts = append(ts, Tile{x, m.H - 1})
+	}
+	for y := m.H - 2; y >= 1; y-- {
+		ts = append(ts, Tile{0, y})
+	}
+	return ts
+}
+
+// Hops returns the Manhattan distance between two tiles.
+func Hops(a, b Tile) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Latency returns the traversal latency between two tiles in cycles. A
+// same-tile transfer still costs one hop (router injection/ejection).
+func (m Mesh) Latency(a, b Tile) int64 {
+	h := Hops(a, b)
+	if h == 0 {
+		h = 1
+	}
+	return int64(h) * m.HopCycles
+}

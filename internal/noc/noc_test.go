@@ -1,0 +1,126 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoreTilePlacement(t *testing.T) {
+	m := Default12()
+	if m.W*m.H != 12 {
+		t.Fatalf("default mesh is %dx%d, want 12 tiles", m.W, m.H)
+	}
+	seen := map[Tile]bool{}
+	for i := 0; i < 12; i++ {
+		tl := m.CoreTile(i)
+		if tl.X < 0 || tl.X >= m.W || tl.Y < 0 || tl.Y >= m.H {
+			t.Errorf("core %d tile %v out of bounds", i, tl)
+		}
+		if seen[tl] {
+			t.Errorf("core %d shares tile %v", i, tl)
+		}
+		seen[tl] = true
+	}
+	// Wrap-around for out-of-range cores.
+	if m.CoreTile(12) != m.CoreTile(0) {
+		t.Error("core tile wrap")
+	}
+}
+
+func TestSliceColocation(t *testing.T) {
+	m := Default12()
+	for i := 0; i < 12; i++ {
+		if m.SliceTile(i) != m.CoreTile(i) {
+			t.Errorf("slice %d not colocated", i)
+		}
+	}
+}
+
+func TestHopsMetric(t *testing.T) {
+	a, b, c := Tile{0, 0}, Tile{3, 2}, Tile{1, 1}
+	if Hops(a, b) != 5 {
+		t.Errorf("hops = %d, want 5", Hops(a, b))
+	}
+	// Symmetry and triangle inequality (property).
+	f := func(ax, ay, bx, by, cx, cy uint8) bool {
+		p := Tile{int(ax % 8), int(ay % 8)}
+		q := Tile{int(bx % 8), int(by % 8)}
+		r := Tile{int(cx % 8), int(cy % 8)}
+		if Hops(p, q) != Hops(q, p) {
+			return false
+		}
+		return Hops(p, r) <= Hops(p, q)+Hops(q, r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	_ = c
+}
+
+func TestLatency(t *testing.T) {
+	m := Default12()
+	// Same tile still pays one hop (router traversal).
+	if got := m.Latency(Tile{1, 1}, Tile{1, 1}); got != 3 {
+		t.Errorf("same-tile latency = %d, want 3", got)
+	}
+	if got := m.Latency(Tile{0, 0}, Tile{3, 2}); got != 15 {
+		t.Errorf("corner latency = %d, want 15", got)
+	}
+}
+
+func TestPerimeter(t *testing.T) {
+	m := Default12()
+	per := m.perimeter()
+	// A 4x3 mesh has 4+4+2 = 10 boundary tiles.
+	if len(per) != 10 {
+		t.Fatalf("perimeter has %d tiles, want 10", len(per))
+	}
+	seen := map[Tile]bool{}
+	for _, tl := range per {
+		if seen[tl] {
+			t.Errorf("duplicate perimeter tile %v", tl)
+		}
+		seen[tl] = true
+		if tl.X != 0 && tl.X != m.W-1 && tl.Y != 0 && tl.Y != m.H-1 {
+			t.Errorf("tile %v not on boundary", tl)
+		}
+	}
+}
+
+func TestPerimeterDegenerate(t *testing.T) {
+	if got := (Mesh{W: 4, H: 1}).perimeter(); len(got) != 4 {
+		t.Errorf("1-row mesh perimeter = %d tiles", len(got))
+	}
+	if got := (Mesh{W: 1, H: 3}).perimeter(); len(got) != 3 {
+		t.Errorf("1-col mesh perimeter = %d tiles", len(got))
+	}
+	if got := (Mesh{}).perimeter(); len(got) != 0 {
+		t.Errorf("empty mesh perimeter = %d tiles", len(got))
+	}
+}
+
+func TestPortTileSpread(t *testing.T) {
+	m := Default12()
+	for _, total := range []int{1, 2, 4, 5, 8} {
+		seen := map[Tile]bool{}
+		for ch := 0; ch < total; ch++ {
+			tl := m.PortTile(ch, total)
+			if tl.X < 0 || tl.X >= m.W || tl.Y < 0 || tl.Y >= m.H {
+				t.Errorf("port %d/%d tile %v out of bounds", ch, total, tl)
+			}
+			seen[tl] = true
+		}
+		// Up to the perimeter size, ports should spread to distinct tiles.
+		want := total
+		if want > 10 {
+			want = 10
+		}
+		if len(seen) < want {
+			t.Errorf("%d ports share tiles: only %d distinct", total, len(seen))
+		}
+	}
+	// Degenerate total.
+	if m.PortTile(0, 0) != m.PortTile(0, 1) {
+		t.Error("zero total should behave as one port")
+	}
+}

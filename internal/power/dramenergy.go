@@ -1,0 +1,80 @@
+package power
+
+import "coaxial/internal/dram"
+
+// Counter-based DRAM energy integration, DRAMSim3-style: each command
+// class carries an energy cost derived from DDR5 IDD current specs, plus
+// background power split by bank state. This complements the Table V
+// utilization fit (Compute) with a first-principles model driven by the
+// simulator's activity counters.
+//
+// Energy constants are per 32-bit sub-channel device rank at VDD = 1.1 V,
+// derived from Micron DDR5-4800 datasheet currents (order-of-magnitude
+// faithful; the paper's absolute DIMM numbers come from DRAMSim3's model of
+// a 32 GB RDIMM, which these constants approximate within ~15%).
+const (
+	// EnergyACTpJ is the ACT+PRE pair energy per bank activation
+	// (~2 nJ to open and close an 8 KiB row).
+	EnergyACTpJ = 2_000.0
+	// EnergyRDpJ is a 64B read burst's energy at ~22 pJ/bit
+	// (column access + IO drive).
+	EnergyRDpJ = 11_000.0
+	// EnergyWRpJ is a 64B write burst's energy.
+	EnergyWRpJ = 11_500.0
+	// EnergyREFpJ is one all-bank refresh command's energy (IDD5 burst
+	// over tRFC for a 16 Gb device).
+	EnergyREFpJ = 150_000.0
+	// PowerActStandbyMW is background power per open bank (mW); a fully
+	// active rank draws ~70 mW of active standby.
+	PowerActStandbyMW = 2.2
+	// PowerPreStandbyMW is background power per closed bank (mW);
+	// ~51 mW per precharged rank.
+	PowerPreStandbyMW = 1.6
+)
+
+// DRAMEnergy summarizes integrated DRAM energy over a window.
+type DRAMEnergy struct {
+	ActivatePJ   float64
+	ReadPJ       float64
+	WritePJ      float64
+	RefreshPJ    float64
+	BackgroundPJ float64
+}
+
+// TotalPJ sums all components.
+func (e DRAMEnergy) TotalPJ() float64 {
+	return e.ActivatePJ + e.ReadPJ + e.WritePJ + e.RefreshPJ + e.BackgroundPJ
+}
+
+// AveragePowerW converts the integrated energy over windowCycles of the
+// 2.4 GHz clock into average watts.
+func (e DRAMEnergy) AveragePowerW(windowCycles int64) float64 {
+	if windowCycles <= 0 {
+		return 0
+	}
+	seconds := float64(windowCycles) / 2.4e9
+	return e.TotalPJ() * 1e-12 / seconds
+}
+
+// IntegrateDRAM computes energy from a sub-channel's (or aggregated
+// channel's) activity counters over windowCycles. banks is the total bank
+// count behind the counters (32 per sub-channel).
+func IntegrateDRAM(c dram.Counters, windowCycles int64, banks int) DRAMEnergy {
+	var e DRAMEnergy
+	e.ActivatePJ = float64(c.ACT) * EnergyACTpJ
+	e.ReadPJ = float64(c.RD) * EnergyRDpJ
+	e.WritePJ = float64(c.WR) * EnergyWRpJ
+	e.RefreshPJ = float64(c.REF) * EnergyREFpJ
+	if windowCycles > 0 && banks > 0 {
+		nsPerCycle := 1.0 / 2.4
+		activeBankNS := float64(c.ActiveBankCycles) * nsPerCycle
+		totalBankNS := float64(windowCycles) * float64(banks) * nsPerCycle
+		idleBankNS := totalBankNS - activeBankNS
+		if idleBankNS < 0 {
+			idleBankNS = 0
+		}
+		// mW * ns = pJ.
+		e.BackgroundPJ = activeBankNS*PowerActStandbyMW + idleBankNS*PowerPreStandbyMW
+	}
+	return e
+}

@@ -1,0 +1,121 @@
+// Package power implements the paper's §VI-F energy model: the 144-core
+// full-system power ledger (Table V) and the EDP / ED²P efficiency metrics,
+// scaled from the 12-core simulation's measured utilization and CPI.
+package power
+
+// Constants of the Table V ledger (watts, 144-core server).
+const (
+	// CommonPowerW covers cores, L1 and L2 (500 W TDP minus DDR MC/PHY
+	// and LLC shares).
+	CommonPowerW = 393.0
+	// DDRInterfaceWPerChannel is MC + PHY power per DDR5 channel.
+	DDRInterfaceWPerChannel = 13.0 / 12.0
+	// LLCPowerWPerMB is leakage + access power per MB of LLC (Cacti 7.0 @
+	// 22 nm; 94 W for the baseline's 288 MB).
+	LLCPowerWPerMB = 94.0 / 288.0
+	// PCIeLaneW is PCIe 5.0 interface power per lane (idle + dynamic).
+	PCIeLaneW = 0.2
+)
+
+// DIMM power model: a linear idle + utilization fit to DRAMSim3's model of
+// a 32 GB DDR5-4800 RDIMM, anchored at the paper's ledger (146 W for 12
+// DIMMs at the baseline's utilization, 358 W for 48 DIMMs at COAXIAL's).
+const (
+	DIMMIdleW        = 5.2
+	DIMMActiveSlopeW = 12.9 // additional watts at 100% channel utilization
+)
+
+// SystemSpec describes the scaled-up (144-core) configuration whose power
+// is being modelled.
+type SystemSpec struct {
+	Name string
+	// DDRChannels is the total DRAM channel (= DIMM) count.
+	DDRChannels int
+	// CXLLanes is the total PCIe lane count (0 for the DDR baseline).
+	CXLLanes int
+	// LLCMB is total LLC capacity.
+	LLCMB float64
+}
+
+// Baseline144 is Table V's baseline column: 12 DDR channels, 288 MB LLC.
+func Baseline144() SystemSpec {
+	return SystemSpec{Name: "DDR-based", DDRChannels: 12, LLCMB: 288}
+}
+
+// Coaxial144 is Table V's COAXIAL column: 48 DDR channels behind 48 x8 CXL
+// channels (384 lanes), 144 MB LLC.
+func Coaxial144() SystemSpec {
+	return SystemSpec{Name: "COAXIAL", DDRChannels: 48, CXLLanes: 384, LLCMB: 144}
+}
+
+// Ledger itemizes system power (Table V rows).
+type Ledger struct {
+	CommonW       float64
+	DDRInterfaceW float64
+	LLCW          float64
+	CXLInterfaceW float64
+	DIMMW         float64
+}
+
+// TotalW sums the ledger.
+func (l Ledger) TotalW() float64 {
+	return l.CommonW + l.DDRInterfaceW + l.LLCW + l.CXLInterfaceW + l.DIMMW
+}
+
+// Compute builds the ledger for a system at the measured average
+// per-channel DRAM utilization (0..1).
+func Compute(spec SystemSpec, channelUtilization float64) Ledger {
+	if channelUtilization < 0 {
+		channelUtilization = 0
+	}
+	if channelUtilization > 1 {
+		channelUtilization = 1
+	}
+	return Ledger{
+		CommonW:       CommonPowerW,
+		DDRInterfaceW: float64(spec.DDRChannels) * DDRInterfaceWPerChannel,
+		LLCW:          spec.LLCMB * LLCPowerWPerMB,
+		CXLInterfaceW: float64(spec.CXLLanes) * PCIeLaneW,
+		DIMMW:         float64(spec.DDRChannels) * (DIMMIdleW + DIMMActiveSlopeW*channelUtilization),
+	}
+}
+
+// Metrics are the paper's efficiency figures of merit.
+type Metrics struct {
+	PowerW    float64
+	CPI       float64
+	PerfPerW  float64 // 1/(CPI*power), arbitrary units
+	EDP       float64 // power * CPI^2 (lower is better)
+	ED2P      float64 // power * CPI^3 (lower is better)
+	RelPerfW  float64 // vs a reference, filled by Compare
+	RelEDP    float64
+	RelED2P   float64
+	RelFilled bool
+}
+
+// Evaluate computes the metrics for a ledger at the measured CPI.
+func Evaluate(l Ledger, cpi float64) Metrics {
+	p := l.TotalW()
+	m := Metrics{PowerW: p, CPI: cpi}
+	if cpi > 0 && p > 0 {
+		m.PerfPerW = 1 / (cpi * p)
+		m.EDP = p * cpi * cpi
+		m.ED2P = p * cpi * cpi * cpi
+	}
+	return m
+}
+
+// Compare fills the relative columns of `m` against a reference system.
+func Compare(m, ref Metrics) Metrics {
+	if ref.PerfPerW > 0 {
+		m.RelPerfW = m.PerfPerW / ref.PerfPerW
+	}
+	if m.EDP > 0 && ref.EDP > 0 {
+		m.RelEDP = m.EDP / ref.EDP
+	}
+	if m.ED2P > 0 && ref.ED2P > 0 {
+		m.RelED2P = m.ED2P / ref.ED2P
+	}
+	m.RelFilled = true
+	return m
+}

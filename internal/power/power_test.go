@@ -1,0 +1,177 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coaxial/internal/dram"
+)
+
+func TestLedgerComponentsNearPaper(t *testing.T) {
+	// At the paper's measured utilizations (54% baseline, COAXIAL lower
+	// per channel), the ledger should land near Table V's rows.
+	base := Compute(Baseline144(), 0.54)
+	// COAXIAL moves ~1.3x the absolute traffic over 4x the channels:
+	// per-channel utilization ~0.17.
+	coax := Compute(Coaxial144(), 0.17)
+
+	checks := []struct {
+		name       string
+		got, want  float64
+		tolPercent float64
+	}{
+		{"base common", base.CommonW, 393, 1},
+		{"base DDR if", base.DDRInterfaceW, 13, 1},
+		{"base LLC", base.LLCW, 94, 1},
+		{"base CXL", base.CXLInterfaceW, 0, 0.1},
+		{"base DIMM", base.DIMMW, 146, 12},
+		{"base total", base.TotalW(), 646, 5},
+		{"coax DDR if", coax.DDRInterfaceW, 52, 1},
+		{"coax LLC", coax.LLCW, 51, 10},
+		{"coax CXL", coax.CXLInterfaceW, 77, 1},
+		{"coax DIMM", coax.DIMMW, 358, 15},
+		{"coax total", coax.TotalW(), 931, 6},
+	}
+	for _, c := range checks {
+		tol := c.want * c.tolPercent / 100
+		if tol == 0 {
+			tol = 0.5
+		}
+		if math.Abs(c.got-c.want) > tol {
+			t.Errorf("%s = %.1f W, want %.0f W (±%.0f%%)", c.name, c.got, c.want, c.tolPercent)
+		}
+	}
+}
+
+func TestTableVHeadlineMetrics(t *testing.T) {
+	// Paper CPIs: baseline 2.05, COAXIAL 1.48 -> EDP 0.75x, ED2P 0.53x,
+	// perf/W 0.96.
+	b := Evaluate(Compute(Baseline144(), 0.54), 2.05)
+	c := Compare(Evaluate(Compute(Coaxial144(), 0.17), 1.48), b)
+	if c.RelEDP < 0.68 || c.RelEDP > 0.82 {
+		t.Errorf("relative EDP %.2f, paper 0.75", c.RelEDP)
+	}
+	if c.RelED2P < 0.46 || c.RelED2P > 0.60 {
+		t.Errorf("relative ED2P %.2f, paper 0.53", c.RelED2P)
+	}
+	if c.RelPerfW < 0.90 || c.RelPerfW > 1.02 {
+		t.Errorf("relative perf/W %.2f, paper 0.96", c.RelPerfW)
+	}
+}
+
+func TestEvaluateMath(t *testing.T) {
+	l := Ledger{CommonW: 100}
+	m := Evaluate(l, 2)
+	if m.EDP != 400 || m.ED2P != 800 {
+		t.Errorf("EDP=%v ED2P=%v", m.EDP, m.ED2P)
+	}
+	if m.PerfPerW != 1.0/200 {
+		t.Errorf("perf/W = %v", m.PerfPerW)
+	}
+	z := Evaluate(l, 0)
+	if z.EDP != 0 || z.PerfPerW != 0 {
+		t.Error("zero CPI guard")
+	}
+}
+
+func TestCompareSelfIsUnity(t *testing.T) {
+	m := Evaluate(Compute(Baseline144(), 0.5), 2)
+	c := Compare(m, m)
+	if c.RelEDP != 1 || c.RelED2P != 1 || c.RelPerfW != 1 || !c.RelFilled {
+		t.Errorf("self-compare: %+v", c)
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	lo := Compute(Baseline144(), -1)
+	hi := Compute(Baseline144(), 2)
+	if lo.DIMMW != Compute(Baseline144(), 0).DIMMW {
+		t.Error("negative utilization not clamped")
+	}
+	if hi.DIMMW != Compute(Baseline144(), 1).DIMMW {
+		t.Error("over-unity utilization not clamped")
+	}
+}
+
+func TestDIMMPowerMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ua := float64(a) / 255
+		ub := float64(b) / 255
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return Compute(Baseline144(), ua).DIMMW <= Compute(Baseline144(), ub).DIMMW
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEDPMonotoneInCPI(t *testing.T) {
+	l := Compute(Baseline144(), 0.5)
+	f := func(a, b uint8) bool {
+		ca := float64(a)/64 + 0.1
+		cb := float64(b)/64 + 0.1
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		return Evaluate(l, ca).EDP <= Evaluate(l, cb).EDP
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegrateDRAMComponents(t *testing.T) {
+	c := dram.Counters{ACT: 100, RD: 200, WR: 50, REF: 2, ActiveBankCycles: 10_000}
+	e := IntegrateDRAM(c, 100_000, 32)
+	if e.ActivatePJ != 100*EnergyACTpJ || e.ReadPJ != 200*EnergyRDpJ || e.WritePJ != 50*EnergyWRpJ {
+		t.Errorf("command energies: %+v", e)
+	}
+	if e.RefreshPJ != 2*EnergyREFpJ {
+		t.Errorf("refresh energy: %v", e.RefreshPJ)
+	}
+	if e.BackgroundPJ <= 0 {
+		t.Error("background energy missing")
+	}
+	if e.TotalPJ() <= e.ActivatePJ {
+		t.Error("total must exceed any component")
+	}
+	if e.AveragePowerW(100_000) <= 0 {
+		t.Error("average power")
+	}
+	if e.AveragePowerW(0) != 0 {
+		t.Error("zero-window guard")
+	}
+}
+
+func TestIntegrateDRAMBaselinePlausible(t *testing.T) {
+	// A sub-channel at ~80% utilization for 1 ms: energy-model power
+	// should land in the plausible per-device-rank band (0.2-3 W).
+	const window = 2_400_000 // 1 ms
+	// 80% bus utilization: one 64B line per 8 cycles at 100%.
+	lines := uint64(float64(window) * 0.8 / 8)
+	c := dram.Counters{
+		ACT:              lines / 3,
+		RD:               lines * 2 / 3,
+		WR:               lines / 3,
+		REF:              uint64(window / 9360),
+		ActiveBankCycles: uint64(window * 8), // ~8 banks open on average
+	}
+	p := IntegrateDRAM(c, window, 32).AveragePowerW(window)
+	// Half a DIMM's DRAM devices at high load: ~1-4 W.
+	if p < 1 || p > 4 {
+		t.Errorf("sub-channel power %.2f W outside plausible band", p)
+	}
+}
+
+func TestBackgroundFloorWhenIdle(t *testing.T) {
+	e := IntegrateDRAM(dram.Counters{}, 2_400_000, 32)
+	if e.BackgroundPJ <= 0 {
+		t.Error("idle rank must still draw precharge standby power")
+	}
+	if e.ActivatePJ+e.ReadPJ+e.WritePJ+e.RefreshPJ != 0 {
+		t.Error("no commands -> no dynamic energy")
+	}
+}

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"testing"
+
+	"coaxial/internal/trace"
+)
+
+// TestCalibrationTableIV runs every workload on the DDR baseline and
+// reports measured IPC and LLC MPKI against the paper's Table IV. It is a
+// characterization harness: assertions are loose (order-of-magnitude and
+// rank preservation), since the synthetic workloads approximate — not
+// replay — the originals. Run with -v for the full table.
+func TestCalibrationTableIV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	rc := RunConfig{WarmupInstr: 10_000, MeasureInstr: 60_000, Seed: 1}
+	cfg := Baseline()
+	t.Logf("%-15s %7s %7s %8s %8s %7s %7s", "workload", "IPC", "ref", "MPKI", "ref", "util%", "R:W")
+	for _, w := range trace.Workloads() {
+		res, err := Run(cfg, w, rc)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Params.Name, err)
+		}
+		rw := 0.0
+		if res.WriteGBs > 0 {
+			rw = res.ReadGBs / res.WriteGBs
+		}
+		t.Logf("%-15s %7.2f %7.2f %8.1f %8.1f %7.1f %7.1f",
+			w.Params.Name, res.IPC, w.PaperIPC, res.LLCMPKI, w.PaperMPKI, res.Utilization*100, rw)
+		if res.IPC <= 0 {
+			t.Errorf("%s: zero IPC", w.Params.Name)
+		}
+		if res.LLCMPKI <= 0 {
+			t.Errorf("%s: zero MPKI", w.Params.Name)
+		}
+	}
+}

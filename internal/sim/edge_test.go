@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"coaxial/internal/dram"
+	"coaxial/internal/trace"
+)
+
+func TestLoadLatencyRejectsBadUtil(t *testing.T) {
+	cfg := dram.DefaultConfig()
+	if _, err := LoadLatency(cfg, 0, 10, 10, 1); err == nil {
+		t.Error("zero utilization accepted")
+	}
+	if _, err := LoadLatency(cfg, 1.5, 10, 10, 1); err == nil {
+		t.Error("over-unity utilization accepted")
+	}
+}
+
+func TestLoadLatencyDeterministic(t *testing.T) {
+	cfg := dram.DefaultConfig()
+	a, err := LoadLatency(cfg, 0.3, 100, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadLatency(cfg, 0.3, 100, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestMixLabel(t *testing.T) {
+	w1, _ := trace.WorkloadByName("lbm")
+	w2, _ := trace.WorkloadByName("gcc")
+	if got := mixLabel([]trace.Workload{w1, w1, w1}); got != "lbm" {
+		t.Errorf("homogeneous label %q", got)
+	}
+	got := mixLabel([]trace.Workload{w1, w2})
+	if !strings.HasPrefix(got, "mix[") {
+		t.Errorf("heterogeneous label %q", got)
+	}
+	if mixLabel(nil) != "" {
+		t.Error("empty label")
+	}
+}
+
+// TestRandomWorkloadParamsNeverWedge: arbitrary (sane) generator
+// parameters must produce a system that finishes its instruction budget —
+// no deadlocks in MSHR/queue/backpressure interplay. Property-based with a
+// small count since each case simulates.
+func TestRandomWorkloadParamsNeverWedge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property simulation")
+	}
+	cfg := Baseline()
+	cfg.ActiveCores = 3 // keep each case cheap
+	f := func(memF, storeF, hotF, streamF, depF uint8, seed uint64) bool {
+		w := trace.Workload{Params: trace.Params{
+			Name:       "prop",
+			MemFrac:    0.05 + float64(memF%60)/100,
+			StoreFrac:  float64(storeF%100) / 100,
+			HotFrac:    float64(hotF%95) / 100,
+			StreamFrac: float64(streamF%100) / 100,
+			DepFrac:    float64(depF%100) / 100,
+			WSBytes:    8 << 20,
+		}}
+		rc := RunConfig{
+			WarmupInstr: 1_000, MeasureInstr: 6_000, Seed: seed%97 + 1,
+			FunctionalWarmupInstr: 20_000,
+		}
+		res, err := Run(cfg, w, rc)
+		if err != nil {
+			t.Logf("params %+v: %v", w.Params, err)
+			return false
+		}
+		return res.IPC > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSkipFunctionalWarmup exercises the RunConfig escape hatch.
+func TestSkipFunctionalWarmup(t *testing.T) {
+	w, err := trace.WorkloadByName("pop2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{WarmupInstr: 2_000, MeasureInstr: 8_000, Seed: 1, SkipFunctional: true}
+	res, err := Run(Baseline(), w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Error("run without functional warmup broke")
+	}
+}
+
+// TestCycleBudgetGuard: a pathological budget must produce an error, not a
+// hang.
+func TestCycleBudgetGuard(t *testing.T) {
+	w, err := trace.WorkloadByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{
+		WarmupInstr: 0, MeasureInstr: 1_000_000, Seed: 1,
+		MaxCyclesPerInstr: 1, // lbm's CPI is ~6: impossible budget
+		SkipFunctional:    true,
+	}
+	// The guard adds a 1M-cycle floor, so use a large measure target.
+	if _, err := Run(Baseline(), w, rc); err == nil {
+		t.Error("expected cycle-budget error")
+	}
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+
+	"coaxial/internal/clock"
+	"coaxial/internal/dram"
+	"coaxial/internal/memreq"
+	"coaxial/internal/stats"
+)
+
+// LoadLatencyPoint is one point of the Fig. 2a load-latency curve: a DDR5
+// channel driven with random reads at a target utilization.
+type LoadLatencyPoint struct {
+	TargetUtil   float64
+	AchievedGBs  float64
+	AchievedUtil float64
+	MeanNS       float64
+	P90NS        float64
+	P99NS        float64
+}
+
+// latCollector measures arrival-to-data-return latency per request.
+type latCollector struct {
+	hist *stats.Histogram
+	done int
+}
+
+func (lc *latCollector) Complete(r *memreq.Request, now int64) {
+	lc.hist.Add(now - r.Issue)
+	lc.done++
+}
+
+// LoadLatency drives one DDR channel with uniformly random reads arriving
+// as a Bernoulli process at the target utilization, measuring the latency
+// distribution over `requests` completed requests after `warmup` requests.
+// This regenerates the paper's Fig. 2a (queuing effects shape the curve).
+func LoadLatency(cfg dram.Config, targetUtil float64, warmup, requests int, seed uint64) (LoadLatencyPoint, error) {
+	if targetUtil <= 0 || targetUtil > 1.05 {
+		return LoadLatencyPoint{}, fmt.Errorf("sim: target utilization %v out of range", targetUtil)
+	}
+	ch := dram.NewChannel(cfg, cfg.SubChannels)
+	lc := &latCollector{hist: stats.NewHistogram(1<<15, 4)}
+
+	// One 64B line per request: lines per cycle at 100% utilization =
+	// peak bytes/cycle / 64.
+	linesPerCycle := clock.BytesPerCycle(cfg.PeakGBs()) / memreq.LineSize
+	p := targetUtil * linesPerCycle
+
+	rng := seed*0x9E3779B97F4A7C15 + 0x1234
+	next := func() uint64 {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 0x2545F4914F6CDD1D
+	}
+	rand01 := func() float64 { return float64(next()>>11) / (1 << 53) }
+
+	const addrSpace = 4 << 30 // 4 GiB of backing DRAM
+	total := warmup + requests
+	injected := 0
+	var backlog []*memreq.Request
+	var now int64
+	var startBytes uint64
+	var startCycle int64
+
+	for lc.done < total {
+		now++
+		if injected < total && rand01() < p {
+			r := &memreq.Request{
+				Addr:  (next() % (addrSpace / memreq.LineSize)) * memreq.LineSize,
+				Kind:  memreq.Read,
+				Core:  -1,
+				Issue: now,
+				Ret:   lc,
+			}
+			injected++
+			if len(backlog) > 0 || !ch.Enqueue(r, now) {
+				backlog = append(backlog, r)
+			}
+		}
+		for len(backlog) > 0 && ch.Enqueue(backlog[0], now) {
+			backlog = backlog[1:]
+		}
+		ch.Tick(now)
+		if lc.done == warmup && startCycle == 0 {
+			lc.hist.Reset()
+			c := ch.Counters()
+			startBytes = c.ReadBytes + c.WriteBytes
+			startCycle = now
+		}
+		if now > int64(total)*100000 {
+			return LoadLatencyPoint{}, fmt.Errorf("sim: load-latency run stalled at %d/%d", lc.done, total)
+		}
+	}
+
+	c := ch.Counters()
+	span := now - startCycle
+	gbs := stats.GBs(c.ReadBytes+c.WriteBytes-startBytes, span)
+	return LoadLatencyPoint{
+		TargetUtil:   targetUtil,
+		AchievedGBs:  gbs,
+		AchievedUtil: stats.Utilization(gbs, cfg.PeakGBs()),
+		MeanNS:       clock.NS(int64(lc.hist.Mean() + 0.5)),
+		P90NS:        clock.NS(lc.hist.Percentile(90)),
+		P99NS:        clock.NS(lc.hist.Percentile(99)),
+	}, nil
+}
+
+// LoadLatencySweep runs LoadLatency across utilization points.
+func LoadLatencySweep(cfg dram.Config, utils []float64, warmup, requests int, seed uint64) ([]LoadLatencyPoint, error) {
+	var out []LoadLatencyPoint
+	for _, u := range utils {
+		pt, err := LoadLatency(cfg, u, warmup, requests, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+
+	"coaxial/internal/dram"
+)
+
+// TestLoadLatencyShape checks the Fig. 2a phenomena: unloaded latency near
+// DDR5's ~40 ns, monotone growth with load, p90 growing faster than the
+// mean, and a steep knee at high utilization.
+func TestLoadLatencyShape(t *testing.T) {
+	cfg := dram.DefaultConfig()
+	utils := []float64{0.05, 0.2, 0.4, 0.6, 0.8}
+	pts, err := LoadLatencySweep(cfg, utils, 500, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		t.Logf("target=%.0f%% achieved=%.1fGB/s (%.0f%%) mean=%.0fns p90=%.0fns p99=%.0fns",
+			p.TargetUtil*100, p.AchievedGBs, p.AchievedUtil*100, p.MeanNS, p.P90NS, p.P99NS)
+	}
+	if pts[0].MeanNS < 20 || pts[0].MeanNS > 70 {
+		t.Errorf("unloaded latency %vns outside DDR5 plausibility [20,70]", pts[0].MeanNS)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MeanNS+2 < pts[i-1].MeanNS {
+			t.Errorf("mean latency must not drop with load: %v then %v", pts[i-1].MeanNS, pts[i].MeanNS)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.MeanNS < 2*pts[0].MeanNS {
+		t.Errorf("knee too shallow: 80%% load mean %.0fns < 2x unloaded %.0fns", last.MeanNS, pts[0].MeanNS)
+	}
+	if last.P90NS <= last.MeanNS {
+		t.Errorf("p90 (%.0f) should exceed mean (%.0f) under load", last.P90NS, last.MeanNS)
+	}
+}

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"fmt"
+
+	"coaxial/internal/calm"
+	"coaxial/internal/clock"
+	"coaxial/internal/dram"
+	"coaxial/internal/stats"
+	"coaxial/internal/trace"
+)
+
+// RunConfig controls an experiment's simulation windows.
+type RunConfig struct {
+	// FunctionalWarmupInstr is the per-core timing-free warmup budget that
+	// brings cache contents to steady state (so LLC fills and dirty
+	// write-back traffic are representative). Zero uses the default of
+	// 1M instructions; set to a negative-like sentinel via SkipFunctional
+	// to disable.
+	FunctionalWarmupInstr uint64
+	// SkipFunctional disables functional warmup entirely.
+	SkipFunctional bool
+	// WarmupInstr is the per-core timed warmup budget (queues, predictors
+	// and DRAM state settle; statistics are discarded).
+	WarmupInstr uint64
+	// MeasureInstr is the per-core measured instruction budget.
+	MeasureInstr uint64
+	// Seed determinizes workload generation.
+	Seed uint64
+	// MaxCyclesPerInstr bounds runaway simulations (cycles budget =
+	// MaxCyclesPerInstr * instructions, per phase). Default 400.
+	MaxCyclesPerInstr int64
+}
+
+// DefaultRunConfig returns the standard experiment windows. The paper
+// simulates 200M instructions per core after 50M of warmup; our synthetic
+// workloads are stationary by construction, so far shorter windows are
+// representative (see DESIGN.md §4).
+func DefaultRunConfig() RunConfig {
+	return RunConfig{WarmupInstr: 40_000, MeasureInstr: 150_000, Seed: 1}
+}
+
+// Result aggregates one experiment's measurements.
+type Result struct {
+	Config   string
+	Workload string
+
+	// Cycles is the measured window length (to the last core's finish).
+	Cycles int64
+	// PerCoreIPC is each active core's measured IPC.
+	PerCoreIPC []float64
+	// IPC is the mean per-core IPC; CPI its inverse.
+	IPC float64
+	CPI float64
+
+	// L2-miss latency breakdown, average nanoseconds per L2 miss
+	// (Fig. 2b / Fig. 5 middle).
+	OnChipNS  float64
+	QueueNS   float64
+	ServiceNS float64
+	CXLNS     float64
+	TotalNS   float64
+
+	// Latency distribution of L2 misses (ns).
+	P50NS, P90NS, P99NS float64
+
+	// Memory traffic over the measured window.
+	ReadGBs     float64
+	WriteGBs    float64
+	PeakGBs     float64
+	Utilization float64
+
+	// LLC behaviour.
+	LLCMPKI      float64
+	LLCMissRatio float64
+
+	// CALM decision tallies (Fig. 7b).
+	CALM calm.Decisions
+	// FPDiscarded counts discarded CALM false-positive responses.
+	FPDiscarded uint64
+
+	// DRAM raw activity (power model input).
+	DRAM dram.Counters
+
+	// Retired is the total instructions retired in the window (including
+	// overshoot by cores that finished early and kept running).
+	Retired uint64
+}
+
+// Run executes one experiment: cfg's system running the same workload on
+// every active core (the paper's rate mode).
+func Run(cfg Config, w trace.Workload, rc RunConfig) (Result, error) {
+	wl := make([]trace.Workload, cfg.active())
+	for i := range wl {
+		wl[i] = w
+	}
+	res, err := RunMix(cfg, wl, rc)
+	res.Workload = w.Params.Name
+	return res, err
+}
+
+// RunMix executes one experiment with per-core workloads (Fig. 6 mixes).
+func RunMix(cfg Config, workloads []trace.Workload, rc RunConfig) (Result, error) {
+	if rc.MeasureInstr == 0 {
+		return Result{}, fmt.Errorf("sim: zero measure window")
+	}
+	if rc.MaxCyclesPerInstr <= 0 {
+		rc.MaxCyclesPerInstr = 400
+	}
+	sys, err := NewSystem(cfg, workloads, rc.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	if !rc.SkipFunctional {
+		hints := make([]trace.Params, len(workloads))
+		for i, w := range workloads {
+			hints[i] = w.Params
+		}
+		sys.prefillLLC(hints, rc.Seed)
+		fw := rc.FunctionalWarmupInstr
+		if fw == 0 {
+			fw = 1_000_000
+		}
+		sys.functionalWarmup(fw)
+	}
+	if rc.WarmupInstr > 0 {
+		budget := int64(rc.WarmupInstr)*rc.MaxCyclesPerInstr + 1_000_000
+		if err := sys.runPhase(rc.WarmupInstr, budget); err != nil {
+			return Result{}, err
+		}
+	}
+	sys.resetStats()
+	budget := int64(rc.MeasureInstr)*rc.MaxCyclesPerInstr + 1_000_000
+	if err := sys.runPhase(rc.MeasureInstr, budget); err != nil {
+		return Result{}, err
+	}
+	return sys.collect(workloads), nil
+}
+
+// RunGenerators executes one experiment over caller-provided generators
+// (e.g. trace replays). hints may be nil (no LLC pre-fill; the trace
+// should carry its own warmup).
+func RunGenerators(cfg Config, gens []trace.Generator, hints []trace.Params, rc RunConfig) (Result, error) {
+	if rc.MeasureInstr == 0 {
+		return Result{}, fmt.Errorf("sim: zero measure window")
+	}
+	if rc.MaxCyclesPerInstr <= 0 {
+		rc.MaxCyclesPerInstr = 400
+	}
+	sys, err := NewSystemGens(cfg, gens, hints)
+	if err != nil {
+		return Result{}, err
+	}
+	if !rc.SkipFunctional {
+		if hints != nil {
+			sys.prefillLLC(hints, rc.Seed)
+		}
+		fw := rc.FunctionalWarmupInstr
+		if fw == 0 {
+			fw = 1_000_000
+		}
+		sys.functionalWarmup(fw)
+	}
+	if rc.WarmupInstr > 0 {
+		budget := int64(rc.WarmupInstr)*rc.MaxCyclesPerInstr + 1_000_000
+		if err := sys.runPhase(rc.WarmupInstr, budget); err != nil {
+			return Result{}, err
+		}
+	}
+	sys.resetStats()
+	budget := int64(rc.MeasureInstr)*rc.MaxCyclesPerInstr + 1_000_000
+	if err := sys.runPhase(rc.MeasureInstr, budget); err != nil {
+		return Result{}, err
+	}
+	res := sys.collect(nil)
+	names := make([]string, 0, len(gens))
+	for _, g := range gens {
+		names = append(names, g.Name())
+	}
+	if len(names) > 0 {
+		res.Workload = names[0]
+		for _, n := range names[1:] {
+			if n != res.Workload {
+				res.Workload = fmt.Sprintf("trace-mix[%s,...x%d]", names[0], len(names))
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// collect snapshots measurements after the measure phase.
+func (s *System) collect(workloads []trace.Workload) Result {
+	res := Result{
+		Config:      s.cfg.Name,
+		Workload:    mixLabel(workloads),
+		PeakGBs:     s.peakGBs(),
+		CALM:        s.policy.Decisions(),
+		FPDiscarded: s.fpDiscarded,
+	}
+
+	var retired uint64
+	for _, c := range s.cores {
+		res.PerCoreIPC = append(res.PerCoreIPC, c.IPC(s.now))
+		retired += c.Stats().Retired
+	}
+	res.Retired = retired
+	res.IPC = stats.Mean(res.PerCoreIPC)
+	if res.IPC > 0 {
+		res.CPI = 1 / res.IPC
+	}
+
+	// Window: from the stats reset to now. The cores recorded their own
+	// finish cycles; traffic counters ran to s.now.
+	window := s.windowCycles()
+	res.Cycles = window
+
+	o, q, sv, cx := s.breakdown.Means()
+	res.OnChipNS = clock.NS(int64(o + 0.5))
+	res.QueueNS = clock.NS(int64(q + 0.5))
+	res.ServiceNS = clock.NS(int64(sv + 0.5))
+	res.CXLNS = clock.NS(int64(cx + 0.5))
+	res.TotalNS = res.OnChipNS + res.QueueNS + res.ServiceNS + res.CXLNS
+	res.P50NS = clock.NS(s.hist.Percentile(50))
+	res.P90NS = clock.NS(s.hist.Percentile(90))
+	res.P99NS = clock.NS(s.hist.Percentile(99))
+
+	var dc dram.Counters
+	for _, b := range s.backends {
+		c := b.Counters()
+		dc.ACT += c.ACT
+		dc.PRE += c.PRE
+		dc.RD += c.RD
+		dc.WR += c.WR
+		dc.REF += c.REF
+		dc.ReadBytes += c.ReadBytes
+		dc.WriteBytes += c.WriteBytes
+		dc.ActiveBankCycles += c.ActiveBankCycles
+		dc.RowHits += c.RowHits
+		dc.RowMisses += c.RowMisses
+	}
+	res.DRAM = dc
+	res.ReadGBs = stats.GBs(dc.ReadBytes, window)
+	res.WriteGBs = stats.GBs(dc.WriteBytes, window)
+	res.Utilization = stats.Utilization(res.ReadGBs+res.WriteGBs, res.PeakGBs)
+
+	lst := s.llc.Stats()
+	if retired > 0 {
+		res.LLCMPKI = float64(lst.Misses) / (float64(retired) / 1000)
+	}
+	if lst.Accesses > 0 {
+		res.LLCMissRatio = float64(lst.Misses) / float64(lst.Accesses)
+	}
+	return res
+}
+
+// windowCycles returns the measured window length.
+func (s *System) windowCycles() int64 {
+	var start int64
+	if len(s.cores) > 0 {
+		// All cores were reset at the same cycle.
+		start = s.cores[0].MeasureStart()
+	}
+	return s.now - start
+}
+
+// mixLabel names a workload assignment.
+func mixLabel(workloads []trace.Workload) string {
+	if len(workloads) == 0 {
+		return ""
+	}
+	first := workloads[0].Params.Name
+	for _, w := range workloads[1:] {
+		if w.Params.Name != first {
+			return fmt.Sprintf("mix[%s,...x%d]", first, len(workloads))
+		}
+	}
+	return first
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+
+	"coaxial/internal/trace"
+)
+
+// TestSmokeBaselineVsCoaxial runs one bandwidth-bound workload on the
+// baseline and COAXIAL-4x and checks the headline phenomenon: COAXIAL's
+// extra channels cut queuing delay enough to beat the baseline despite the
+// CXL latency premium.
+func TestSmokeBaselineVsCoaxial(t *testing.T) {
+	w, err := trace.WorkloadByName("stream-copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{WarmupInstr: 10_000, MeasureInstr: 40_000, Seed: 1}
+
+	base, err := Run(Baseline(), w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coax, err := Run(Coaxial4x(), w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("baseline: IPC=%.3f util=%.1f%% lat=%.0fns (onchip %.0f queue %.0f svc %.0f cxl %.0f) mpki=%.1f rd=%.1f wr=%.1f GB/s",
+		base.IPC, base.Utilization*100, base.TotalNS, base.OnChipNS, base.QueueNS, base.ServiceNS, base.CXLNS,
+		base.LLCMPKI, base.ReadGBs, base.WriteGBs)
+	t.Logf("coaxial4x: IPC=%.3f util=%.1f%% lat=%.0fns (onchip %.0f queue %.0f svc %.0f cxl %.0f) mpki=%.1f rd=%.1f wr=%.1f GB/s",
+		coax.IPC, coax.Utilization*100, coax.TotalNS, coax.OnChipNS, coax.QueueNS, coax.ServiceNS, coax.CXLNS,
+		coax.LLCMPKI, coax.ReadGBs, coax.WriteGBs)
+	t.Logf("speedup=%.2fx", coax.IPC/base.IPC)
+
+	if base.IPC <= 0 || coax.IPC <= 0 {
+		t.Fatalf("degenerate IPCs: base=%v coax=%v", base.IPC, coax.IPC)
+	}
+	if coax.IPC <= base.IPC {
+		t.Errorf("COAXIAL-4x should beat the baseline on stream-copy: %.3f vs %.3f", coax.IPC, base.IPC)
+	}
+	if base.QueueNS <= coax.QueueNS {
+		t.Errorf("queuing should shrink: base %.0fns vs coax %.0fns", base.QueueNS, coax.QueueNS)
+	}
+	if coax.CXLNS <= 0 {
+		t.Errorf("COAXIAL must report CXL interface time, got %.1fns", coax.CXLNS)
+	}
+	if base.CXLNS != 0 {
+		t.Errorf("baseline must not report CXL time, got %.1fns", base.CXLNS)
+	}
+}

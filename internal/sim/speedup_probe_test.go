@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"testing"
+
+	"coaxial/internal/stats"
+	"coaxial/internal/trace"
+)
+
+// TestProbeSpeedups is a development probe: per-workload COAXIAL-4x
+// speedup across the whole suite. Skipped in -short.
+func TestProbeSpeedups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow probe")
+	}
+	rc := RunConfig{WarmupInstr: 10_000, MeasureInstr: 60_000, Seed: 1}
+	var sp []float64
+	for _, w := range trace.Workloads() {
+		b, err := Run(Baseline(), w, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Run(Coaxial4x(), w, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := c.IPC / b.IPC
+		sp = append(sp, s)
+		t.Logf("%-15s speedup=%.2f (base lat %4.0fns q%4.0f | coax lat %4.0fns q%4.0f cxl%3.0f) calm(fp%4.1f%% fn%4.1f%%)",
+			w.Params.Name, s, b.TotalNS, b.QueueNS, c.TotalNS, c.QueueNS, c.CXLNS,
+			c.CALM.FPRate()*100, c.CALM.FNRate()*100)
+	}
+	t.Logf("MEAN speedup = %.3f (geomean %.3f)", stats.Mean(sp), stats.Geomean(sp))
+}

@@ -1,0 +1,513 @@
+package sim
+
+import (
+	"fmt"
+
+	"coaxial/internal/cache"
+	"coaxial/internal/calm"
+	"coaxial/internal/cpu"
+	"coaxial/internal/cxl"
+	"coaxial/internal/dram"
+	"coaxial/internal/memreq"
+	"coaxial/internal/noc"
+	"coaxial/internal/stats"
+	"coaxial/internal/trace"
+)
+
+// counterBackend is a memory backend that also exposes DRAM activity
+// counters; both dram.Channel and cxl.Channel satisfy it.
+type counterBackend interface {
+	memreq.Backend
+	Counters() dram.Counters
+	ResetCounters()
+	Idle() bool
+}
+
+// spillItem is a request refused by a full backend ingress queue, held for
+// in-order retry.
+type spillItem struct {
+	r  *memreq.Request
+	at int64
+}
+
+// System is one assembled simulated machine.
+type System struct {
+	cfg  Config
+	mesh noc.Mesh
+
+	cores []*cpu.Core
+	l1    []*cache.Cache
+	l2    []*cache.Cache
+	llc   *cache.LLC
+
+	backends  []counterBackend
+	portTiles []noc.Tile
+	coreTiles []noc.Tile
+	iv        memreq.Interleave
+
+	policy calm.Policy
+
+	// spill holds requests refused by full backend queues, per channel and
+	// split by kind so writes cannot head-of-line-block reads.
+	spillR [][]spillItem
+	spillW [][]spillItem
+
+	// prefillHints, when non-nil, drives synthetic LLC pre-fill.
+	prefillHints []trace.Params
+
+	measuring bool
+	// muteWrites suppresses write-back requests during functional warmup
+	// (the memory system is not being timed yet).
+	muteWrites bool
+	breakdown  stats.Breakdown
+	hist       *stats.Histogram
+	// fpDiscarded counts CALM false-positive responses dropped on arrival.
+	fpDiscarded uint64
+
+	now int64
+}
+
+// NewSystem assembles a system running the given per-core workloads
+// (len(workloads) must equal the active core count; inactive cores idle).
+func NewSystem(cfg Config, workloads []trace.Workload, seed uint64) (*System, error) {
+	active := cfg.active()
+	if len(workloads) != active {
+		return nil, fmt.Errorf("sim: %d workloads for %d active cores", len(workloads), active)
+	}
+	gens := make([]trace.Generator, active)
+	hints := make([]trace.Params, active)
+	for i, w := range workloads {
+		base := (uint64(i) + 1) << 40 // disjoint per-instance address spaces
+		gens[i] = trace.NewSynthetic(w.Params, base, seed*1_000_003+uint64(i)+1)
+		hints[i] = w.Params
+	}
+	return NewSystemGens(cfg, gens, hints)
+}
+
+// NewSystemGens assembles a system over caller-provided instruction
+// generators (e.g. recorded trace replays). hints, when non-nil, supplies
+// per-core workload parameters used for LLC pre-fill and the dispatch-rate
+// cap; pass nil to skip pre-fill (then provide enough warmup in the trace
+// itself).
+func NewSystemGens(cfg Config, gens []trace.Generator, hints []trace.Params) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	active := cfg.active()
+	if len(gens) != active {
+		return nil, fmt.Errorf("sim: %d generators for %d active cores", len(gens), active)
+	}
+	if hints != nil && len(hints) != active {
+		return nil, fmt.Errorf("sim: %d prefill hints for %d active cores", len(hints), active)
+	}
+
+	s := &System{
+		cfg:  cfg,
+		mesh: cfg.Mesh,
+		iv:   memreq.Interleave{Channels: cfg.Channels},
+		hist: stats.NewHistogram(6000, 4), // up to 2.5 us at 1.67 ns buckets
+	}
+
+	s.llc = cache.NewLLC(cfg.Cores, cfg.LLCSliceBytes, cfg.LLCAssoc, cfg.LLCLatency)
+
+	// Memory backends and their mesh-perimeter port placement.
+	systemSubs := cfg.Channels * cfg.DDR.SubChannels
+	if cfg.Kind == CXLAttached {
+		systemSubs = cfg.Channels * cfg.CXL.DDRChannels * cfg.DDR.SubChannels
+	}
+	for ch := 0; ch < cfg.Channels; ch++ {
+		switch cfg.Kind {
+		case DirectDDR:
+			s.backends = append(s.backends, dram.NewChannel(cfg.DDR, systemSubs))
+		case CXLAttached:
+			ccfg := cfg.CXL
+			ccfg.DDR = cfg.DDR
+			s.backends = append(s.backends, cxl.NewChannel(ccfg, systemSubs))
+		}
+		s.portTiles = append(s.portTiles, cfg.Mesh.PortTile(ch, cfg.Channels))
+	}
+	s.spillR = make([][]spillItem, cfg.Channels)
+	s.spillW = make([][]spillItem, cfg.Channels)
+
+	s.policy = calm.New(cfg.CALM, cfg.Cores, s.peakGBs())
+
+	for i := 0; i < cfg.Cores; i++ {
+		s.coreTiles = append(s.coreTiles, cfg.Mesh.CoreTile(i))
+		s.l1 = append(s.l1, cache.New(cfg.L1))
+		s.l2 = append(s.l2, cache.New(cfg.L2))
+	}
+	for i := 0; i < active; i++ {
+		ipcCap := 0.0
+		if hints != nil {
+			ipcCap = hints[i].IPCCap
+		}
+		s.cores = append(s.cores, cpu.New(i, gens[i], s, cfg.MSHRs, ipcCap))
+	}
+	s.prefillHints = hints
+	return s, nil
+}
+
+// peakGBs sums backend peak bandwidths.
+func (s *System) peakGBs() float64 {
+	var total float64
+	switch s.cfg.Kind {
+	case DirectDDR:
+		total = float64(s.cfg.Channels) * s.cfg.DDR.PeakGBs()
+	case CXLAttached:
+		total = float64(s.cfg.Channels*s.cfg.CXL.DDRChannels) * s.cfg.DDR.PeakGBs()
+	}
+	return total
+}
+
+// chOf maps an address to its memory channel.
+func (s *System) chOf(addr uint64) int { return s.iv.ChannelOf(addr) }
+
+// Access implements cpu.Hierarchy: the full L1 -> L2 -> (CALM?) -> LLC ->
+// memory path for a first access to a line.
+func (s *System) Access(core int, addr, pc uint64, store bool, now int64) cpu.PathResult {
+	line := memreq.LineAddr(addr)
+
+	if s.l1[core].Lookup(line, store) {
+		return cpu.PathResult{When: now + s.l1[core].Latency()}
+	}
+	t1 := now + s.l1[core].Latency()
+
+	if s.l2[core].Lookup(line, store) {
+		// Move up to L1 (write-allocate); victim may cascade.
+		s.installL1(core, line, store)
+		return cpu.PathResult{When: t1 + s.l2[core].Latency()}
+	}
+	t2 := t1 + s.l2[core].Latency() // the L2 miss register (paper's datum)
+
+	sliceIdx := s.llc.SliceOf(line)
+	sliceTile := s.coreTiles[sliceIdx]
+	nocTo := s.mesh.Latency(s.coreTiles[core], sliceTile)
+	llcHit := s.llc.Lookup(line, false)
+
+	doCALM := false
+	if s.cfg.CALM.Kind != calm.Off {
+		doCALM = s.policy.Decide(core, pc, t2, func() bool { return llcHit })
+	}
+	s.policy.Observe(core, pc, llcHit, doCALM)
+
+	ch := s.chOf(line)
+	portTile := s.portTiles[ch]
+
+	if llcHit {
+		when := t2 + nocTo + s.llc.Latency() + nocTo
+		s.installPrivate(core, line, store, when)
+		if doCALM {
+			// False positive: the concurrent memory request was already
+			// launched; its response will be discarded on arrival.
+			r := &memreq.Request{
+				Addr: line, Kind: memreq.Read, Core: int16(core),
+				CALM: true, Discard: true, Issue: t2, Ret: s,
+			}
+			s.send(r, ch, t2+s.mesh.Latency(s.coreTiles[core], portTile))
+		}
+		if s.measuring {
+			s.breakdown.Add(when-t2, 0, 0, 0)
+			s.hist.Add(when - t2)
+		}
+		return cpu.PathResult{When: when}
+	}
+
+	// LLC miss: go to memory. The LLC's (miss) response still returns to
+	// the L2; a CALM access may not complete before it (coherence rule).
+	llcAck := t2 + nocTo + s.llc.Latency() + nocTo
+	r := &memreq.Request{
+		Addr: line, Kind: memreq.Read, Core: int16(core),
+		CALM: doCALM, Issue: t2, Ret: s,
+	}
+	var at int64
+	if doCALM {
+		at = t2 + s.mesh.Latency(s.coreTiles[core], portTile)
+		r.AckAt = llcAck
+	} else {
+		at = t2 + nocTo + s.llc.Latency() + s.mesh.Latency(sliceTile, portTile)
+	}
+	s.send(r, ch, at)
+	return cpu.PathResult{Async: true}
+}
+
+// Complete implements memreq.Completer: memory data arrived back at the
+// processor (direct DDR: straight from the controller; CXL: after the
+// response path).
+func (s *System) Complete(r *memreq.Request, now int64) {
+	if r.Kind == memreq.Write {
+		return
+	}
+	if r.Discard {
+		s.fpDiscarded++
+		return
+	}
+	core := int(r.Core)
+	line := memreq.LineAddr(r.Addr)
+	nocBack := s.mesh.Latency(s.portTiles[s.chOf(line)], s.coreTiles[core])
+	when := now + nocBack + s.cfg.FillLatency
+	if r.AckAt > when {
+		when = r.AckAt
+	}
+
+	dirty := s.cores[coreSlot(s, core)].ResolveMiss(line, when)
+	s.fillFromMemory(core, line, dirty, now)
+
+	if s.measuring {
+		total := when - r.Issue
+		queue := r.QueueDelay() + r.Spill
+		service := r.ServiceTime()
+		onchip := total - queue - service - r.CXLTime
+		s.breakdown.Add(onchip, queue, service, r.CXLTime)
+		s.hist.Add(total)
+	}
+}
+
+// coreSlot maps a core ID to its index in s.cores (identical while
+// inactive cores are always the trailing ones).
+func coreSlot(s *System, id int) int { return id }
+
+// fillFromMemory installs a returning line in the LLC and private levels.
+func (s *System) fillFromMemory(core int, line uint64, dirty bool, now int64) {
+	v := s.llc.Fill(line, false)
+	if v.Valid && v.Dirty {
+		s.writeback(v.Addr, now)
+	}
+	s.installPrivate(core, line, dirty, now)
+}
+
+// installPrivate fills L2 then L1, cascading dirty victims downward.
+func (s *System) installPrivate(core int, line uint64, dirty bool, now int64) {
+	if v := s.l2[core].Fill(line, dirty); v.Valid && v.Dirty {
+		s.l2VictimToLLC(v.Addr, now)
+	}
+	s.installL1(core, line, dirty)
+}
+
+// installL1 fills L1; its dirty victims land in the L2 (which may in turn
+// displace a victim to the LLC; timestamps use the current tick).
+func (s *System) installL1(core int, line uint64, dirty bool) {
+	if v := s.l1[core].Fill(line, dirty); v.Valid && v.Dirty {
+		if v2 := s.l2[core].Fill(v.Addr, true); v2.Valid && v2.Dirty {
+			s.l2VictimToLLC(v2.Addr, s.now)
+		}
+	}
+}
+
+// l2VictimToLLC absorbs a dirty L2 victim into the LLC (non-inclusive
+// victim write-back); a dirty LLC victim goes to memory.
+func (s *System) l2VictimToLLC(addr uint64, now int64) {
+	if v := s.llc.Fill(addr, true); v.Valid && v.Dirty {
+		s.writeback(v.Addr, now)
+	}
+}
+
+// writeback sends a dirty 64B line to memory.
+func (s *System) writeback(addr uint64, now int64) {
+	if s.muteWrites {
+		return
+	}
+	ch := s.chOf(addr)
+	r := &memreq.Request{Addr: addr, Kind: memreq.Write, Core: -1, Issue: now}
+	sliceTile := s.coreTiles[s.llc.SliceOf(addr)]
+	s.send(r, ch, now+s.mesh.Latency(sliceTile, s.portTiles[ch]))
+}
+
+// send enqueues a request, spilling to the retry queue on backpressure.
+func (s *System) send(r *memreq.Request, ch int, at int64) {
+	q := &s.spillR[ch]
+	if r.Kind == memreq.Write {
+		q = &s.spillW[ch]
+	}
+	if len(*q) == 0 && s.backends[ch].Enqueue(r, at) {
+		return
+	}
+	*q = append(*q, spillItem{r: r, at: at})
+}
+
+// flushSpill retries refused requests in FIFO order per kind.
+func (s *System) flushSpill(now int64) {
+	for ch := range s.backends {
+		s.flushOne(&s.spillR[ch], ch, now)
+		s.flushOne(&s.spillW[ch], ch, now)
+	}
+}
+
+func (s *System) flushOne(qp *[]spillItem, ch int, now int64) {
+	q := *qp
+	n := 0
+	for n < len(q) {
+		it := q[n]
+		at := it.at
+		if at < now {
+			at = now
+		}
+		if !s.backends[ch].Enqueue(it.r, at) {
+			break
+		}
+		it.r.Spill += at - it.at
+		n++
+	}
+	if n > 0 {
+		*qp = q[n:]
+	}
+}
+
+// step advances the whole system one cycle.
+func (s *System) step() {
+	s.now++
+	now := s.now
+	for _, c := range s.cores {
+		c.Tick(now)
+	}
+	s.flushSpill(now)
+	for _, b := range s.backends {
+		b.Tick(now)
+	}
+}
+
+// prefillLLC synthesizes steady-state LLC content directly: the LLC is
+// filled to capacity with addresses drawn from each core's cold-access
+// distribution, dirty at the workload's store probability. Reaching this
+// state through simulation alone would need tens of millions of warmup
+// instructions for low-MPKI workloads (the LLC holds ~375k lines); the
+// paper's 50M-instruction warmup serves the same role. Without a full LLC
+// there are no evictions, hence no write-back traffic, in short windows.
+func (s *System) prefillLLC(hints []trace.Params, seed uint64) {
+	totalLines := 0
+	for i := 0; i < s.llc.Slices(); i++ {
+		totalLines += s.llc.Slice(i).Sets() * s.cfg.LLCAssoc
+	}
+	// Per-core weights proportional to cold-line fill rates.
+	weights := make([]float64, len(hints))
+	var wsum float64
+	for i, p := range hints {
+		stride := float64(p.ElemStride)
+		if stride <= 0 {
+			stride = 64
+		}
+		lineFrac := p.StreamFrac*minf(1, stride/64) + (1 - p.StreamFrac)
+		weights[i] = p.MemFrac * (1 - p.HotFrac) * lineFrac
+		if weights[i] <= 0 {
+			weights[i] = 1e-6
+		}
+		wsum += weights[i]
+	}
+	rng := seed*2654435761 + 0x9E3779B97F4A7C15
+	next := func() uint64 {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 0x2545F4914F6CDD1D
+	}
+	// Overfill by 30% so set-conflict duplicates still leave sets full.
+	for i, p := range hints {
+		base := (uint64(i) + 1) << 40
+		wsLines := p.WSBytes / memreq.LineSize
+		if wsLines == 0 {
+			wsLines = 1
+		}
+		n := int(float64(totalLines) * 1.3 * weights[i] / wsum)
+		for k := 0; k < n; k++ {
+			addr := base + (next()%wsLines)*memreq.LineSize
+			dirty := float64(next()>>11)/(1<<53) < p.StoreFrac
+			s.llc.Fill(addr, dirty)
+		}
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// functionalWarmup streams instructions through the cache hierarchy with
+// no timing, bringing cache contents (including dirty lines, hence
+// write-back traffic) to steady state far faster than timed simulation.
+// The paper's 50M-instruction warmup serves the same purpose.
+func (s *System) functionalWarmup(perCore uint64) {
+	s.muteWrites = true
+	var ins trace.Instr
+	for i, c := range s.cores {
+		gen := c.Gen()
+		for k := uint64(0); k < perCore; k++ {
+			gen.Next(&ins)
+			if !ins.IsMem {
+				continue
+			}
+			line := memreq.LineAddr(ins.Addr)
+			if s.l1[i].Lookup(line, ins.IsStore) {
+				continue
+			}
+			if s.l2[i].Lookup(line, ins.IsStore) {
+				s.installL1(i, line, ins.IsStore)
+				continue
+			}
+			// Seed the LLC's dirty bits directly for store-fetched lines:
+			// in steady state a written line's dirty bit reaches the LLC
+			// through L2 eviction, a pipeline whose fill time would
+			// otherwise dwarf the measured window (DESIGN.md §4).
+			if !s.llc.Lookup(line, ins.IsStore) {
+				s.llc.Fill(line, ins.IsStore)
+			}
+			s.installPrivate(i, line, ins.IsStore, 0)
+		}
+	}
+	s.muteWrites = false
+}
+
+// BenchSteps advances the system n cycles (benchmark support).
+func (s *System) BenchSteps(n int) {
+	for i := 0; i < n; i++ {
+		s.step()
+	}
+}
+
+// resetStats zeroes all measurement state at the warmup boundary.
+func (s *System) resetStats() {
+	for _, c := range s.cores {
+		c.ResetStats(s.now)
+	}
+	for _, l := range s.l1 {
+		l.ResetStats()
+	}
+	for _, l := range s.l2 {
+		l.ResetStats()
+	}
+	s.llc.ResetStats()
+	for _, b := range s.backends {
+		b.ResetCounters()
+	}
+	s.policy.Reset()
+	s.breakdown = stats.Breakdown{}
+	s.hist.Reset()
+	s.fpDiscarded = 0
+	s.measuring = true
+}
+
+// runPhase executes until every core retires `target` instructions
+// (counted from the last stats reset), bounded by maxCycles.
+func (s *System) runPhase(target uint64, maxCycles int64) error {
+	for _, c := range s.cores {
+		c.SetTarget(target)
+	}
+	limit := s.now + maxCycles
+	for {
+		done := true
+		for _, c := range s.cores {
+			if !c.Done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		if s.now >= limit {
+			return fmt.Errorf("sim: %s: exceeded cycle budget (%d cycles for %d instructions)",
+				s.cfg.Name, maxCycles, target)
+		}
+		s.step()
+	}
+}

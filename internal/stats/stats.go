@@ -1,0 +1,300 @@
+// Package stats provides the statistics machinery used across the COAXIAL
+// simulator: streaming histograms with percentile queries, latency
+// breakdown accumulators, and bandwidth accounting windows.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-bucket streaming histogram for latency samples
+// measured in cycles. It supports mean and arbitrary percentile queries.
+// Buckets are linear up to Cap; samples beyond Cap land in an overflow
+// bucket whose contribution to percentiles is Cap (a conservative floor).
+type Histogram struct {
+	buckets  []uint64
+	width    int64
+	capLimit int64
+	count    uint64
+	sum      uint64
+	max      int64
+	overflow uint64
+}
+
+// NewHistogram creates a histogram covering [0, capLimit) cycles with the
+// given bucket width in cycles.
+func NewHistogram(capLimit, width int64) *Histogram {
+	if width < 1 {
+		width = 1
+	}
+	n := capLimit / width
+	if n < 1 {
+		n = 1
+	}
+	return &Histogram{
+		buckets:  make([]uint64, n),
+		width:    width,
+		capLimit: n * width,
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += uint64(v)
+	if v > h.max {
+		h.max = v
+	}
+	if v >= h.capLimit {
+		h.overflow++
+		return
+	}
+	h.buckets[v/h.width]++
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average sample value, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the maximum recorded sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile returns the p-th percentile (0 < p <= 100) using bucket
+// midpoints. Overflow samples report the histogram cap.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 0.0001
+	}
+	if p > 100 {
+		p = 100
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= target {
+			return int64(i)*h.width + h.width/2
+		}
+	}
+	return h.capLimit
+}
+
+// Merge adds all samples of other into h. The histograms must share the
+// same geometry.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if h.width != other.width || len(h.buckets) != len(other.buckets) {
+		return fmt.Errorf("stats: merging histograms with mismatched geometry")
+	}
+	for i, b := range other.buckets {
+		h.buckets[i] += b
+	}
+	h.count += other.count
+	h.sum += other.sum
+	h.overflow += other.overflow
+	if other.max > h.max {
+		h.max = other.max
+	}
+	return nil
+}
+
+// Reset clears all recorded samples.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count, h.sum, h.overflow, h.max = 0, 0, 0, 0
+}
+
+// Breakdown accumulates the components of L2-miss (memory access) latency
+// the paper's figures decompose: on-chip time (NoC + LLC), queuing delay at
+// the DDR controller, DRAM service time, and CXL interface time.
+type Breakdown struct {
+	Count   uint64
+	OnChip  uint64
+	Queue   uint64
+	Service uint64
+	CXL     uint64
+}
+
+// Add records one request's component latencies (cycles).
+func (b *Breakdown) Add(onchip, queue, service, cxl int64) {
+	b.Count++
+	b.OnChip += clampU(onchip)
+	b.Queue += clampU(queue)
+	b.Service += clampU(service)
+	b.CXL += clampU(cxl)
+}
+
+func clampU(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// Merge adds other's samples into b.
+func (b *Breakdown) Merge(other Breakdown) {
+	b.Count += other.Count
+	b.OnChip += other.OnChip
+	b.Queue += other.Queue
+	b.Service += other.Service
+	b.CXL += other.CXL
+}
+
+// Means returns the average of each component in cycles.
+func (b *Breakdown) Means() (onchip, queue, service, cxl float64) {
+	if b.Count == 0 {
+		return 0, 0, 0, 0
+	}
+	n := float64(b.Count)
+	return float64(b.OnChip) / n, float64(b.Queue) / n, float64(b.Service) / n, float64(b.CXL) / n
+}
+
+// TotalMean returns the average total L2-miss latency in cycles.
+func (b *Breakdown) TotalMean() float64 {
+	o, q, s, c := b.Means()
+	return o + q + s + c
+}
+
+// Bandwidth tracks bytes moved over an interval and converts to GB/s and
+// utilization against a peak.
+type Bandwidth struct {
+	ReadBytes  uint64
+	WriteBytes uint64
+}
+
+// AddRead/AddWrite record one 64-byte line transfer by default; callers may
+// pass other sizes.
+func (b *Bandwidth) AddRead(n int)  { b.ReadBytes += uint64(n) }
+func (b *Bandwidth) AddWrite(n int) { b.WriteBytes += uint64(n) }
+
+// Merge adds other's bytes into b.
+func (b *Bandwidth) Merge(other Bandwidth) {
+	b.ReadBytes += other.ReadBytes
+	b.WriteBytes += other.WriteBytes
+}
+
+// Total returns read+write bytes.
+func (b *Bandwidth) Total() uint64 { return b.ReadBytes + b.WriteBytes }
+
+// GBs converts bytes over the given cycle span to GB/s (cycle = 1/2.4 ns).
+func GBs(bytes uint64, cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	seconds := float64(cycles) / 2.4e9
+	return float64(bytes) / 1e9 / seconds
+}
+
+// Utilization returns achieved/peak bandwidth as a fraction in [0, +inf).
+func Utilization(achievedGBs, peakGBs float64) float64 {
+	if peakGBs <= 0 {
+		return 0
+	}
+	return achievedGBs / peakGBs
+}
+
+// Geomean returns the geometric mean of a slice of positive values, or 0 if
+// the slice is empty or contains a non-positive value.
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vals)))
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Quantile returns the q-th (0..1) quantile of vals by sorting a copy;
+// intended for small offline aggregations, not hot paths.
+func Quantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), vals...)
+	sort.Float64s(c)
+	if q <= 0 {
+		return c[0]
+	}
+	if q >= 1 {
+		return c[len(c)-1]
+	}
+	idx := q * float64(len(c)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(c) {
+		return c[len(c)-1]
+	}
+	return c[lo]*(1-frac) + c[lo+1]*frac
+}
+
+// Welford accumulates a running mean and variance (Welford's online
+// algorithm), used for multi-seed experiment aggregation.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds in one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }

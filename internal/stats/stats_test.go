@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramMeanCountMax(t *testing.T) {
+	h := NewHistogram(1000, 10)
+	for _, v := range []int64{10, 20, 30, 40} {
+		h.Add(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Mean() != 25 {
+		t.Errorf("mean = %v, want 25", h.Mean())
+	}
+	if h.Max() != 40 {
+		t.Errorf("max = %v, want 40", h.Max())
+	}
+}
+
+func TestHistogramPercentileAgainstExact(t *testing.T) {
+	h := NewHistogram(10000, 1)
+	rng := rand.New(rand.NewSource(3))
+	var vals []int64
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.ExpFloat64() * 200)
+		vals = append(vals, v)
+		h.Add(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, p := range []float64{50, 90, 99} {
+		exact := vals[int(p/100*float64(len(vals)))-1]
+		got := h.Percentile(p)
+		if math.Abs(float64(got-exact)) > math.Max(4, float64(exact)/20) {
+			t.Errorf("p%v = %d, exact %d", p, got, exact)
+		}
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	h := NewHistogram(1<<12, 4)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		h.Add(int64(rng.Intn(5000))) // includes overflow
+	}
+	f := func(a, b uint8) bool {
+		p1 := float64(a%100) + 0.5
+		p2 := float64(b%100) + 0.5
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return h.Percentile(p1) <= h.Percentile(p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(100, 10)
+	h.Add(1 << 30)
+	if got := h.Percentile(99); got != 100 {
+		t.Errorf("overflow percentile = %d, want cap 100", got)
+	}
+	if h.Count() != 1 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	a := NewHistogram(1000, 10)
+	b := NewHistogram(1000, 10)
+	a.Add(100)
+	b.Add(300)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 2 || a.Mean() != 200 {
+		t.Errorf("merged count=%d mean=%v", a.Count(), a.Mean())
+	}
+	c := NewHistogram(1000, 20)
+	if err := a.Merge(c); err == nil {
+		t.Error("mismatched geometry merge must fail")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Error("nil merge should be a no-op")
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Mean() != 0 || a.Max() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(100, 1)
+	h.Add(-50)
+	if h.Mean() != 0 {
+		t.Errorf("negative sample should clamp to 0, mean=%v", h.Mean())
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(10, 20, 30, 40)
+	b.Add(20, 40, 60, 80)
+	o, q, s, c := b.Means()
+	if o != 15 || q != 30 || s != 45 || c != 60 {
+		t.Errorf("means = %v %v %v %v", o, q, s, c)
+	}
+	if b.TotalMean() != 150 {
+		t.Errorf("total = %v", b.TotalMean())
+	}
+	var other Breakdown
+	other.Add(0, 0, 0, 0)
+	b.Merge(other)
+	if b.Count != 3 {
+		t.Errorf("merged count = %d", b.Count)
+	}
+	// Negative components clamp.
+	var neg Breakdown
+	neg.Add(-5, -5, -5, -5)
+	if neg.TotalMean() != 0 {
+		t.Errorf("negative components must clamp: %v", neg.TotalMean())
+	}
+}
+
+func TestBreakdownEmptyMeans(t *testing.T) {
+	var b Breakdown
+	if o, q, s, c := b.Means(); o != 0 || q != 0 || s != 0 || c != 0 {
+		t.Error("empty breakdown must report zeros")
+	}
+}
+
+func TestGBs(t *testing.T) {
+	// 16 bytes per cycle at 2.4 GHz = 38.4 GB/s.
+	got := GBs(16*1000, 1000)
+	if math.Abs(got-38.4) > 1e-9 {
+		t.Errorf("GBs = %v, want 38.4", got)
+	}
+	if GBs(100, 0) != 0 {
+		t.Error("zero window must yield 0")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	if Utilization(19.2, 38.4) != 0.5 {
+		t.Error("utilization math")
+	}
+	if Utilization(1, 0) != 0 {
+		t.Error("zero peak guard")
+	}
+}
+
+func TestGeomeanMeanQuantile(t *testing.T) {
+	if g := Geomean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean = %v", g)
+	}
+	if Geomean(nil) != 0 || Geomean([]float64{1, 0}) != 0 {
+		t.Error("geomean guards")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Error("mean empty")
+	}
+	vals := []float64{5, 1, 3, 2, 4}
+	if Quantile(vals, 0) != 1 || Quantile(vals, 1) != 5 {
+		t.Error("quantile extremes")
+	}
+	if q := Quantile(vals, 0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	// Input must not be mutated.
+	if vals[0] != 5 {
+		t.Error("quantile mutated its input")
+	}
+}
+
+func TestGeomeanLEMean(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v) + 1
+		}
+		return Geomean(vals) <= Mean(vals)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	var b Bandwidth
+	b.AddRead(64)
+	b.AddWrite(128)
+	if b.Total() != 192 {
+		t.Errorf("total = %d", b.Total())
+	}
+	var o Bandwidth
+	o.AddRead(8)
+	b.Merge(o)
+	if b.ReadBytes != 72 {
+		t.Errorf("merged reads = %d", b.ReadBytes)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 || w.Mean() != 5 {
+		t.Errorf("n=%d mean=%v", w.N(), w.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(w.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance %v", w.Variance())
+	}
+	var empty Welford
+	if empty.Variance() != 0 || empty.Std() != 0 {
+		t.Error("empty welford guards")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var w Welford
+	var xs []float64
+	for i := 0; i < 500; i++ {
+		x := rng.NormFloat64()*3 + 10
+		xs = append(xs, x)
+		w.Add(x)
+	}
+	if math.Abs(w.Mean()-Mean(xs)) > 1e-9 {
+		t.Errorf("mean mismatch: %v vs %v", w.Mean(), Mean(xs))
+	}
+}

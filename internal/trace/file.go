@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file implements a compact binary trace format so instruction
+// streams can be recorded once and replayed deterministically — the same
+// workflow as the paper's artifact, which replays ChampSim traces. A
+// recorded trace also lets non-Go tooling generate workloads for this
+// simulator.
+//
+// Format (little-endian):
+//
+//	header:  magic "CXTR" | u16 version | u16 name length | name bytes
+//	records: one per instruction, tagged by a flag byte:
+//	         bit0 IsMem, bit1 IsStore, bit2 Dependent
+//	         non-mem:  flags(0) | u8 execLat
+//	         mem:      flags | u8 execLat | uvarint addrDelta(zigzag)
+//	                   | uvarint pcIndex
+//
+// Memory addresses are delta-encoded (zigzag) against the previous memory
+// address; PCs are dictionary-encoded (uvarint index into a table built in
+// first-use order), keeping streams a few bytes per instruction.
+// Non-memory instructions carry only their execution latency — the core
+// model never reads their PC or address.
+
+const (
+	traceMagic   = "CXTR"
+	traceVersion = 1
+
+	flagMem       = 1 << 0
+	flagStore     = 1 << 1
+	flagDependent = 1 << 2
+)
+
+// Writer streams instructions to a trace file.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr uint64
+	pcIndex  map[uint64]uint64
+	pcs      []uint64
+	count    uint64
+	err      error
+}
+
+// NewWriter writes a trace header for the named workload.
+func NewWriter(w io.Writer, name string) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], traceVersion)
+	if len(name) > 1<<15 {
+		return nil, fmt.Errorf("trace: workload name too long (%d bytes)", len(name))
+	}
+	binary.LittleEndian.PutUint16(hdr[2:4], uint16(len(name)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, pcIndex: make(map[uint64]uint64)}, nil
+}
+
+// zigzag encodes a signed delta as unsigned.
+func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+// unzigzag decodes.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one instruction.
+func (t *Writer) Write(ins Instr) error {
+	if t.err != nil {
+		return t.err
+	}
+	var flags byte
+	if ins.IsMem {
+		flags |= flagMem
+	}
+	if ins.IsStore {
+		flags |= flagStore
+	}
+	if ins.Dependent {
+		flags |= flagDependent
+	}
+	lat := ins.ExecLat
+	if lat < 1 {
+		lat = 1
+	}
+	buf := make([]byte, 0, 2+2*binary.MaxVarintLen64)
+	buf = append(buf, flags, byte(lat))
+	if ins.IsMem {
+		buf = binary.AppendUvarint(buf, zigzag(int64(ins.Addr)-int64(t.prevAddr)))
+		t.prevAddr = ins.Addr
+		idx, ok := t.pcIndex[ins.PC]
+		if !ok {
+			idx = uint64(len(t.pcs))
+			t.pcIndex[ins.PC] = idx
+			t.pcs = append(t.pcs, ins.PC)
+			// First use: emit the index with the high bit pattern
+			// (idx*2+1) followed by the literal PC; repeats emit idx*2.
+			buf = binary.AppendUvarint(buf, idx*2+1)
+			buf = binary.AppendUvarint(buf, ins.PC)
+		} else {
+			buf = binary.AppendUvarint(buf, idx*2)
+		}
+	}
+	if _, err := t.w.Write(buf); err != nil {
+		t.err = err
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// Count returns instructions written so far.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush drains buffered output.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Record captures n instructions from a generator into w.
+func Record(w io.Writer, g Generator, n uint64) error {
+	tw, err := NewWriter(w, g.Name())
+	if err != nil {
+		return err
+	}
+	var ins Instr
+	for i := uint64(0); i < n; i++ {
+		g.Next(&ins)
+		if err := tw.Write(ins); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Reader replays a recorded trace as a Generator. When the trace is
+// exhausted it either loops (rewinding requires an io.ReadSeeker) or, for
+// plain readers, repeats the final instruction stream from an in-memory
+// ring of the last instructions — callers that need faithful looping
+// should pass a ReadSeeker.
+type Reader struct {
+	name     string
+	br       *bufio.Reader
+	seeker   io.ReadSeeker
+	bodyOff  int64
+	prevAddr uint64
+	pcs      []uint64
+	// Err records the first decode error; the Reader degrades to
+	// repeating no-ops so simulation code need not handle mid-run errors.
+	Err error
+}
+
+// NewReader parses the header. The reader must be positioned at the start
+// of the trace. If r is an io.ReadSeeker the trace loops seamlessly.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, errors.New("trace: bad magic (not a CXTR trace)")
+	}
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(hdr[2:4]))
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	t := &Reader{name: string(name), br: br}
+	if s, ok := r.(io.ReadSeeker); ok {
+		t.seeker = s
+		t.bodyOff = int64(4 + 4 + nameLen)
+	}
+	return t, nil
+}
+
+// Name implements Generator.
+func (t *Reader) Name() string { return t.name }
+
+// rewind restarts the trace body (loop replay).
+func (t *Reader) rewind() bool {
+	if t.seeker == nil {
+		return false
+	}
+	if _, err := t.seeker.Seek(t.bodyOff, io.SeekStart); err != nil {
+		t.Err = err
+		return false
+	}
+	t.br.Reset(t.seeker)
+	t.prevAddr = 0
+	t.pcs = t.pcs[:0]
+	return true
+}
+
+// Next implements Generator. On EOF the trace loops (with a ReadSeeker) or
+// degrades to no-ops; decode errors also degrade to no-ops with Err set.
+func (t *Reader) Next(ins *Instr) {
+	*ins = Instr{ExecLat: 1}
+	if t.Err != nil {
+		return
+	}
+	flags, err := t.br.ReadByte()
+	if err != nil {
+		// Loop the trace at most once per Next: an empty-body trace would
+		// otherwise rewind forever.
+		if errors.Is(err, io.EOF) && t.rewind() {
+			flags, err = t.br.ReadByte()
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Err = err
+			}
+			return
+		}
+	}
+	lat, err := t.br.ReadByte()
+	if err != nil {
+		t.Err = fmt.Errorf("trace: truncated record: %w", err)
+		return
+	}
+	if lat == 0 || lat > 127 {
+		lat = 1 // clamp corrupt latencies to a sane instruction
+	}
+	ins.ExecLat = int8(lat)
+	if flags&flagMem == 0 {
+		return
+	}
+	ins.IsMem = true
+	ins.IsStore = flags&flagStore != 0
+	ins.Dependent = flags&flagDependent != 0
+	delta, err := binary.ReadUvarint(t.br)
+	if err != nil {
+		t.Err = fmt.Errorf("trace: truncated address: %w", err)
+		*ins = Instr{ExecLat: 1}
+		return
+	}
+	addr := uint64(int64(t.prevAddr) + unzigzag(delta))
+	t.prevAddr = addr
+	ins.Addr = addr
+	tag, err := binary.ReadUvarint(t.br)
+	if err != nil {
+		t.Err = fmt.Errorf("trace: truncated pc: %w", err)
+		*ins = Instr{ExecLat: 1}
+		return
+	}
+	if tag&1 == 1 {
+		pc, err := binary.ReadUvarint(t.br)
+		if err != nil {
+			t.Err = fmt.Errorf("trace: truncated pc literal: %w", err)
+			*ins = Instr{ExecLat: 1}
+			return
+		}
+		idx := tag >> 1
+		if idx != uint64(len(t.pcs)) {
+			t.Err = fmt.Errorf("trace: pc dictionary out of sync (idx %d, have %d)", idx, len(t.pcs))
+			*ins = Instr{ExecLat: 1}
+			return
+		}
+		t.pcs = append(t.pcs, pc)
+		ins.PC = pc
+		return
+	}
+	idx := tag >> 1
+	if idx >= uint64(len(t.pcs)) {
+		t.Err = fmt.Errorf("trace: pc index %d beyond dictionary (%d)", idx, len(t.pcs))
+		*ins = Instr{ExecLat: 1}
+		return
+	}
+	ins.PC = t.pcs[idx]
+}

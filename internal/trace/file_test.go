@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	w, err := WorkloadByName("PageRank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	gen := NewSynthetic(w.Params, 1<<40, 7)
+	ref := NewSynthetic(w.Params, 1<<40, 7)
+
+	var buf bytes.Buffer
+	if err := Record(&buf, gen, n); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "PageRank" {
+		t.Errorf("name %q", r.Name())
+	}
+	var got, want Instr
+	for i := 0; i < n; i++ {
+		ref.Next(&want)
+		r.Next(&got)
+		if !want.IsMem {
+			// The format drops PC/Addr for non-memory instructions (the
+			// core never reads them).
+			want.PC, want.Addr = 0, 0
+		}
+		if got != want {
+			t.Fatalf("instr %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if r.Err != nil {
+		t.Fatalf("reader error: %v", r.Err)
+	}
+	t.Logf("trace size: %d bytes for %d instructions (%.2f B/instr)",
+		buf.Len(), n, float64(buf.Len())/n)
+}
+
+func TestTraceLoops(t *testing.T) {
+	w, _ := WorkloadByName("pop2")
+	gen := NewSynthetic(w.Params, 1<<40, 3)
+	var buf bytes.Buffer
+	const n = 200
+	if err := Record(&buf, gen, n); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read two full laps: the second must equal the first.
+	lap1 := make([]Instr, n)
+	lap2 := make([]Instr, n)
+	for i := range lap1 {
+		r.Next(&lap1[i])
+	}
+	for i := range lap2 {
+		r.Next(&lap2[i])
+	}
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	for i := range lap1 {
+		if lap1[i] != lap2[i] {
+			t.Fatalf("loop mismatch at %d: %+v vs %+v", i, lap1[i], lap2[i])
+		}
+	}
+}
+
+func TestTraceEOFWithoutSeeker(t *testing.T) {
+	w, _ := WorkloadByName("pop2")
+	gen := NewSynthetic(w.Params, 1<<40, 3)
+	var buf bytes.Buffer
+	if err := Record(&buf, gen, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Wrap in a Reader that is not a Seeker.
+	r, err := NewReader(io.MultiReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins Instr
+	for i := 0; i < 60; i++ {
+		r.Next(&ins)
+	}
+	// Past EOF: degrades to no-ops, no error.
+	if r.Err != nil {
+		t.Errorf("EOF should not set Err: %v", r.Err)
+	}
+	if ins.IsMem {
+		t.Error("post-EOF instruction should be a no-op")
+	}
+}
+
+func TestTraceBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOPE....")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(strings.NewReader("CX")); err == nil {
+		t.Error("truncated magic accepted")
+	}
+}
+
+func TestTraceTruncatedBody(t *testing.T) {
+	w, _ := WorkloadByName("kmeans")
+	gen := NewSynthetic(w.Params, 1<<40, 3)
+	var buf bytes.Buffer
+	if err := Record(&buf, gen, 100); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(io.MultiReader(bytes.NewReader(cut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins Instr
+	for i := 0; i < 120; i++ {
+		r.Next(&ins) // must not panic; sets Err at the cut
+	}
+	if r.Err == nil {
+		t.Error("truncated body not detected")
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(d int64) bool { return unzigzag(zigzag(d)) == d }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceCompression(t *testing.T) {
+	// Streaming traces should delta-encode tightly: well under 8 bytes
+	// per instruction.
+	w, _ := WorkloadByName("stream-copy")
+	gen := NewSynthetic(w.Params, 1<<40, 5)
+	var buf bytes.Buffer
+	const n = 10_000
+	if err := Record(&buf, gen, n); err != nil {
+		t.Fatal(err)
+	}
+	perInstr := float64(buf.Len()) / n
+	if perInstr > 8 {
+		t.Errorf("trace too fat: %.2f bytes/instr", perInstr)
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := tw.Write(Instr{ExecLat: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tw.Count() != 5 {
+		t.Errorf("count %d", tw.Count())
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader: arbitrary bytes must never panic the trace reader; it either
+// rejects the header or degrades to no-ops with Err set.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace and mutations of it.
+	w, _ := WorkloadByName("pop2")
+	gen := NewSynthetic(w.Params, 1<<40, 1)
+	var buf bytes.Buffer
+	if err := Record(&buf, gen, 200); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("CXTR"))
+	f.Add([]byte{})
+	f.Add([]byte("CXTR\x01\x00\x04\x00abcd\xff\xff\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected at the header: fine
+		}
+		var ins Instr
+		for i := 0; i < 500; i++ {
+			r.Next(&ins)
+			if ins.ExecLat < 1 && !ins.IsMem {
+				t.Fatalf("invalid decoded instruction: %+v", ins)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip: any instruction sequence encodes and decodes losslessly
+// (modulo dropped non-mem PC/Addr).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(100))
+	f.Add(uint64(42), uint16(999))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint16) {
+		n := int(nRaw%500) + 1
+		p := Params{Name: "fz", MemFrac: 0.4, StoreFrac: 0.3, WSBytes: 1 << 20,
+			HotFrac: 0.3, StreamFrac: 0.4, DepFrac: 0.2}
+		gen := NewSynthetic(p, 1<<40, seed)
+		ref := NewSynthetic(p, 1<<40, seed)
+		var buf bytes.Buffer
+		if err := Record(&buf, gen, uint64(n)); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, want Instr
+		for i := 0; i < n; i++ {
+			ref.Next(&want)
+			r.Next(&got)
+			if !want.IsMem {
+				want.PC, want.Addr = 0, 0
+			}
+			if got != want {
+				t.Fatalf("instr %d mismatch: %+v vs %+v", i, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,291 @@
+// Package trace generates the synthetic instruction streams that stand in
+// for the paper's SPEC CPU2017, LIGRA, PARSEC, STREAM, Masstree and Kmeans
+// execution traces (see DESIGN.md, substitution 1).
+//
+// Each workload is a parameterized stationary process: a fraction of
+// instructions are memory operations; memory operations split between a
+// small hot set (private-cache resident), sequential streams, and random
+// accesses over a large working set; a fraction of loads depend on the
+// previous load (pointer chasing); and an on/off phase modulation produces
+// bursty arrivals. Parameters per workload are calibrated against the
+// paper's published IPC/MPKI (Table IV) and read:write mix (Fig. 9).
+package trace
+
+import "coaxial/internal/memreq"
+
+// Instr is one instruction handed to the core model.
+type Instr struct {
+	// Addr is the byte address of a memory operation (line-aligned use is
+	// up to the cache model); meaningless when IsMem is false.
+	Addr uint64
+	// PC is a synthetic program counter identifying the access site
+	// (stable per pattern source), used by PC-indexed predictors (MAP-I).
+	PC uint64
+	// ExecLat is the execution latency of a non-memory instruction.
+	ExecLat int8
+	// IsMem marks loads/stores.
+	IsMem bool
+	// IsStore marks stores (write-allocate; RFO on miss).
+	IsStore bool
+	// Dependent marks a load that must wait for the previous load's data
+	// before issuing (address dependency / pointer chase).
+	Dependent bool
+}
+
+// Generator produces a deterministic instruction stream.
+type Generator interface {
+	// Next fills ins with the next instruction.
+	Next(ins *Instr)
+	// Name identifies the workload.
+	Name() string
+}
+
+// Params parameterizes a synthetic workload. See the package comment for
+// the generation model.
+type Params struct {
+	Name string
+
+	// MemFrac is the fraction of instructions that are memory operations.
+	MemFrac float64
+	// StoreFrac is the fraction of memory operations that are stores.
+	StoreFrac float64
+
+	// WSBytes is the cold working set per workload instance.
+	WSBytes uint64
+	// HotBytes is the hot set (private-cache resident); defaults to 128 KiB.
+	HotBytes uint64
+	// HotFrac is the fraction of memory operations hitting the hot set.
+	HotFrac float64
+	// StreamFrac is the fraction of *cold* accesses that are sequential.
+	StreamFrac float64
+	// Streams is the number of concurrent sequential streams (default 4).
+	Streams int
+	// ElemStride is the stream advance in bytes per access (64 = one line
+	// per access; 8 models 8-byte-element kernels like STREAM where the
+	// L1 absorbs 7 of every 8 accesses).
+	ElemStride uint64
+
+	// DepFrac is the fraction of loads carrying a dependency on the
+	// previous load.
+	DepFrac float64
+
+	// BurstOn/BurstOff, when nonzero, modulate memory intensity in
+	// instruction-count phases: all memory activity concentrates in the
+	// on-phase (scaled to preserve the average MemFrac).
+	BurstOn, BurstOff int
+
+	// ExecLat is the completion latency of non-memory instructions
+	// (an ILP knob; 1 = fully pipelined independent work).
+	ExecLat int
+
+	// IPCCap bounds the core's average dispatch rate (instructions per
+	// cycle), modelling the application's inherent ILP limits (execution
+	// dependency chains, branch behaviour) that the simplified core does
+	// not capture microarchitecturally. 0 means the full 4-wide width.
+	IPCCap float64
+}
+
+// withDefaults fills zero-valued fields.
+func (p Params) withDefaults() Params {
+	if p.HotBytes == 0 {
+		p.HotBytes = 128 << 10
+	}
+	if p.Streams <= 0 {
+		p.Streams = 4
+	}
+	if p.ElemStride == 0 {
+		p.ElemStride = memreq.LineSize
+	}
+	if p.ExecLat <= 0 {
+		p.ExecLat = 1
+	}
+	if p.WSBytes == 0 {
+		p.WSBytes = 32 << 20
+	}
+	return p
+}
+
+// rng is a xorshift64* PRNG: deterministic, fast, no allocation.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// f64 returns a uniform float64 in [0, 1).
+func (r *rng) f64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Synthetic implements Generator for Params.
+type Synthetic struct {
+	p    Params
+	r    rng
+	base uint64
+
+	effOn float64 // memory fraction during the on phase
+	phase int     // instructions remaining in the current phase
+	inOn  bool
+
+	// Load and store traffic sweep disjoint stream sets (like STREAM's
+	// distinct source/destination arrays), so only store-targeted lines
+	// become dirty and the read:write traffic mix stays realistic.
+	loadStreams  []uint64
+	storeStreams []uint64
+	loadIdx      int
+	storeIdx     int
+
+	wsLines  uint64
+	hotLines uint64
+}
+
+// NewSynthetic builds a generator for one workload instance. base is the
+// instance's address-space base (per-core disjoint regions); seed
+// determinizes the stream.
+func NewSynthetic(p Params, base, seed uint64) *Synthetic {
+	p = p.withDefaults()
+	g := &Synthetic{
+		p:        p,
+		r:        newRNG(seed ^ 0xA5A5_5A5A_DEAD_BEEF),
+		base:     base,
+		wsLines:  p.WSBytes / memreq.LineSize,
+		hotLines: p.HotBytes / memreq.LineSize,
+	}
+	if g.wsLines == 0 {
+		g.wsLines = 1
+	}
+	if g.hotLines == 0 {
+		g.hotLines = 1
+	}
+	if p.BurstOn > 0 && p.BurstOff > 0 {
+		g.effOn = p.MemFrac * float64(p.BurstOn+p.BurstOff) / float64(p.BurstOn)
+		if g.effOn > 0.95 {
+			g.effOn = 0.95
+		}
+		g.inOn = true
+		g.phase = p.BurstOn
+	} else {
+		g.effOn = p.MemFrac
+		g.inOn = true
+		g.phase = -1
+	}
+	// Partition streams into load- and store-targeted sets, spreading
+	// start points across the working set.
+	nStore := 0
+	if p.StoreFrac > 0 {
+		nStore = int(float64(p.Streams)*p.StoreFrac + 0.5)
+		if nStore < 1 {
+			nStore = 1
+		}
+		if nStore >= p.Streams {
+			nStore = p.Streams - 1
+		}
+		if nStore < 1 { // Streams == 1 with stores: share the one stream
+			nStore = 0
+		}
+	}
+	all := make([]uint64, p.Streams)
+	for i := range all {
+		all[i] = (uint64(i) * p.WSBytes / uint64(p.Streams)) &^ (memreq.LineSize - 1)
+	}
+	g.loadStreams = all[:p.Streams-nStore]
+	g.storeStreams = all[p.Streams-nStore:]
+	if len(g.storeStreams) == 0 {
+		g.storeStreams = g.loadStreams
+	}
+	return g
+}
+
+// Name implements Generator.
+func (g *Synthetic) Name() string { return g.p.Name }
+
+// PC bases per access category; low bits select within a small pool so
+// PC-indexed predictors observe stable per-site behaviour.
+const (
+	pcCompute = 0x400000
+	pcHot     = 0x410000
+	pcStream  = 0x420000
+	pcRandom  = 0x430000
+	pcStore   = 0x440000
+)
+
+// Next implements Generator.
+func (g *Synthetic) Next(ins *Instr) {
+	// Phase modulation.
+	if g.phase == 0 {
+		if g.inOn {
+			g.inOn = false
+			g.phase = g.p.BurstOff
+		} else {
+			g.inOn = true
+			g.phase = g.p.BurstOn
+		}
+	}
+	if g.phase > 0 {
+		g.phase--
+	}
+
+	frac := 0.0
+	if g.inOn {
+		frac = g.effOn
+	}
+
+	if g.r.f64() >= frac {
+		ins.IsMem = false
+		ins.IsStore = false
+		ins.Dependent = false
+		ins.Addr = 0
+		ins.ExecLat = int8(g.p.ExecLat)
+		ins.PC = pcCompute + (g.r.next()&15)*4
+		return
+	}
+
+	ins.IsMem = true
+	ins.ExecLat = 1
+	ins.IsStore = g.r.f64() < g.p.StoreFrac
+	ins.Dependent = false
+
+	switch {
+	case g.r.f64() < g.p.HotFrac:
+		line := g.r.next() % g.hotLines
+		ins.Addr = g.base + line*memreq.LineSize
+		ins.PC = pcHot + (g.r.next()&15)*4
+	case g.r.f64() < g.p.StreamFrac:
+		set := g.loadStreams
+		idx := &g.loadIdx
+		if ins.IsStore {
+			set = g.storeStreams
+			idx = &g.storeIdx
+		}
+		i := *idx
+		*idx = (*idx + 1) % len(set)
+		ptr := set[i]
+		ins.Addr = g.base + ptr
+		ptr += g.p.ElemStride
+		if ptr >= g.p.WSBytes {
+			ptr = 0
+		}
+		set[i] = ptr
+		ins.PC = pcStream + uint64(i)*4
+	default:
+		line := g.r.next() % g.wsLines
+		ins.Addr = g.base + line*memreq.LineSize
+		ins.PC = pcRandom + (g.r.next()&31)*4
+		if !ins.IsStore && g.r.f64() < g.p.DepFrac {
+			ins.Dependent = true
+		}
+	}
+	if ins.IsStore {
+		ins.PC = pcStore + (ins.PC & 0x7F)
+	}
+}

@@ -1,0 +1,338 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func collect(p Params, n int, seed uint64) []Instr {
+	g := NewSynthetic(p, 1<<40, seed)
+	out := make([]Instr, n)
+	for i := range out {
+		g.Next(&out[i])
+	}
+	return out
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Params{Name: "x", MemFrac: 0.3, StoreFrac: 0.2, WSBytes: 1 << 20, HotFrac: 0.5, StreamFrac: 0.5, DepFrac: 0.2}
+	a := collect(p, 5000, 7)
+	b := collect(p, 5000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs across identical seeds", i)
+		}
+	}
+	c := collect(p, 5000, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestMemFracEmpirical(t *testing.T) {
+	for _, mf := range []float64{0.1, 0.3, 0.5} {
+		p := Params{Name: "x", MemFrac: mf, WSBytes: 1 << 20}
+		ins := collect(p, 40_000, 3)
+		mem := 0
+		for _, i := range ins {
+			if i.IsMem {
+				mem++
+			}
+		}
+		got := float64(mem) / float64(len(ins))
+		if math.Abs(got-mf) > 0.02 {
+			t.Errorf("MemFrac %.2f: empirical %.3f", mf, got)
+		}
+	}
+}
+
+func TestStoreFracEmpirical(t *testing.T) {
+	p := Params{Name: "x", MemFrac: 0.5, StoreFrac: 0.3, WSBytes: 1 << 20}
+	ins := collect(p, 40_000, 5)
+	mem, stores := 0, 0
+	for _, i := range ins {
+		if i.IsMem {
+			mem++
+			if i.IsStore {
+				stores++
+			}
+		}
+	}
+	got := float64(stores) / float64(mem)
+	if math.Abs(got-0.3) > 0.03 {
+		t.Errorf("StoreFrac empirical %.3f, want 0.3", got)
+	}
+}
+
+func TestAddressesWithinSpace(t *testing.T) {
+	p := Params{Name: "x", MemFrac: 0.5, StoreFrac: 0.3, WSBytes: 4 << 20, HotFrac: 0.3, StreamFrac: 0.5}
+	base := uint64(3) << 40
+	g := NewSynthetic(p, base, 9)
+	var ins Instr
+	for i := 0; i < 20_000; i++ {
+		g.Next(&ins)
+		if !ins.IsMem {
+			continue
+		}
+		if ins.Addr < base || ins.Addr >= base+p.WSBytes {
+			t.Fatalf("address %#x outside [base, base+WS)", ins.Addr)
+		}
+	}
+}
+
+func TestStreamsAdvanceSequentially(t *testing.T) {
+	p := Params{Name: "x", MemFrac: 1.0, StoreFrac: 0, WSBytes: 1 << 20, StreamFrac: 1.0, Streams: 1, ElemStride: 64}
+	g := NewSynthetic(p, 0, 1)
+	var prev uint64
+	var ins Instr
+	g.Next(&ins)
+	prev = ins.Addr
+	for i := 0; i < 1000; i++ {
+		g.Next(&ins)
+		if ins.Addr != prev+64 && ins.Addr != 0 { // wrap allowed
+			t.Fatalf("stream jumped from %#x to %#x", prev, ins.Addr)
+		}
+		prev = ins.Addr
+	}
+}
+
+func TestStoreStreamsDisjointFromLoadStreams(t *testing.T) {
+	p := Params{Name: "x", MemFrac: 1.0, StoreFrac: 0.5, WSBytes: 1 << 20, StreamFrac: 1.0, Streams: 2, ElemStride: 64}
+	g := NewSynthetic(p, 0, 1)
+	loadLines := map[uint64]bool{}
+	storeLines := map[uint64]bool{}
+	var ins Instr
+	for i := 0; i < 4000; i++ {
+		g.Next(&ins)
+		line := ins.Addr >> 6
+		if ins.IsStore {
+			storeLines[line] = true
+		} else {
+			loadLines[line] = true
+		}
+	}
+	for l := range storeLines {
+		if loadLines[l] {
+			t.Fatalf("line %#x touched by both load and store streams", l)
+		}
+	}
+}
+
+func TestDependentOnlyOnColdRandomLoads(t *testing.T) {
+	p := Params{Name: "x", MemFrac: 0.5, StoreFrac: 0.3, WSBytes: 1 << 22, HotFrac: 0.4, StreamFrac: 0.3, DepFrac: 1.0}
+	g := NewSynthetic(p, 0, 2)
+	var ins Instr
+	deps := 0
+	for i := 0; i < 20_000; i++ {
+		g.Next(&ins)
+		if ins.Dependent {
+			deps++
+			if ins.IsStore || !ins.IsMem {
+				t.Fatal("dependency on a store or non-memory instruction")
+			}
+		}
+	}
+	if deps == 0 {
+		t.Error("DepFrac 1.0 produced no dependent loads")
+	}
+}
+
+func TestBurstModulation(t *testing.T) {
+	p := Params{Name: "x", MemFrac: 0.2, WSBytes: 1 << 20, BurstOn: 1000, BurstOff: 1000}
+	g := NewSynthetic(p, 0, 3)
+	var ins Instr
+	window := make([]int, 40) // mem ops per 1000-instruction window
+	for w := 0; w < 40; w++ {
+		for i := 0; i < 1000; i++ {
+			g.Next(&ins)
+			if ins.IsMem {
+				window[w]++
+			}
+		}
+	}
+	// Alternating windows should be strongly bimodal.
+	lo, hi := 0, 0
+	for _, c := range window {
+		if c < 100 {
+			lo++
+		}
+		if c > 300 {
+			hi++
+		}
+	}
+	if lo < 15 || hi < 15 {
+		t.Errorf("burst modulation not bimodal: lo=%d hi=%d (counts %v)", lo, hi, window[:8])
+	}
+	// Average should still be near MemFrac.
+	total := 0
+	for _, c := range window {
+		total += c
+	}
+	avg := float64(total) / 40000
+	if math.Abs(avg-0.2) > 0.04 {
+		t.Errorf("burst average MemFrac %.3f, want ~0.2", avg)
+	}
+}
+
+func TestPCStability(t *testing.T) {
+	p := Params{Name: "x", MemFrac: 0.5, StoreFrac: 0.2, WSBytes: 1 << 22, HotFrac: 0.3, StreamFrac: 0.3}
+	g := NewSynthetic(p, 0, 4)
+	var ins Instr
+	pcs := map[uint64]bool{}
+	for i := 0; i < 50_000; i++ {
+		g.Next(&ins)
+		pcs[ins.PC] = true
+	}
+	if len(pcs) > 256 {
+		t.Errorf("PC pool too large for PC-indexed prediction: %d distinct PCs", len(pcs))
+	}
+	if len(pcs) < 8 {
+		t.Errorf("suspiciously few PCs: %d", len(pcs))
+	}
+}
+
+func TestWorkloadTable(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 36 {
+		t.Fatalf("suite has %d workloads, want 36", len(ws))
+	}
+	seen := map[string]bool{}
+	suites := map[Suite]int{}
+	for _, w := range ws {
+		p := w.Params
+		if seen[p.Name] {
+			t.Errorf("duplicate workload %q", p.Name)
+		}
+		seen[p.Name] = true
+		suites[w.Suite]++
+		if p.MemFrac <= 0 || p.MemFrac > 0.95 {
+			t.Errorf("%s: MemFrac %v out of range", p.Name, p.MemFrac)
+		}
+		if p.StoreFrac < 0 || p.StoreFrac > 1 {
+			t.Errorf("%s: StoreFrac %v", p.Name, p.StoreFrac)
+		}
+		if p.HotFrac < 0 || p.HotFrac >= 1 {
+			t.Errorf("%s: HotFrac %v", p.Name, p.HotFrac)
+		}
+		if p.WSBytes < 1<<20 {
+			t.Errorf("%s: working set %d too small", p.Name, p.WSBytes)
+		}
+		if w.PaperIPC <= 0 || w.PaperMPKI <= 0 {
+			t.Errorf("%s: missing paper reference values", p.Name)
+		}
+		// Every workload must generate cleanly.
+		g := NewSynthetic(p, 1<<40, 1)
+		var ins Instr
+		for i := 0; i < 1000; i++ {
+			g.Next(&ins)
+		}
+	}
+	if suites[SuiteSPEC] != 12 || suites[SuiteStream] != 4 || suites[SuiteParsec] != 5 || suites[SuiteKVS] != 2 || suites[SuiteLigra] != 13 {
+		t.Errorf("suite composition: %v", suites)
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	w, err := WorkloadByName("lbm")
+	if err != nil || w.Params.Name != "lbm" {
+		t.Errorf("lookup failed: %v", err)
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Error("unknown workload must error")
+	}
+	names := Names()
+	if len(names) != 36 || names[0] != "lbm" {
+		t.Errorf("names: %d entries, first %q", len(names), names[0])
+	}
+}
+
+func TestMixDeterministicAndValid(t *testing.T) {
+	a := Mix(3, 12)
+	b := Mix(3, 12)
+	if len(a) != 12 {
+		t.Fatalf("mix size %d", len(a))
+	}
+	for i := range a {
+		if a[i].Params.Name != b[i].Params.Name {
+			t.Fatal("mix not deterministic")
+		}
+	}
+	c := Mix(4, 12)
+	diff := false
+	for i := range a {
+		if a[i].Params.Name != c[i].Params.Name {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different mix indices produced identical assignments")
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{Name: "d"}.withDefaults()
+	if p.HotBytes == 0 || p.Streams == 0 || p.ElemStride == 0 || p.ExecLat == 0 || p.WSBytes == 0 {
+		t.Errorf("defaults not filled: %+v", p)
+	}
+}
+
+func TestRNGQuality(t *testing.T) {
+	// f64 must be in [0,1) and roughly uniform.
+	r := newRNG(123)
+	var sum float64
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		v := r.f64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("f64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("rng mean %.4f", mean)
+	}
+	// Zero seed must not produce a stuck generator.
+	z := newRNG(0)
+	if z.next() == z.next() {
+		t.Error("zero-seeded rng stuck")
+	}
+}
+
+func TestInstrGenerationProperty(t *testing.T) {
+	// For any parameter combination, generated instructions are
+	// well-formed: line-aligned mem addresses within the space, positive
+	// exec latency.
+	f := func(memF, storeF, hotF, streamF uint8, seed uint64) bool {
+		p := Params{
+			Name:       "q",
+			MemFrac:    float64(memF%90) / 100,
+			StoreFrac:  float64(storeF%100) / 100,
+			HotFrac:    float64(hotF%99) / 100,
+			StreamFrac: float64(streamF%100) / 100,
+			WSBytes:    2 << 20,
+		}
+		g := NewSynthetic(p, 1<<40, seed)
+		var ins Instr
+		for i := 0; i < 300; i++ {
+			g.Next(&ins)
+			if ins.IsMem {
+				if ins.Addr < 1<<40 || ins.Addr >= (1<<40)+p.WSBytes {
+					return false
+				}
+			} else if ins.ExecLat < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

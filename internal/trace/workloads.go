@@ -1,0 +1,124 @@
+package trace
+
+import "fmt"
+
+// Suite identifies the benchmark suite a workload models.
+type Suite string
+
+// Suites evaluated by the paper (§V).
+const (
+	SuiteSPEC   Suite = "SPEC"
+	SuiteLigra  Suite = "LIGRA"
+	SuiteStream Suite = "STREAM"
+	SuiteParsec Suite = "PARSEC"
+	SuiteKVS    Suite = "KVS&DA"
+)
+
+// Workload couples generator parameters with the paper's published
+// baseline measurements (Table IV) used for calibration reporting.
+type Workload struct {
+	Params Params
+	Suite  Suite
+	// PaperIPC and PaperMPKI are Table IV's DDR-baseline measurements.
+	PaperIPC  float64
+	PaperMPKI float64
+}
+
+const (
+	kib = 1 << 10
+	mib = 1 << 20
+)
+
+// Workloads returns the 36 evaluated workloads in Table IV order. The
+// parameters approximate each application's memory behaviour: memory
+// intensity and working set sized to land near the published LLC MPKI,
+// pattern mix (stream / random / pointer-chase) by application class, and
+// store fractions shaped to Fig. 9's read:write ratios.
+func Workloads() []Workload {
+	w := []Workload{
+		// --- SPEC CPU2017 (speed, ref) ---
+		{Params{Name: "lbm", MemFrac: 0.40, StoreFrac: 0.38, WSBytes: 64 * mib, HotFrac: 0.84, StreamFrac: 0.92, DepFrac: 0.03, BurstOn: 3000, BurstOff: 1200, ExecLat: 2}, SuiteSPEC, 0.14, 64},
+		{Params{Name: "bwaves", MemFrac: 0.35, StoreFrac: 0.20, WSBytes: 48 * mib, HotFrac: 0.96, StreamFrac: 0.82, DepFrac: 0.05, BurstOn: 2500, BurstOff: 1500, ExecLat: 2, IPCCap: 0.45}, SuiteSPEC, 0.33, 14},
+		{Params{Name: "cactusBSSN", MemFrac: 0.30, StoreFrac: 0.25, WSBytes: 32 * mib, HotFrac: 0.973, StreamFrac: 0.70, DepFrac: 0.05, BurstOn: 2000, BurstOff: 2000, ExecLat: 1, IPCCap: 0.90}, SuiteSPEC, 0.68, 8},
+		{Params{Name: "fotonik3d", MemFrac: 0.35, StoreFrac: 0.28, WSBytes: 48 * mib, HotFrac: 0.937, StreamFrac: 0.85, DepFrac: 0.03, ExecLat: 2, IPCCap: 0.45}, SuiteSPEC, 0.32, 22},
+		{Params{Name: "cam4", MemFrac: 0.30, StoreFrac: 0.47, WSBytes: 16 * mib, HotFrac: 0.98, StreamFrac: 0.60, DepFrac: 0.08, ExecLat: 1, IPCCap: 1.10}, SuiteSPEC, 0.87, 6},
+		{Params{Name: "wrf", MemFrac: 0.30, StoreFrac: 0.30, WSBytes: 32 * mib, HotFrac: 0.963, StreamFrac: 0.70, DepFrac: 0.05, ExecLat: 1, IPCCap: 0.80}, SuiteSPEC, 0.61, 11},
+		{Params{Name: "mcf", MemFrac: 0.30, StoreFrac: 0.15, WSBytes: 64 * mib, HotFrac: 0.957, StreamFrac: 0.10, DepFrac: 0.30, ExecLat: 1, IPCCap: 1.00}, SuiteSPEC, 0.79, 13},
+		{Params{Name: "roms", MemFrac: 0.28, StoreFrac: 0.28, WSBytes: 32 * mib, HotFrac: 0.979, StreamFrac: 0.75, DepFrac: 0.04, ExecLat: 1, IPCCap: 1.00}, SuiteSPEC, 0.77, 6},
+		{Params{Name: "pop2", MemFrac: 0.25, StoreFrac: 0.30, WSBytes: 16 * mib, HotFrac: 0.988, StreamFrac: 0.60, DepFrac: 0.05, ExecLat: 1, IPCCap: 1.80}, SuiteSPEC, 1.50, 3},
+		{Params{Name: "omnetpp", MemFrac: 0.30, StoreFrac: 0.22, WSBytes: 32 * mib, HotFrac: 0.967, StreamFrac: 0.05, DepFrac: 0.28, ExecLat: 1, IPCCap: 0.65}, SuiteSPEC, 0.50, 10},
+		{Params{Name: "xalancbmk", MemFrac: 0.30, StoreFrac: 0.18, WSBytes: 4 * mib, HotFrac: 0.94, StreamFrac: 0.10, DepFrac: 0.25, ExecLat: 1, IPCCap: 0.65}, SuiteSPEC, 0.50, 12},
+		// gcc is the paper's canonical COAXIAL loser: latency-bound, deep
+		// load dependency chains, high LLC hit rate, low-moderate traffic.
+		{Params{Name: "gcc", MemFrac: 0.30, StoreFrac: 0.20, WSBytes: 3 * mib, HotFrac: 0.88, StreamFrac: 0.02, DepFrac: 1.00, ExecLat: 1, IPCCap: 0.50}, SuiteSPEC, 0.27, 19},
+
+		// --- LIGRA graph analytics ---
+		{Params{Name: "PageRankDelta", MemFrac: 0.35, StoreFrac: 0.20, WSBytes: 128 * mib, HotFrac: 0.923, StreamFrac: 0.25, DepFrac: 0.12, BurstOn: 4000, BurstOff: 1500, ExecLat: 1, IPCCap: 0.40}, SuiteLigra, 0.30, 27},
+		{Params{Name: "Comp-shortcut", MemFrac: 0.40, StoreFrac: 0.22, WSBytes: 128 * mib, HotFrac: 0.88, StreamFrac: 0.20, DepFrac: 0.10, BurstOn: 4000, BurstOff: 1500, ExecLat: 1}, SuiteLigra, 0.34, 48},
+		{Params{Name: "Components", MemFrac: 0.40, StoreFrac: 0.22, WSBytes: 128 * mib, HotFrac: 0.88, StreamFrac: 0.20, DepFrac: 0.10, BurstOn: 3500, BurstOff: 1200, ExecLat: 1}, SuiteLigra, 0.36, 48},
+		{Params{Name: "BC", MemFrac: 0.35, StoreFrac: 0.20, WSBytes: 128 * mib, HotFrac: 0.903, StreamFrac: 0.25, DepFrac: 0.12, BurstOn: 4000, BurstOff: 1500, ExecLat: 1, IPCCap: 0.42}, SuiteLigra, 0.33, 34},
+		{Params{Name: "PageRank", MemFrac: 0.40, StoreFrac: 0.20, WSBytes: 128 * mib, HotFrac: 0.90, StreamFrac: 0.35, DepFrac: 0.08, ExecLat: 1}, SuiteLigra, 0.36, 40},
+		{Params{Name: "Radii", MemFrac: 0.35, StoreFrac: 0.20, WSBytes: 128 * mib, HotFrac: 0.906, StreamFrac: 0.25, DepFrac: 0.10, BurstOn: 4000, BurstOff: 1500, ExecLat: 1, IPCCap: 0.52}, SuiteLigra, 0.41, 33},
+		{Params{Name: "CF", MemFrac: 0.30, StoreFrac: 0.22, WSBytes: 64 * mib, HotFrac: 0.96, StreamFrac: 0.55, DepFrac: 0.06, ExecLat: 1, IPCCap: 1.00}, SuiteLigra, 0.80, 12},
+		{Params{Name: "BFSCC", MemFrac: 0.30, StoreFrac: 0.20, WSBytes: 96 * mib, HotFrac: 0.943, StreamFrac: 0.30, DepFrac: 0.12, BurstOn: 3000, BurstOff: 1500, ExecLat: 1, IPCCap: 0.85}, SuiteLigra, 0.65, 17},
+		{Params{Name: "BellmanFord", MemFrac: 0.30, StoreFrac: 0.22, WSBytes: 96 * mib, HotFrac: 0.97, StreamFrac: 0.35, DepFrac: 0.10, ExecLat: 1, IPCCap: 1.05}, SuiteLigra, 0.82, 9},
+		{Params{Name: "BFS", MemFrac: 0.30, StoreFrac: 0.18, WSBytes: 96 * mib, HotFrac: 0.95, StreamFrac: 0.25, DepFrac: 0.15, BurstOn: 3000, BurstOff: 1500, ExecLat: 1, IPCCap: 0.85}, SuiteLigra, 0.66, 15},
+		{Params{Name: "BFS-Bitvector", MemFrac: 0.30, StoreFrac: 0.18, WSBytes: 96 * mib, HotFrac: 0.95, StreamFrac: 0.35, DepFrac: 0.10, ExecLat: 1, IPCCap: 1.05}, SuiteLigra, 0.84, 15},
+		{Params{Name: "Triangle", MemFrac: 0.35, StoreFrac: 0.12, WSBytes: 128 * mib, HotFrac: 0.94, StreamFrac: 0.40, DepFrac: 0.10, ExecLat: 1, IPCCap: 0.78}, SuiteLigra, 0.61, 21},
+		// MIS is not in Table IV but appears in the CALM analysis (Fig. 7b,
+		// where its false positives inflate memory accesses by 21%): a
+		// frontier-style kernel whose cold set partially fits in the LLC.
+		{Params{Name: "MIS", MemFrac: 0.32, StoreFrac: 0.20, WSBytes: 6 * mib, HotFrac: 0.90, StreamFrac: 0.20, DepFrac: 0.10, BurstOn: 3000, BurstOff: 1500, ExecLat: 1}, SuiteLigra, 0.55, 14},
+
+		// --- STREAM kernels (8-byte elements; the L1 absorbs 7/8 accesses) ---
+		{Params{Name: "stream-copy", MemFrac: 0.47, StoreFrac: 0.50, WSBytes: 96 * mib, HotFrac: 0, StreamFrac: 1.0, Streams: 2, ElemStride: 8, ExecLat: 1}, SuiteStream, 0.17, 58},
+		{Params{Name: "stream-scale", MemFrac: 0.39, StoreFrac: 0.50, WSBytes: 96 * mib, HotFrac: 0, StreamFrac: 1.0, Streams: 2, ElemStride: 8, ExecLat: 1}, SuiteStream, 0.21, 48},
+		{Params{Name: "stream-add", MemFrac: 0.55, StoreFrac: 0.34, WSBytes: 96 * mib, HotFrac: 0, StreamFrac: 1.0, Streams: 3, ElemStride: 8, ExecLat: 1}, SuiteStream, 0.16, 69},
+		{Params{Name: "stream-triad", MemFrac: 0.47, StoreFrac: 0.34, WSBytes: 96 * mib, HotFrac: 0, StreamFrac: 1.0, Streams: 3, ElemStride: 8, ExecLat: 1}, SuiteStream, 0.18, 59},
+
+		// --- KVS & data analytics ---
+		{Params{Name: "masstree", MemFrac: 0.30, StoreFrac: 0.15, WSBytes: 64 * mib, HotFrac: 0.93, StreamFrac: 0.10, DepFrac: 0.30, ExecLat: 1, IPCCap: 0.48}, SuiteKVS, 0.37, 21},
+		{Params{Name: "kmeans", MemFrac: 0.35, StoreFrac: 0.12, WSBytes: 64 * mib, HotFrac: 0.897, StreamFrac: 0.80, DepFrac: 0.03, ExecLat: 1}, SuiteKVS, 0.50, 36},
+
+		// --- PARSEC ---
+		{Params{Name: "fluidanimate", MemFrac: 0.25, StoreFrac: 0.28, WSBytes: 32 * mib, HotFrac: 0.972, StreamFrac: 0.50, DepFrac: 0.08, ExecLat: 1, IPCCap: 0.95}, SuiteParsec, 0.73, 7},
+		{Params{Name: "facesim", MemFrac: 0.25, StoreFrac: 0.28, WSBytes: 32 * mib, HotFrac: 0.976, StreamFrac: 0.60, DepFrac: 0.06, ExecLat: 1, IPCCap: 0.95}, SuiteParsec, 0.74, 6},
+		{Params{Name: "raytrace", MemFrac: 0.25, StoreFrac: 0.10, WSBytes: 16 * mib, HotFrac: 0.98, StreamFrac: 0.20, DepFrac: 0.12, ExecLat: 1, IPCCap: 1.35}, SuiteParsec, 1.10, 5},
+		{Params{Name: "streamcluster", MemFrac: 0.30, StoreFrac: 0.10, WSBytes: 64 * mib, HotFrac: 0.953, StreamFrac: 0.85, DepFrac: 0.03, ExecLat: 1}, SuiteParsec, 0.95, 14},
+		{Params{Name: "canneal", MemFrac: 0.25, StoreFrac: 0.20, WSBytes: 64 * mib, HotFrac: 0.972, StreamFrac: 0.05, DepFrac: 0.30, ExecLat: 1, IPCCap: 0.78}, SuiteParsec, 0.61, 7},
+	}
+	return w
+}
+
+// WorkloadByName returns the workload with the given name.
+func WorkloadByName(name string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.Params.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("trace: unknown workload %q", name)
+}
+
+// Names returns all workload names in Table IV order.
+func Names() []string {
+	ws := Workloads()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Params.Name
+	}
+	return out
+}
+
+// Mix returns the per-core workload assignment for workload mix `idx`
+// (0..n-1): 12 workloads sampled with replacement from the full suite with
+// a deterministic seed, as in Fig. 6.
+func Mix(idx, cores int) []Workload {
+	ws := Workloads()
+	r := newRNG(uint64(idx)*0x9E37_79B9 + 0xC0A71A1)
+	out := make([]Workload, cores)
+	for i := range out {
+		out[i] = ws[r.next()%uint64(len(ws))]
+	}
+	return out
+}

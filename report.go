@@ -1,0 +1,298 @@
+package coaxial
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"coaxial/internal/area"
+	"coaxial/internal/stats"
+)
+
+// This file renders experiment rows as the text equivalents of the paper's
+// figures and tables (same rows/series; values are this simulator's).
+
+// ReportFig1 prints the bandwidth-per-pin series (Fig. 1).
+func ReportFig1(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 1: interface bandwidth per processor pin (normalized to PCIe-1.0)")
+	series := area.Fig1Series()
+	norm := Fig1BandwidthPerPin()
+	sort.Slice(series, func(i, j int) bool { return series[i].Year < series[j].Year })
+	for _, g := range series {
+		kind := "DDR "
+		if g.IsPCIe {
+			kind = "PCIe"
+		}
+		fmt.Fprintf(w, "  %-11s %s %4d  %8.4f GB/s/pin  %7.2fx\n",
+			g.Name, kind, g.Year, g.GBsPerPin, norm[g.Name])
+	}
+	fmt.Fprintf(w, "  current PCIe5-vs-DDR5 gap: %.1fx\n", area.BandwidthPerPinGap())
+}
+
+// ReportFig2a prints the load-latency curve (Fig. 2a).
+func ReportFig2a(w io.Writer, pts []LoadLatencyPoint) {
+	fmt.Fprintln(w, "Fig. 2a: DDR5-4800 channel load-latency curve (random reads)")
+	fmt.Fprintf(w, "  %8s %12s %10s %10s %10s\n", "util", "achieved", "mean", "p90", "p99")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %7.0f%% %9.1fGB/s %8.0fns %8.0fns %8.0fns\n",
+			p.TargetUtil*100, p.AchievedGBs, p.MeanNS, p.P90NS, p.P99NS)
+	}
+}
+
+// ReportFig2b prints the baseline latency breakdown and utilization
+// (Fig. 2b) from MainResults rows.
+func ReportFig2b(w io.Writer, rows []PairRow) {
+	fmt.Fprintln(w, "Fig. 2b: baseline L2-miss latency breakdown and bandwidth utilization")
+	fmt.Fprintf(w, "  %-15s %8s %8s %8s %8s %7s %7s\n",
+		"workload", "onchip", "queue", "dram", "total", "util%", "q-share")
+	var qshare []float64
+	for _, r := range rows {
+		b := r.Base
+		qs := 0.0
+		if b.TotalNS > 0 {
+			qs = b.QueueNS / b.TotalNS
+		}
+		qshare = append(qshare, qs)
+		fmt.Fprintf(w, "  %-15s %6.0fns %6.0fns %6.0fns %6.0fns %6.0f%% %6.0f%%\n",
+			r.Workload, b.OnChipNS, b.QueueNS, b.ServiceNS, b.TotalNS, b.Utilization*100, qs*100)
+	}
+	fmt.Fprintf(w, "  mean queuing share of L2-miss latency: %.0f%% (paper: 60%%)\n",
+		stats.Mean(qshare)*100)
+}
+
+// ReportTableI prints the relative-area inputs (Table I).
+func ReportTableI(w io.Writer) {
+	fmt.Fprintln(w, "Table I: component areas relative to 1 MB of LLC")
+	fmt.Fprintf(w, "  %-32s %5.1f\n", "L3 cache (1MB)", area.LLCPerMB)
+	fmt.Fprintf(w, "  %-32s %5.1f\n", "Zen 3 core (incl. 512 KB L2)", area.Zen3Core)
+	fmt.Fprintf(w, "  %-32s %5.1f\n", "x8 PCIe (PHY + ctrl)", area.PCIeX8)
+	fmt.Fprintf(w, "  %-32s %5.1f\n", "DDR channel (PHY + ctrl)", area.DDRChannel)
+}
+
+// ReportTableII prints the derived configuration space (Table II).
+func ReportTableII(w io.Writer) {
+	fmt.Fprintln(w, "Table II: DDR-based versus COAXIAL server configurations (144 cores)")
+	fmt.Fprintf(w, "  %-13s %6s %9s %12s %8s %8s  %s\n",
+		"design", "LLC/c", "mem if", "mem pins", "rel BW", "rel area", "comment")
+	for _, c := range TableIIConfigs() {
+		ifdesc := fmt.Sprintf("%d DDR", c.DDRChannels)
+		if c.CXLChannels > 0 {
+			ifdesc = fmt.Sprintf("%d x8 CXL", c.CXLChannels)
+		}
+		fmt.Fprintf(w, "  %-13s %4.0fMB %9s %12d %7.1fx %8.2f  %s\n",
+			c.Name, c.LLCPerCore, ifdesc, c.MemoryPins(), c.RelativeMemBW(), c.RelativeArea(), c.Comment)
+	}
+}
+
+// ReportTableIII prints the simulated system parameters (Table III).
+func ReportTableIII(w io.Writer) {
+	fmt.Fprintln(w, "Table III: simulated system parameters")
+	base, coax := Baseline(), Coaxial4x()
+	fmt.Fprintf(w, "  %-8s %s\n", "CPU", "12 OoO cores, 2.4 GHz, 4-wide, 256-entry ROB")
+	fmt.Fprintf(w, "  %-8s 32KB L1-D, %d-way, 64B blocks, %d-cycle hit (L1-I not simulated)\n",
+		"L1", base.L1.Assoc, base.L1.LatencyCycles)
+	fmt.Fprintf(w, "  %-8s %dKB, %d-way, %d-cycle hit\n",
+		"L2", base.L2.SizeBytes>>10, base.L2.Assoc, base.L2.LatencyCycles)
+	fmt.Fprintf(w, "  %-8s distributed shared, %d-way, %d-cycle hit; %dMB/core baseline, %dMB/core COAXIAL-4x\n",
+		"LLC", base.LLCAssoc, base.LLCLatency, base.LLCSliceBytes>>20, coax.LLCSliceBytes>>20)
+	fmt.Fprintf(w, "  %-8s DDR5-4800, %d sub-channels/channel, 1 rank/sub-channel, %d banks/rank\n",
+		"Memory", base.DDR.SubChannels, base.DDR.Banks())
+	fmt.Fprintf(w, "  %-8s baseline: %d channel; COAXIAL: 2-5 CXL channels (8 DDR channels for -asym)\n",
+		"", base.Channels)
+	fmt.Fprintf(w, "  %-8s %dx%d mesh, %d cycles/hop\n", "NoC", base.Mesh.W, base.Mesh.H, base.Mesh.HopCycles)
+	fmt.Fprintf(w, "  %-8s %d per core; fill pipeline %d cycles\n", "MSHRs", base.MSHRs, base.FillLatency)
+}
+
+// ReportTableIV prints the baseline workload characterization (Table IV).
+func ReportTableIV(w io.Writer, rows []PairRow, workloads []Workload) {
+	fmt.Fprintln(w, "Table IV: workload IPC and LLC MPKI on the DDR baseline (measured vs paper)")
+	fmt.Fprintf(w, "  %-15s %7s %7s %8s %8s\n", "workload", "IPC", "paper", "MPKI", "paper")
+	byName := map[string]Workload{}
+	for _, wl := range workloads {
+		byName[wl.Params.Name] = wl
+	}
+	for _, r := range rows {
+		ref := byName[r.Workload]
+		fmt.Fprintf(w, "  %-15s %7.2f %7.2f %8.1f %8.1f\n",
+			r.Workload, r.Base.IPC, ref.PaperIPC, r.Base.LLCMPKI, ref.PaperMPKI)
+	}
+}
+
+// ReportFig5 prints the main results (Fig. 5): speedups, latency
+// breakdowns, and bandwidth usage for baseline vs COAXIAL-4x.
+func ReportFig5(w io.Writer, rows []PairRow) {
+	fmt.Fprintln(w, "Fig. 5: COAXIAL-4x vs DDR baseline")
+	fmt.Fprintf(w, "  %-15s %7s | %28s | %28s | %9s %9s\n",
+		"workload", "speedup", "base lat (on/q/dram tot)", "coax lat (on/q/dram/cxl tot)", "base util", "coax util")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-15s %6.2fx | %4.0f/%4.0f/%3.0f %5.0fns         | %3.0f/%4.0f/%3.0f/%3.0f %5.0fns      | %8.0f%% %8.0f%%\n",
+			r.Workload, r.Speedup,
+			r.Base.OnChipNS, r.Base.QueueNS, r.Base.ServiceNS, r.Base.TotalNS,
+			r.Coax.OnChipNS, r.Coax.QueueNS, r.Coax.ServiceNS, r.Coax.CXLNS, r.Coax.TotalNS,
+			r.Base.Utilization*100, r.Coax.Utilization*100)
+	}
+	fmt.Fprintf(w, "  mean speedup %.2fx (geomean %.2fx); paper: 1.39x\n",
+		MeanSpeedup(rows), GeomeanSpeedup(rows))
+}
+
+// ReportFig6 prints the workload-mix results (Fig. 6).
+func ReportFig6(w io.Writer, rows []MixRow) {
+	fmt.Fprintln(w, "Fig. 6: COAXIAL speedup on random 12-workload mixes")
+	var sp []float64
+	for _, r := range rows {
+		sp = append(sp, r.Speedup)
+		fmt.Fprintf(w, "  mix%-2d %6.2fx (mean-IPC ratio %.2fx)\n", r.Mix, r.Speedup, r.MeanIPCx)
+	}
+	fmt.Fprintf(w, "  min/max/geomean: %.2fx / %.2fx / %.2fx (paper: 1.5/1.9/1.7)\n",
+		minOf(sp), maxOf(sp), stats.Geomean(sp))
+}
+
+// ReportFig7 prints the CALM sensitivity study (Fig. 7a and 7b).
+func ReportFig7(w io.Writer, rows []Fig7Row) {
+	variants := Fig7Variants()
+	fmt.Fprintln(w, "Fig. 7a: speedup over serial baseline, per CALM mechanism")
+	fmt.Fprintf(w, "  %-15s |", "workload")
+	for _, v := range variants {
+		fmt.Fprintf(w, " %8s", v.Label)
+	}
+	fmt.Fprintf(w, " | %8s", "system")
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-15s |", r.Workload)
+		for _, s := range r.BaseSpeedup {
+			fmt.Fprintf(w, " %7.2fx", s)
+		}
+		fmt.Fprintln(w, " | baseline")
+		fmt.Fprintf(w, "  %-15s |", "")
+		for _, s := range r.CoaxSpeedup {
+			fmt.Fprintf(w, " %7.2fx", s)
+		}
+		fmt.Fprintln(w, " | coaxial")
+	}
+	fmt.Fprintln(w, "Fig. 7b: CALM decision mix on COAXIAL (FP% of memory accesses, FN% of LLC misses)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-15s |", r.Workload)
+		for _, d := range r.CoaxDecisions {
+			fmt.Fprintf(w, " %3.0f/%-3.0f", d.FPRate()*100, d.FNRate()*100)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ReportFig8 prints the alternative-design comparison (Fig. 8).
+func ReportFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintln(w, "Fig. 8: COAXIAL design variants, speedup over DDR baseline")
+	fmt.Fprintf(w, "  %-15s %8s %8s %8s\n", "workload", "2x", "4x", "asym")
+	var s2, s4, sa []float64
+	for _, r := range rows {
+		s2 = append(s2, r.Speedup2)
+		s4 = append(s4, r.Speedup4)
+		sa = append(sa, r.SpeedupA)
+		fmt.Fprintf(w, "  %-15s %7.2fx %7.2fx %7.2fx\n", r.Workload, r.Speedup2, r.Speedup4, r.SpeedupA)
+	}
+	fmt.Fprintf(w, "  mean: %.2fx / %.2fx / %.2fx (paper: 1.17 / 1.39 / 1.52)\n",
+		stats.Mean(s2), stats.Mean(s4), stats.Mean(sa))
+}
+
+// ReportFig9 prints the baseline read/write bandwidth split (Fig. 9).
+func ReportFig9(w io.Writer, rows []PairRow) {
+	fmt.Fprintln(w, "Fig. 9: baseline read vs write bandwidth")
+	fmt.Fprintf(w, "  %-15s %9s %9s %7s\n", "workload", "read", "write", "R:W")
+	var ratios []float64
+	for _, r := range rows {
+		rw := 0.0
+		if r.Base.WriteGBs > 0 {
+			rw = r.Base.ReadGBs / r.Base.WriteGBs
+		}
+		ratios = append(ratios, rw)
+		fmt.Fprintf(w, "  %-15s %6.1fGB/s %6.1fGB/s %6.1f\n", r.Workload, r.Base.ReadGBs, r.Base.WriteGBs, rw)
+	}
+	fmt.Fprintf(w, "  mean R:W = %.1f:1 (paper: 3.7:1)\n", stats.Mean(ratios))
+}
+
+// ReportFig10 prints the latency-premium sensitivity (Fig. 10, plus the
+// §VII 10 ns OMI-class projection).
+func ReportFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintln(w, "Fig. 10: COAXIAL speedup vs CXL latency premium")
+	fmt.Fprintf(w, "  %-15s %8s %8s %8s\n", "workload", "50ns", "70ns", "10ns")
+	var s50, s70, s10 []float64
+	for _, r := range rows {
+		s50 = append(s50, r.Speedup50)
+		s70 = append(s70, r.Speedup70)
+		s10 = append(s10, r.Speedup10)
+		fmt.Fprintf(w, "  %-15s %7.2fx %7.2fx %7.2fx\n", r.Workload, r.Speedup50, r.Speedup70, r.Speedup10)
+	}
+	fmt.Fprintf(w, "  mean: %.2fx / %.2fx / %.2fx (paper: 1.39 / 1.26 / 1.71)\n",
+		stats.Mean(s50), stats.Mean(s70), stats.Mean(s10))
+}
+
+// ReportFig11 prints the core-utilization sensitivity (Fig. 11).
+func ReportFig11(w io.Writer, rows []Fig11Row) {
+	counts := Fig11ActiveCores()
+	fmt.Fprintln(w, "Fig. 11: COAXIAL speedup vs active cores (normalized per count)")
+	fmt.Fprintf(w, "  %-15s", "workload")
+	for _, n := range counts {
+		fmt.Fprintf(w, " %6dc", n)
+	}
+	fmt.Fprintln(w)
+	means := make([]float64, len(counts))
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-15s", r.Workload)
+		for i, s := range r.Speedups {
+			means[i] += s / float64(len(rows))
+			fmt.Fprintf(w, " %6.2fx", s)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  %-15s", "mean")
+	for _, m := range means {
+		fmt.Fprintf(w, " %6.2fx", m)
+	}
+	fmt.Fprintln(w, "  (paper: 0.73 / ~1.0 / 1.17 / 1.39)")
+}
+
+// ReportTableV prints the power/efficiency comparison (Table V).
+func ReportTableV(w io.Writer, base, coax TableVRow) {
+	fmt.Fprintln(w, "Table V: energy/power comparison, scaled to the 144-core server")
+	fmt.Fprintf(w, "  %-38s %10s %10s\n", "component", base.System, coax.System)
+	row := func(name string, b, c float64) {
+		fmt.Fprintf(w, "  %-38s %9.0fW %9.0fW\n", name, b, c)
+	}
+	row("cores + L1 + L2", base.Ledger.CommonW, coax.Ledger.CommonW)
+	row("DDR5 MC & PHY", base.Ledger.DDRInterfaceW, coax.Ledger.DDRInterfaceW)
+	row("LLC (leakage + access)", base.Ledger.LLCW, coax.Ledger.LLCW)
+	row("CXL interface", base.Ledger.CXLInterfaceW, coax.Ledger.CXLInterfaceW)
+	row("DDR5 DIMMs", base.Ledger.DIMMW, coax.Ledger.DIMMW)
+	row("total", base.Ledger.TotalW(), coax.Ledger.TotalW())
+	fmt.Fprintf(w, "  %-38s %10.2f %10.2f\n", "average CPI", base.Metrics.CPI, coax.Metrics.CPI)
+	fmt.Fprintf(w, "  %-38s %10.2f %10.2f\n", "relative perf/W", base.Metrics.RelPerfW, coax.Metrics.RelPerfW)
+	fmt.Fprintf(w, "  %-38s %10.0f %6.0f (%.2fx)\n", "EDP (lower is better)", base.Metrics.EDP, coax.Metrics.EDP, coax.Metrics.RelEDP)
+	fmt.Fprintf(w, "  %-38s %10.0f %6.0f (%.2fx)\n", "ED2P (lower is better)", base.Metrics.ED2P, coax.Metrics.ED2P, coax.Metrics.RelED2P)
+	fmt.Fprintln(w, "  paper: EDP 0.75x, ED2P 0.53x, perf/W 0.96")
+}
+
+func minOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

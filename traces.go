@@ -1,0 +1,72 @@
+package coaxial
+
+import (
+	"fmt"
+	"io"
+
+	"coaxial/internal/sim"
+	"coaxial/internal/trace"
+)
+
+// Trace recording and replay: instruction streams can be captured once
+// (RecordTrace) into a compact binary format and replayed deterministically
+// (RunTraces) — the workflow of the paper's ChampSim-trace-based artifact,
+// and an interoperability point for non-Go workload tooling.
+
+// Generator re-exports the instruction source interface.
+type Generator = trace.Generator
+
+// Instr re-exports the instruction record.
+type Instr = trace.Instr
+
+// NewSyntheticGenerator builds the standard parameterized generator for
+// custom workloads; base is the instance's address-space base and seed
+// determinizes the stream.
+func NewSyntheticGenerator(p WorkloadParams, base, seed uint64) Generator {
+	return trace.NewSynthetic(p, base, seed)
+}
+
+// RecordTrace captures n instructions of workload w (instance `core`,
+// seeded as the simulator would seed it) into out. The trace replays
+// byte-identically with OpenTrace.
+func RecordTrace(out io.Writer, w Workload, core int, n uint64, seed uint64) error {
+	if core < 0 {
+		return fmt.Errorf("coaxial: negative core index")
+	}
+	base := (uint64(core) + 1) << 40
+	gen := trace.NewSynthetic(w.Params, base, seed*1_000_003+uint64(core)+1)
+	return trace.Record(out, gen, n)
+}
+
+// RecordGeneratorTrace captures n instructions from any Generator.
+func RecordGeneratorTrace(out io.Writer, g Generator, n uint64) error {
+	return trace.Record(out, g, n)
+}
+
+// OpenTrace wraps a recorded trace as a replayable Generator. Pass an
+// io.ReadSeeker so the trace loops when the simulation outlasts it.
+func OpenTrace(r io.Reader) (Generator, error) {
+	return trace.NewReader(r)
+}
+
+// RunGenerators executes one experiment over caller-provided generators
+// (one per active core). hints, when non-nil, supplies per-core workload
+// parameters for LLC pre-fill and ILP caps; with nil hints, provide enough
+// warmup inside the trace itself.
+func RunGenerators(cfg Config, gens []Generator, hints []WorkloadParams, rc RunConfig) (Result, error) {
+	return sim.RunGenerators(cfg, gens, hints, rc)
+}
+
+// RunTraces executes one experiment replaying one recorded trace per
+// active core. hints as in RunGenerators.
+func RunTraces(cfg Config, readers []io.ReadSeeker, hints []WorkloadParams, rc RunConfig) (Result, error) {
+	gens := make([]Generator, len(readers))
+	for i, r := range readers {
+		g, err := OpenTrace(r)
+		if err != nil {
+			return Result{}, fmt.Errorf("trace %d: %w", i, err)
+		}
+		gens[i] = g
+	}
+	return RunGenerators(cfg, gens, hints, rc)
+}

@@ -1,0 +1,82 @@
+package coaxial
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRecordAndReplayMatchesSynthetic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	w, _ := WorkloadByName("streamcluster")
+	cfg := Baseline()
+	cfg.ActiveCores = 2
+	rc := RunConfig{WarmupInstr: 3_000, MeasureInstr: 15_000, Seed: 1,
+		FunctionalWarmupInstr: 100_000}
+
+	// Reference: synthetic generators directly.
+	ref, err := Run(cfg, w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record per-core traces long enough to cover functional warmup +
+	// phases without looping (so streams don't replay from the start).
+	const traceLen = 100_000 + 3_000 + 15_000 + 400_000
+	var gens []Generator
+	for core := 0; core < 2; core++ {
+		var buf bytes.Buffer
+		if err := RecordTrace(&buf, w, core, traceLen, rc.Seed); err != nil {
+			t.Fatal(err)
+		}
+		g, err := OpenTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens = append(gens, g)
+	}
+	hints := []WorkloadParams{w.Params, w.Params}
+	res, err := RunGenerators(cfg, gens, hints, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical instruction streams through identical systems: results
+	// must match exactly.
+	if res.IPC != ref.IPC || res.Cycles != ref.Cycles || res.DRAM != ref.DRAM {
+		t.Errorf("trace replay diverged from synthetic run:\n replay: IPC %.4f cycles %d\n direct: IPC %.4f cycles %d",
+			res.IPC, res.Cycles, ref.IPC, ref.Cycles)
+	}
+	if res.Workload != "streamcluster" {
+		t.Errorf("replay workload label %q", res.Workload)
+	}
+}
+
+func TestRunGeneratorsValidation(t *testing.T) {
+	w, _ := WorkloadByName("pop2")
+	cfg := Baseline()
+	cfg.ActiveCores = 2
+	g := NewSyntheticGenerator(w.Params, 1<<40, 1)
+	rc := RunConfig{WarmupInstr: 100, MeasureInstr: 500, Seed: 1, SkipFunctional: true}
+	if _, err := RunGenerators(cfg, []Generator{g}, nil, rc); err == nil {
+		t.Error("generator/core mismatch accepted")
+	}
+	if _, err := RunGenerators(cfg, []Generator{g, g}, []WorkloadParams{w.Params}, rc); err == nil {
+		t.Error("hint/core mismatch accepted")
+	}
+}
+
+func TestRecordTraceValidation(t *testing.T) {
+	w, _ := WorkloadByName("pop2")
+	var buf bytes.Buffer
+	if err := RecordTrace(&buf, w, -1, 10, 1); err == nil {
+		t.Error("negative core accepted")
+	}
+	if err := RecordTrace(&buf, w, 0, 10, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := OpenTrace(bytes.NewReader([]byte("junk data here"))); err == nil {
+		t.Error("junk trace accepted")
+	}
+}
