@@ -110,6 +110,96 @@ func BenchmarkSystemCycle(b *testing.B) {
 	sys.BenchSteps(b.N)
 }
 
+// benchSteps builds a system and times BenchSteps under both clocking
+// modes as sub-benchmarks.
+func benchSteps(b *testing.B, cfg sim.Config, wname string) {
+	w, err := trace.WorkloadByName(wname)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		m    sim.Clocking
+	}{{"event", sim.EventDriven}, {"cycle", sim.CycleByCycle}} {
+		b.Run(mode.name, func(b *testing.B) {
+			wl := make([]trace.Workload, cfg.Cores)
+			if cfg.ActiveCores > 0 {
+				wl = wl[:cfg.ActiveCores]
+			}
+			for i := range wl {
+				wl[i] = w
+			}
+			sys, err := sim.NewSystem(cfg, wl, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.SetClocking(mode.m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			sys.BenchSteps(b.N)
+		})
+	}
+}
+
+// BenchmarkSystemStepIdle measures the dead-cycle-dominated regime the
+// event loop targets: one active core pointer-chasing (gcc, MPKI 19, fully
+// dependent loads) on the asymmetric-CXL system, so the core sleeps on
+// full-ROB memory waits while 16 device DDR sub-channels and 4 CXL link
+// layers sit idle nearly every cycle.
+func BenchmarkSystemStepIdle(b *testing.B) {
+	benchSteps(b, sim.CoaxialAsym().WithActiveCores(1), "gcc")
+}
+
+// BenchmarkSystemStepLoaded measures the busy regime: all 12 cores running
+// PageRank against the single-channel baseline, where nearly every
+// component has work every cycle and event-driven clocking can only break
+// even.
+func BenchmarkSystemStepLoaded(b *testing.B) {
+	benchSteps(b, sim.Baseline(), "PageRank")
+}
+
+// BenchmarkRunWindow measures a complete warmup+measure experiment window
+// on a low-MPKI workload (canneal, MPKI 7) with one active core on the
+// asymmetric-CXL system — the configuration where dead cycles dominate
+// end-to-end wall-clock: the lone core leaves the 16 device DDR
+// sub-channels and 4 CXL link layers idle nearly every cycle, and
+// event-driven clocking skips all of them. Measured event-vs-cycle
+// speedup is ~3.7x (see BENCH_pr1.json).
+func BenchmarkRunWindow(b *testing.B) {
+	benchRunWindow(b, "canneal")
+}
+
+func benchRunWindow(b *testing.B, wname string) {
+	w, err := WorkloadByName(wname)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := CoaxialAsym().WithActiveCores(1)
+	for _, mode := range []struct {
+		name string
+		m    Clocking
+	}{{"event", EventDriven}, {"cycle", CycleByCycle}} {
+		b.Run(wname+"/"+mode.name, func(b *testing.B) {
+			rc := RunConfig{
+				// Trim the (clocking-independent) functional warmup so the
+				// timed loop dominates, as it does in full-length runs.
+				FunctionalWarmupInstr: 100_000,
+				WarmupInstr:           5_000,
+				MeasureInstr:          1_500_000,
+				Seed:                  1,
+				Clocking:              mode.m,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg, w, rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEndToEndRun measures one complete small experiment (warmup +
 // measure) as a user of the public API would run it.
 func BenchmarkEndToEndRun(b *testing.B) {

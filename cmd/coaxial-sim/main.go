@@ -39,6 +39,7 @@ func main() {
 		calmR    = flag.Float64("calm-r", 0.70, "CALM_R threshold (with -calm calm-r)")
 		calmKind = flag.String("calm", "", "CALM override: off, calm-r, map-i, ideal")
 		cxlNS    = flag.Float64("cxl-premium", 0, "CXL total latency premium in ns (0 = default 50)")
+		clocking = flag.String("clocking", "event", "clock advance: event (skip dead cycles) or cycle (reference loop); results are identical")
 		list     = flag.Bool("list", false, "list configurations and workloads")
 	)
 	flag.Parse()
@@ -80,6 +81,14 @@ func main() {
 
 	rc := coaxial.DefaultRunConfig()
 	rc.WarmupInstr, rc.MeasureInstr, rc.Seed = *warmup, *measure, *seed
+	switch *clocking {
+	case "event":
+		rc.Clocking = coaxial.EventDriven
+	case "cycle":
+		rc.Clocking = coaxial.CycleByCycle
+	default:
+		fatalf("unknown clocking mode %q (want event or cycle)", *clocking)
+	}
 
 	var (
 		res coaxial.Result

@@ -40,11 +40,13 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload generation seed")
 		mixes    = flag.Int("mixes", 0, "additionally run N workload mixes")
 		workList = flag.String("workloads", "", "comma-separated workload subset (default: all 36)")
+		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	rc := coaxial.DefaultRunConfig()
 	rc.WarmupInstr, rc.MeasureInstr, rc.Seed = *warmup, *measure, *seed
+	rc.Workers = *workers
 
 	var cfgs []coaxial.Config
 	for _, name := range strings.Split(*cfgList, ",") {

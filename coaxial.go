@@ -47,6 +47,16 @@ type (
 	CALMConfig = calm.Config
 	// CALMDecisions tallies CALM outcomes (Fig. 7b).
 	CALMDecisions = calm.Decisions
+	// Clocking selects the simulator's main-loop time advance
+	// (RunConfig.Clocking).
+	Clocking = sim.Clocking
+)
+
+// Clocking modes. EventDriven (the default) fast-forwards over dead cycles
+// and is bit-identical to the CycleByCycle reference loop.
+const (
+	EventDriven  = sim.EventDriven
+	CycleByCycle = sim.CycleByCycle
 )
 
 // CALM mechanism kinds (§IV-C).
@@ -112,12 +122,15 @@ type SuiteJob struct {
 	Workload Workload
 }
 
-// RunSuite executes jobs across GOMAXPROCS workers, preserving order.
-// Errors are returned per job.
+// RunSuite executes jobs across rc.Workers workers (GOMAXPROCS when zero),
+// preserving order. Errors are returned per job.
 func RunSuite(jobs []SuiteJob, rc RunConfig) ([]Result, []error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
-	workers := runtime.GOMAXPROCS(0)
+	workers := rc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}

@@ -147,37 +147,35 @@ func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 	set := c.set(la)
 	c.stats.Fills++
 
-	// If present (e.g. a racing fill), refresh it.
+	// One pass: refresh if already present (e.g. a racing fill), otherwise
+	// remember the first invalid way and the LRU way (first way with the
+	// minimal stamp — the LRU result is only used when every way is valid).
+	inv := -1
+	vi := 0
+	oldest := set[0].stamp
 	for i := range set {
-		if set[i].valid && set[i].tag == la {
-			c.clock++
-			set[i].stamp = c.clock
-			if dirty {
-				set[i].dirty = true
+		w := &set[i]
+		if w.valid {
+			if w.tag == la {
+				c.clock++
+				w.stamp = c.clock
+				if dirty {
+					w.dirty = true
+				}
+				return Victim{}
 			}
-			return Victim{}
-		}
-	}
-
-	// Prefer an invalid way.
-	vi := -1
-	for i := range set {
-		if !set[i].valid {
-			vi = i
-			break
+			if w.stamp < oldest {
+				oldest = w.stamp
+				vi = i
+			}
+		} else if inv < 0 {
+			inv = i
 		}
 	}
 	var out Victim
-	if vi < 0 {
-		// Evict LRU.
-		vi = 0
-		oldest := set[0].stamp
-		for i := 1; i < len(set); i++ {
-			if set[i].stamp < oldest {
-				oldest = set[i].stamp
-				vi = i
-			}
-		}
+	if inv >= 0 {
+		vi = inv
+	} else {
 		out = Victim{
 			Addr:  set[vi].tag << memreq.LineShift,
 			Dirty: set[vi].dirty,
@@ -192,6 +190,21 @@ func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 	c.clock++
 	set[vi] = line{tag: la, stamp: c.clock, valid: true, dirty: dirty}
 	return out
+}
+
+// Touch reads addr's set without mutating anything, one word per 64 bytes
+// of way metadata. Callers about to Fill a batch of scattered addresses use
+// it to start the host-memory misses for every set in the batch before the
+// (order-sensitive) fills run, overlapping latencies that would otherwise
+// serialize. The returned sum must be kept live by the caller so the loads
+// are not optimized away.
+func (c *Cache) Touch(addr uint64) uint64 {
+	set := c.set(addr >> memreq.LineShift)
+	var x uint64
+	for i := 0; i < len(set); i += 4 {
+		x += set[i].tag
+	}
+	return x
 }
 
 // Invalidate removes addr if present, returning whether it was dirty.

@@ -54,6 +54,11 @@ func (l *LLC) Probe(addr uint64) bool {
 	return l.slices[l.SliceOf(addr)].Probe(addr)
 }
 
+// Touch reads addr's home set without side effects (see Cache.Touch).
+func (l *LLC) Touch(addr uint64) uint64 {
+	return l.slices[l.SliceOf(addr)].Touch(addr)
+}
+
 // Fill installs addr in its home slice, returning any displaced victim.
 func (l *LLC) Fill(addr uint64, dirty bool) Victim {
 	return l.slices[l.SliceOf(addr)].Fill(addr, dirty)

@@ -97,6 +97,20 @@ type Core struct {
 	held    trace.Instr
 	hasHeld bool
 
+	// Event-driven clocking state: lastTick is the last cycle Tick ran;
+	// the skip* fields, latched by NextEvent, describe the per-cycle
+	// counter effects of the provably-inert cycles between ticks so that
+	// Tick's catch-up reproduces them exactly (see NextEvent).
+	lastTick int64
+	// skipStallDefer is the number of deferred accesses that are
+	// MSHR-blocked with a completed producer; each adds one StallMSHR per
+	// skipped cycle (issueDeferred retries them every cycle).
+	skipStallDefer int
+	// skipDispatchStallFrom is the first cycle from which a held,
+	// MSHR-blocked memory instruction adds one StallMSHR per skipped cycle
+	// (once the token bucket reaches a full token); MaxInt64 when N/A.
+	skipDispatchStallFrom int64
+
 	stats Stats
 
 	// Measurement bookkeeping.
@@ -116,13 +130,14 @@ func New(id int, gen trace.Generator, hier Hierarchy, mshrs int, ipcCap float64)
 		ipcCap = width
 	}
 	return &Core{
-		ID:          id,
-		gen:         gen,
-		hier:        hier,
-		mshrs:       mshrs,
-		ipcCap:      ipcCap,
-		pending:     make(map[uint64]*missEntry, mshrs*2),
-		FinishCycle: -1,
+		ID:                    id,
+		gen:                   gen,
+		hier:                  hier,
+		mshrs:                 mshrs,
+		ipcCap:                ipcCap,
+		pending:               make(map[uint64]*missEntry, mshrs*2),
+		FinishCycle:           -1,
+		skipDispatchStallFrom: math.MaxInt64,
 	}
 }
 
@@ -176,11 +191,146 @@ func (c *Core) producerDone(producer uint64, now int64) bool {
 }
 
 // Tick advances the core one cycle: resolve deferred issues, retire, and
-// dispatch.
+// dispatch. Cycles skipped since the previous Tick (the event-driven loop
+// only ticks the core at cycles NextEvent reported) are caught up first;
+// re-ticking an already-simulated cycle is a no-op.
 func (c *Core) Tick(now int64) {
+	if now <= c.lastTick {
+		return
+	}
+	if now-c.lastTick > 1 {
+		c.catchUp(now)
+	}
+	c.lastTick = now
 	c.issueDeferred(now)
 	c.retire(now)
 	c.dispatch(now)
+}
+
+// catchUp applies the per-cycle effects of the inert cycles in
+// (lastTick, now) exactly as the cycle-by-cycle loop would have: the token
+// bucket accrues (per-cycle, preserving float rounding), and MSHR-stall
+// counters advance for accesses that would have retried and stalled every
+// cycle. The skip* fields were latched by NextEvent when the skip began;
+// the core's architectural state is unchanged over the window by
+// construction (otherwise NextEvent would have scheduled an earlier tick).
+func (c *Core) catchUp(now int64) {
+	skipped := now - c.lastTick - 1
+	for k := int64(0); k < skipped; k++ {
+		c.tokens += c.ipcCap
+		if c.tokens > width {
+			c.tokens = width
+		}
+	}
+	c.stats.StallMSHR += uint64(c.skipStallDefer) * uint64(skipped)
+	if from := c.skipDispatchStallFrom; from < now {
+		lo := c.lastTick + 1
+		if from > lo {
+			lo = from
+		}
+		// One dispatch stall per cycle in [lo, now-1]; the tick at `now`
+		// counts its own.
+		if n := now - lo; n > 0 {
+			c.stats.StallMSHR += uint64(n)
+		}
+	}
+}
+
+// NextEvent returns the earliest cycle after `now` at which Tick could
+// change core state beyond token-bucket accrual and MSHR-stall counting
+// (which Tick's catch-up reproduces in bulk), or math.MaxInt64 when the
+// core is fully blocked waiting for a memory response (ResolveMiss). The
+// returned bound is conservative: an earlier tick is always harmless, a
+// later one never happens. Must be called right after Tick(now); it also
+// latches the per-skipped-cycle stall accounting used by catchUp.
+func (c *Core) NextEvent(now int64) int64 {
+	next := int64(math.MaxInt64)
+	c.skipStallDefer = 0
+	c.skipDispatchStallFrom = math.MaxInt64
+
+	// Retirement: the ROB head's completion unblocks retire (and, the same
+	// cycle, dispatch if the ROB is full). A head already complete means
+	// this tick retired a full width and more are ready: next cycle.
+	if c.headSeq < c.tailSeq {
+		if e := c.robAt(c.headSeq); e.ready {
+			t := e.doneAt
+			if t <= now {
+				t = now + 1
+			}
+			if t < next {
+				next = t
+			}
+		}
+	}
+
+	// Deferred accesses: issue when their producer completes. An entry
+	// whose producer is already done survived this tick's issue pass, so
+	// it is MSHR-blocked: it retries (and counts a stall) every cycle
+	// until an external fill frees an MSHR.
+	for i := range c.defq {
+		d := &c.defq[i]
+		if c.producerDone(d.producer, now) {
+			c.skipStallDefer++
+			continue
+		}
+		if e := c.robAt(d.producer); e.ready && e.doneAt < math.MaxInt64 {
+			t := e.doneAt
+			if t <= now {
+				t = now + 1
+			}
+			if t < next {
+				next = t
+			}
+		}
+	}
+
+	// Dispatch: the next cycle the token bucket holds a full token, the
+	// core processes an instruction — unless the ROB is full (covered by
+	// the retirement candidate: dispatch resumes the cycle the head
+	// retires) or the held memory instruction is MSHR-blocked (external
+	// wait, stalling every token-ready cycle).
+	if c.tailSeq-c.headSeq < robSize {
+		t := c.nextDispatchCycle(now)
+		blocked := false
+		if c.hasHeld && c.held.IsMem {
+			line := memreq.LineAddr(c.held.Addr)
+			producer, have := c.lastDepSeq, c.haveDep
+			if !have {
+				producer, have = c.lastLoadSeq, c.haveLastLoad
+			}
+			// A dependent access with an incomplete producer defers
+			// (a state change) instead of stalling; only a
+			// straight-line MSHR miss blocks dispatch outright.
+			defers := c.held.Dependent && have && !c.producerDone(producer, t)
+			if _, merging := c.pending[line]; !merging && len(c.pending) >= c.mshrs && !defers {
+				blocked = true
+				c.skipDispatchStallFrom = t
+			}
+		}
+		if !blocked && t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// nextDispatchCycle simulates the token bucket forward from the current
+// balance and returns the first cycle whose accrual reaches a full token,
+// replicating dispatch's per-cycle add-then-cap float arithmetic exactly.
+func (c *Core) nextDispatchCycle(now int64) int64 {
+	t := c.tokens
+	for k := int64(1); k <= 4096; k++ {
+		t += c.ipcCap
+		if t > width {
+			t = width
+		}
+		if t >= 1 {
+			return now + k
+		}
+	}
+	// Pathologically small dispatch rate: fall back to ticking every
+	// cycle (conservative, still exact).
+	return now + 1
 }
 
 func (c *Core) issueDeferred(now int64) {

@@ -14,6 +14,8 @@
 package cxl
 
 import (
+	"math"
+
 	"coaxial/internal/clock"
 	"coaxial/internal/dram"
 	"coaxial/internal/memreq"
@@ -214,8 +216,13 @@ func (c *Channel) Complete(r *memreq.Request, now int64) {
 	c.responses.Push(deliver, r)
 }
 
-// Tick implements memreq.Backend.
+// Tick implements memreq.Backend. Re-ticking an already-simulated cycle is
+// a no-op so the event-driven loop can sync a lazily-skipped channel to the
+// global clock before reading counters.
 func (c *Channel) Tick(now int64) {
+	if now <= c.now {
+		return
+	}
 	c.now = now
 
 	// Deliver due responses to the original requesters.
@@ -283,6 +290,58 @@ func (c *Channel) Tick(now int64) {
 
 	for _, d := range c.ddr {
 		d.Tick(now)
+	}
+}
+
+// NextEvent implements memreq.Backend. With no device-stalled requests, the
+// channel only acts when a queued item comes due — a response delivery, an
+// ingress request entering the TX link, a request arriving at the device —
+// or when a device DDR channel has work, so the next event is the earliest
+// of those. Cycles skipped on that basis are provable no-ops: every PopDue
+// would return nothing and the DDR ticks would idle. Stalled requests retry
+// DDR admission every cycle (the freeing of a DDR queue slot is not
+// observable from here), so any stall forces now+1.
+func (c *Channel) NextEvent(now int64) int64 {
+	if len(c.stalled) > 0 {
+		return now + 1
+	}
+	next := int64(math.MaxInt64)
+	if t, ok := c.responses.PeekAt(); ok && t < next {
+		next = t
+	}
+	if t, ok := c.ingress.PeekAt(); ok && t < next {
+		next = t
+	}
+	if t, ok := c.deviceQ.PeekAt(); ok && t < next {
+		next = t
+	}
+	for _, d := range c.ddr {
+		if t := d.NextEvent(now); t < next {
+			next = t
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
+// SetLazy switches per-sub-channel event skipping on or off in the
+// device's DDR channels. The CXL link layer itself needs no lazy cache:
+// its own Tick is cheap and the system-level event loop already skips the
+// whole channel when it is idle.
+func (c *Channel) SetLazy(on bool) {
+	for _, d := range c.ddr {
+		d.SetLazy(on)
+	}
+}
+
+// Sync implements memreq.Backend: realize lagging background accounting in
+// the device DDR channels without simulating events. The link layer keeps
+// no per-cycle accounting of its own (RetryCycles accrues at retry events).
+func (c *Channel) Sync(now int64) {
+	for _, d := range c.ddr {
+		d.Sync(now)
 	}
 }
 

@@ -1,6 +1,8 @@
 package dram
 
 import (
+	"math"
+
 	"coaxial/internal/memreq"
 )
 
@@ -10,6 +12,15 @@ import (
 type Channel struct {
 	cfg  Config
 	subs []*SubChannel
+
+	// lazy enables per-sub-channel event skipping: Tick consults a cached
+	// next-event cycle per sub-channel and skips those that are provably
+	// inert. Off by default so the cycle-by-cycle reference loop stays a
+	// naive tick-everything loop; the event-driven loop turns it on.
+	lazy bool
+	// subNext caches each sub-channel's NextEvent, maintained by Tick and
+	// clamped down by Enqueue wakes. Valid only while lazy.
+	subNext []int64
 }
 
 // NewChannel builds a channel. systemSubChannels is the total number of
@@ -26,25 +37,89 @@ func NewChannel(cfg Config, systemSubChannels int) *Channel {
 	return c
 }
 
-// subOf selects the sub-channel for an address.
-func (c *Channel) subOf(addr uint64) *SubChannel {
+// subOf selects the sub-channel index for an address.
+func (c *Channel) subOf(addr uint64) int {
 	if len(c.subs) == 1 {
-		return c.subs[0]
+		return 0
 	}
 	line := addr >> memreq.LineShift
 	h := line ^ (line >> 7) ^ (line >> 13)
-	return c.subs[h%uint64(len(c.subs))]
+	return int(h % uint64(len(c.subs)))
+}
+
+// SetLazy switches per-sub-channel event skipping on or off. Turning it on
+// marks every sub-channel due so the next Tick seeds the cache.
+func (c *Channel) SetLazy(on bool) {
+	c.lazy = on
+	c.subNext = nil
+	if on {
+		c.subNext = make([]int64, len(c.subs))
+		for i := range c.subNext {
+			c.subNext[i] = math.MinInt64
+		}
+	}
 }
 
 // Enqueue implements memreq.Backend.
 func (c *Channel) Enqueue(r *memreq.Request, at int64) bool {
-	return c.subOf(r.Addr).Enqueue(r, at)
+	i := c.subOf(r.Addr)
+	if !c.subs[i].Enqueue(r, at) {
+		return false
+	}
+	if c.lazy && at < c.subNext[i] {
+		// Wake the sub-channel for the arrival. If its tick for cycle `at`
+		// already ran, its own clock guard defers processing to the next
+		// Tick — the same cycle the naive loop would process it.
+		c.subNext[i] = at
+	}
+	return true
 }
 
-// Tick implements memreq.Backend.
+// Tick implements memreq.Backend. In lazy mode only sub-channels whose
+// cached next event has come due are ticked; skipped sub-channels are
+// provably inert at this cycle (NextEvent's contract), so behaviour is
+// bit-identical to ticking everything.
 func (c *Channel) Tick(now int64) {
+	if !c.lazy {
+		for _, s := range c.subs {
+			s.Tick(now)
+		}
+		return
+	}
+	for i, s := range c.subs {
+		if c.subNext[i] <= now {
+			s.Tick(now)
+			c.subNext[i] = s.NextEvent(now)
+		}
+	}
+}
+
+// NextEvent implements memreq.Backend: the channel's next event is the
+// earliest next event across its sub-channels (served from the lazy cache
+// when enabled).
+func (c *Channel) NextEvent(now int64) int64 {
+	next := int64(math.MaxInt64)
+	if c.lazy {
+		for _, t := range c.subNext {
+			if t < next {
+				next = t
+			}
+		}
+		return next
+	}
 	for _, s := range c.subs {
-		s.Tick(now)
+		if t := s.NextEvent(now); t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// Sync implements memreq.Backend: realize lagging background accounting in
+// every sub-channel without simulating events.
+func (c *Channel) Sync(now int64) {
+	for _, s := range c.subs {
+		s.Sync(now)
 	}
 }
 

@@ -609,6 +609,94 @@ func TestSameBankRefreshCadence(t *testing.T) {
 	}
 }
 
+// TestSameBankRefreshSlotSemantics pins the REFsb command-slot rules that
+// stepRefreshSameBank implements: (1) while a due REFsb waits for its open
+// victim bank's PRE window (now < preAllowed), the command slot is NOT
+// consumed — other banks keep issuing through normal FR-FCFS scheduling;
+// (2) once the window opens, the refresh path precharges the victim and
+// issues REFsb the next cycle; (3) the REFsb blocks only its own bank for
+// tRFCsb while other banks proceed immediately.
+func TestSameBankRefreshSlotSemantics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SameBankRefresh = true
+	cfg.DisableBankPermutation = true // direct (bank, row) address control
+	s := NewSubChannel(cfg, 1)
+
+	var cmds []Command
+	s.SetCommandTrace(func(c Command) { cmds = append(cmds, c) })
+
+	linesPerRow := uint64(cfg.RowBytes / memreq.LineSize)
+	addrOf := func(bank, row uint64) uint64 {
+		return (row*uint64(cfg.Banks()) + bank) * linesPerRow * memreq.LineSize
+	}
+	c := &collector{}
+	// sbDue starts at 0: bank 0's REFsb fires at cycle 1, bank 1's comes
+	// due at tREFI/banks = 292. Read A opens bank 1 at 260, so its tRAS
+	// window (ACT+77 = 337) holds bank 1 open past 292 — the REFsb must
+	// wait. Read B (bank 2, arriving 295) must issue inside that wait.
+	// Reads C (bank 1) and D (bank 3) arrive after the REFsb fires: C must
+	// stall out the tRFCsb block, D must proceed immediately.
+	s.Enqueue(&memreq.Request{Addr: addrOf(1, 3), Kind: memreq.Read, Ret: c}, 260)
+	s.Enqueue(&memreq.Request{Addr: addrOf(2, 5), Kind: memreq.Read, Ret: c}, 295)
+	s.Enqueue(&memreq.Request{Addr: addrOf(1, 9), Kind: memreq.Read, Ret: c}, 340)
+	s.Enqueue(&memreq.Request{Addr: addrOf(3, 7), Kind: memreq.Read, Ret: c}, 345)
+	for now := int64(1); now <= 2000; now++ {
+		s.Tick(now)
+	}
+	if len(c.done) != 4 {
+		t.Fatalf("completed %d/4 reads", len(c.done))
+	}
+
+	sbDue1 := cfg.Timing.REFI / int64(cfg.Banks()) // bank 1's REFsb due cycle
+	find := func(kind CommandKind, bank int32, from int64) *Command {
+		for i := range cmds {
+			if cmds[i].Kind == kind && cmds[i].Bank == bank && cmds[i].Cycle >= from {
+				return &cmds[i]
+			}
+		}
+		return nil
+	}
+
+	ref1 := find(CmdREF, 1, 0)
+	if ref1 == nil {
+		t.Fatal("bank 1 never refreshed")
+	}
+	// (2) The refresh could only fire once bank 1's tRAS window opened
+	// (ACT at 260 + tRAS), preceded by the quiescing PRE one cycle before.
+	if actA := find(CmdACT, 1, 0); actA == nil || ref1.Cycle < actA.Cycle+cfg.Timing.RAS+1 {
+		t.Errorf("REFsb at %d inside the victim's tRAS window", ref1.Cycle)
+	}
+	if pre := find(CmdPRE, 1, sbDue1); pre == nil || pre.Cycle >= ref1.Cycle {
+		t.Errorf("no quiescing PRE on bank 1 between due cycle %d and REFsb %d", sbDue1, ref1.Cycle)
+	}
+	// (1) The key slot rule: bank 2's ACT issued while the due REFsb was
+	// still waiting on bank 1's PRE window.
+	actB := find(CmdACT, 2, 0)
+	if actB == nil {
+		t.Fatal("bank 2 never activated")
+	}
+	if actB.Cycle < sbDue1 || actB.Cycle >= ref1.Cycle {
+		t.Errorf("bank 2 ACT at %d, want inside the REFsb wait window [%d, %d): a pending REFsb must not consume the slot",
+			actB.Cycle, sbDue1, ref1.Cycle)
+	}
+	// (3) Only the victim bank blocks for tRFCsb.
+	actC := find(CmdACT, 1, ref1.Cycle)
+	if actC == nil {
+		t.Fatal("bank 1 never reactivated after REFsb")
+	}
+	if actC.Cycle < ref1.Cycle+cfg.Timing.RFCsb {
+		t.Errorf("bank 1 ACT at %d violates tRFCsb block until %d", actC.Cycle, ref1.Cycle+cfg.Timing.RFCsb)
+	}
+	actD := find(CmdACT, 3, 0)
+	if actD == nil {
+		t.Fatal("bank 3 never activated")
+	}
+	if actD.Cycle >= ref1.Cycle+cfg.Timing.RFCsb/2 {
+		t.Errorf("bank 3 ACT at %d delayed by bank 1's REFsb (issued %d): REFsb must block only its bank",
+			actD.Cycle, ref1.Cycle)
+	}
+}
+
 // TestSameBankRefreshTrimsTail: under random load, per-bank refresh should
 // cut the p99 latency versus all-bank refresh (no rank-wide tRFC stall).
 func TestSameBankRefreshTrimsTail(t *testing.T) {
@@ -711,5 +799,117 @@ func TestIdleTracksLifecycle(t *testing.T) {
 	runUntilDone(t, s, 100_000)
 	if !s.Idle() {
 		t.Error("drained sub-channel not idle")
+	}
+}
+
+// TestNextEventMatchesCycleByCycle drives two identical sub-channels with
+// the same traffic: a reference ticked every cycle and an event-driven twin
+// ticked only at the cycles NextEvent claims (plus enqueue wakes, mirroring
+// dram.Channel's lazy path). The command streams, completion times, and
+// counters must match exactly: NextEvent may be conservative (extra no-op
+// ticks) but must never skip a cycle where the reference acts. A mid-run
+// injection gap exercises the long-jump candidates (refresh due, idle
+// precharge, distant timing windows) rather than only loaded now+1 steps.
+func TestNextEventMatchesCycleByCycle(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		sameBank bool
+		seed     int64
+		inject   float64
+		n        int
+	}{
+		{"allbank-sparse", false, 1, 0.01, 400},
+		{"allbank-bursty", false, 2, 0.25, 1500},
+		{"samebank-sparse", true, 3, 0.01, 400},
+		{"samebank-bursty", true, 4, 0.25, 1500},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.SameBankRefresh = tc.sameBank
+			ref := NewSubChannel(cfg, 1)
+			evt := NewSubChannel(cfg, 1)
+			var refCmds, evtCmds []Command
+			ref.SetCommandTrace(func(c Command) { refCmds = append(refCmds, c) })
+			evt.SetCommandTrace(func(c Command) { evtCmds = append(evtCmds, c) })
+			refC := &collector{}
+			evtC := &collector{}
+			rng := rand.New(rand.NewSource(tc.seed))
+
+			var now, gapUntil int64
+			nextDue := int64(1)
+			var evtTicks int64
+			injected := 0
+			for injected < tc.n || !ref.Idle() || !evt.Idle() {
+				now++
+				if injected == tc.n/2 && gapUntil == 0 {
+					gapUntil = now + 30_000
+				}
+				if injected < tc.n && now >= gapUntil && rng.Float64() < tc.inject {
+					kind := memreq.Read
+					if rng.Float64() < 0.33 {
+						kind = memreq.Write
+					}
+					addr := uint64(rng.Int63n(1<<30)) &^ 63
+					if rng.Float64() < 0.3 {
+						addr = uint64(rng.Int63n(64)) * 64
+					}
+					rr := &memreq.Request{Addr: addr, Kind: kind, Ret: refC}
+					re := &memreq.Request{Addr: addr, Kind: kind, Ret: evtC}
+					okRef := ref.Enqueue(rr, now)
+					okEvt := evt.Enqueue(re, now)
+					if okRef != okEvt {
+						t.Fatalf("cycle %d: admission diverged (ref %v, evt %v)", now, okRef, okEvt)
+					}
+					if okRef {
+						injected++
+						if now < nextDue {
+							nextDue = now
+						}
+					}
+				}
+				ref.Tick(now)
+				if now >= nextDue {
+					evt.Tick(now)
+					evtTicks++
+					nextDue = evt.NextEvent(now)
+				}
+				if now > 10_000_000 {
+					t.Fatal("did not drain")
+				}
+			}
+
+			// Bring both twins' background accounting to a common cycle
+			// before comparing counters.
+			ref.Sync(now + 1)
+			evt.Sync(now + 1)
+
+			if len(refC.done) != tc.n || len(evtC.done) != tc.n {
+				t.Fatalf("completions: ref %d, evt %d, want %d", len(refC.done), len(evtC.done), tc.n)
+			}
+			for i := range refC.done {
+				if refC.times[i] != evtC.times[i] ||
+					refC.done[i].Addr != evtC.done[i].Addr ||
+					refC.done[i].DataDone != evtC.done[i].DataDone {
+					t.Fatalf("completion %d diverged: ref {addr %#x t %d} evt {addr %#x t %d}",
+						i, refC.done[i].Addr, refC.times[i], evtC.done[i].Addr, evtC.times[i])
+				}
+			}
+			if len(refCmds) != len(evtCmds) {
+				t.Fatalf("command counts diverged: ref %d, evt %d", len(refCmds), len(evtCmds))
+			}
+			for i := range refCmds {
+				if refCmds[i] != evtCmds[i] {
+					t.Fatalf("command %d diverged: ref %+v, evt %+v", i, refCmds[i], evtCmds[i])
+				}
+			}
+			if ref.Counters() != evt.Counters() {
+				t.Errorf("counters diverged:\nref %+v\nevt %+v", ref.Counters(), evt.Counters())
+			}
+			if evtTicks >= now {
+				t.Errorf("event twin never skipped a cycle (%d ticks over %d cycles)", evtTicks, now)
+			}
+			t.Logf("%d cycles, %d event ticks (%.1f%%), %d commands",
+				now, evtTicks, 100*float64(evtTicks)/float64(now), len(refCmds))
+		})
 	}
 }

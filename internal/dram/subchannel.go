@@ -1,6 +1,8 @@
 package dram
 
 import (
+	"math"
+
 	"coaxial/internal/memreq"
 )
 
@@ -82,6 +84,9 @@ type SubChannel struct {
 	openBanks int
 	lastInteg int64
 	idleScan  int // round-robin cursor for idle precharge
+	// idlePreAt caches the earliest cycle an idle-precharge scan could
+	// succeed, set by a fruitless scan (see tryIdlePrecharge).
+	idlePreAt int64
 
 	// pendingR/pendingW count requests pushed but not yet arrived, so
 	// queue-depth admission covers in-flight arrivals too.
@@ -157,6 +162,13 @@ func NewSubChannel(cfg Config, divisor int) *SubChannel {
 		cfg:             cfg,
 		t:               cfg.Timing,
 		banks:           make([]bank, cfg.Banks()),
+		// Queue occupancy is bounded by the admission check in Enqueue
+		// (len+pending never exceeds the configured depth), so sizing the
+		// backing arrays to capacity up front means the hot scheduler path
+		// never reallocates: arrivals append within capacity and issueCAS's
+		// in-place delete reuses the same array.
+		readQ:           make([]entry, 0, cfg.ReadQueueDepth),
+		writeQ:          make([]entry, 0, cfg.WriteQueueDepth),
 		divisor:         uint64(divisor),
 		linesPerRow:     uint64(cfg.RowBytes / memreq.LineSize),
 		nBanks:          uint64(cfg.Banks()),
@@ -238,11 +250,23 @@ func (s *SubChannel) Counters() Counters {
 }
 
 // ResetCounters zeroes activity counters (used at the warmup/measure
-// boundary).
+// boundary). lastInteg is deliberately left alone: Sync may already have
+// integrated past the sub-channel's own clock, and winding it back would
+// double-count those cycles on the next state change.
 func (s *SubChannel) ResetCounters() {
 	s.integrate(s.now)
 	s.ctr = Counters{}
-	s.lastInteg = s.now
+}
+
+// Sync integrates background bank-state accounting up to `now` without
+// simulating any events. A sub-channel the event loop has skipped is
+// provably inert over the gap — no commands, arrivals, or completions —
+// but its open banks still accrue ActiveBankCycles each cycle; Sync
+// realizes exactly that. The sub-channel's own clock is not advanced, so
+// freshly enqueued work is still processed by the next Tick at the cycle
+// the cycle-by-cycle loop would have processed it.
+func (s *SubChannel) Sync(now int64) {
+	s.integrate(now)
 }
 
 func (s *SubChannel) integrate(now int64) {
@@ -253,8 +277,13 @@ func (s *SubChannel) integrate(now int64) {
 }
 
 // Tick advances the sub-channel one cycle. At most one command issues per
-// tick, mirroring a single command bus.
+// tick, mirroring a single command bus. Re-ticking an already-simulated
+// cycle is a no-op so that the event-driven loop may sync a lazily-skipped
+// sub-channel to the global clock before reading counters.
 func (s *SubChannel) Tick(now int64) {
+	if now <= s.now {
+		return
+	}
 	s.now = now
 
 	// Deliver completions due this cycle.
@@ -317,6 +346,236 @@ func (s *SubChannel) Tick(now int64) {
 	s.tryIssue(now)
 }
 
+// NextEvent returns the earliest cycle after now at which Tick could make
+// progress. Between ticks the scheduler state is frozen — queue contents
+// change only when Tick pops an arrival or issues a CAS, and every timing
+// gate (casAllowed, bus turnaround, actAllowed, tRRD, tFAW, preAllowed,
+// starvation age) is a monotone threshold on now over that frozen state —
+// so the first cycle any command could issue is exactly computable
+// (nextIssueAt). The candidates are: that bound, the next arrival, the
+// next completion delivery, and refresh becoming due. Any of those events
+// triggers a tick, after which the caller re-queries NextEvent against the
+// new state; cycles skipped between them are provable no-ops (Tick would
+// pop nothing and fall through tryIssue without effect). During quiesce
+// or REFsb windows (refreshDue/sbDue already past) the sub-channel claims
+// now+1 and steps cycle by cycle, as those paths consume command slots on
+// timing-dependent cycles of their own.
+func (s *SubChannel) NextEvent(now int64) int64 {
+	next := int64(math.MaxInt64)
+	if t, ok := s.arrivals.PeekAt(); ok && t < next {
+		next = t
+	}
+	if t, ok := s.completions.PeekAt(); ok && t < next {
+		next = t
+	}
+	blocked := false // command slot unusable until an already-counted candidate
+	if s.cfg.SameBankRefresh {
+		// The next REFsb (or its quiescing PRE, when the victim bank sits
+		// open) issues at sbDue; if that is already past — the PRE window
+		// hasn't opened yet — re-examine every cycle.
+		if s.sbDue < next {
+			next = s.sbDue
+		}
+	} else {
+		if s.refreshing && now < s.refreshEnd {
+			// tRFC window: no command can issue before refreshEnd. With
+			// empty queues clearing the flag is unobservable before the
+			// next arrival; with queued work the first possible command
+			// cycle is refreshEnd itself.
+			blocked = true
+			if (len(s.readQ) > 0 || len(s.writeQ) > 0) && s.refreshEnd < next {
+				next = s.refreshEnd
+			}
+		}
+		// refreshDue is the next all-bank REF sequence (quiesce begins).
+		if s.refreshDue < next {
+			next = s.refreshDue
+		}
+	}
+	if !blocked && (len(s.readQ) > 0 || len(s.writeQ) > 0) {
+		if t := s.nextIssueAt(); t < next {
+			next = t
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
+// nextIssueAt computes the first cycle at which tryIssue, evaluated
+// against the current (frozen) scheduler state, could issue any command.
+// It mirrors tryIssue's candidate set — starvation guard, row-hit CAS,
+// closed-bank ACT, conflict PRE, idle PRE — replacing each "may it issue
+// now?" check with the exact cycle its timing gates open. Priority among
+// candidates affects which command issues, not whether one can, so the
+// minimum over all candidates is the first cycle the command slot is
+// usable. The bound is invalidated by any state change (arrival pop, CAS
+// retiring a queue entry, refresh), but each of those coincides with a
+// tick, after which NextEvent recomputes.
+func (s *SubChannel) nextIssueAt() int64 {
+	// Mirror the write-drain hysteresis update tryIssue will apply to the
+	// frozen queue lengths: it is idempotent until the lengths change.
+	draining := s.draining
+	if draining {
+		if len(s.writeQ) <= s.cfg.WriteLow {
+			draining = false
+		}
+	} else if len(s.writeQ) >= s.cfg.WriteHigh {
+		draining = true
+	}
+	useWrites := draining
+	if !useWrites && len(s.readQ) == 0 && len(s.writeQ) > 0 {
+		useWrites = true
+	}
+	q := &s.readQ
+	isWrite := false
+	if useWrites {
+		q = &s.writeQ
+		isWrite = true
+	}
+	if len(*q) == 0 {
+		return math.MaxInt64
+	}
+
+	var hitMask uint64
+	for i := range *q {
+		e := &(*q)[i]
+		b := &s.banks[e.bnk]
+		if b.open && b.row == e.row {
+			hitMask |= 1 << uint(e.bnk)
+		}
+	}
+
+	earliest := int64(math.MaxInt64)
+
+	// Starvation guard: once the oldest request's age crosses the limit it
+	// is served exclusively, through whichever command its bank state
+	// needs — including a PRE that row-hit protection would veto below.
+	oldest := &(*q)[0]
+	g := int64(0)
+	b := &s.banks[oldest.bnk]
+	switch {
+	case b.open && b.row == oldest.row:
+		g = s.earliestCAS(oldest, isWrite)
+	case !b.open:
+		g = s.earliestACT(oldest)
+	default:
+		g = b.preAllowed
+	}
+	if t0 := oldest.req.ArriveMC + s.starvationLimit + 1; g < t0 {
+		g = t0
+	}
+	if g < earliest {
+		earliest = g
+	}
+
+	// Passes 1–3: row-hit CAS, closed-bank ACT, unprotected-conflict PRE.
+	for i := range *q {
+		e := &(*q)[i]
+		b := &s.banks[e.bnk]
+		var t int64
+		switch {
+		case b.open && b.row == e.row:
+			t = s.earliestCAS(e, isWrite)
+		case !b.open:
+			t = s.earliestACT(e)
+		case hitMask&(1<<uint(e.bnk)) == 0:
+			t = b.preAllowed
+		default:
+			continue // conflict on a bank with protected row hits
+		}
+		if t < earliest {
+			earliest = t
+		}
+	}
+
+	// Pass 4: idle precharge of a stale open bank no queued request
+	// targets. Untargeting a bank requires a queue entry to leave (a CAS —
+	// a tick), so excluding targeted banks here is sound.
+	if s.openBanks > 0 {
+		target := hitMask
+		for i := range s.readQ {
+			target |= 1 << uint(s.readQ[i].bnk)
+		}
+		for i := range s.writeQ {
+			target |= 1 << uint(s.writeQ[i].bnk)
+		}
+		for i := range s.banks {
+			bb := &s.banks[i]
+			if !bb.open || target&(1<<uint(i)) != 0 {
+				continue
+			}
+			t := bb.lastUse + idlePreTimeout + 1
+			if bb.preAllowed > t {
+				t = bb.preAllowed
+			}
+			if t < earliest {
+				earliest = t
+			}
+		}
+	}
+	return earliest
+}
+
+// earliestCAS returns the exact first cycle casOK(e, isWrite, ·) holds
+// over the frozen state: the max of the bank CAS window, the CCD/turnaround
+// window after the previous CAS, and the cycle the data bus frees up.
+func (s *SubChannel) earliestCAS(e *entry, isWrite bool) int64 {
+	t := s.banks[e.bnk].casAllowed
+	sameGroup := e.grp == s.lastCASGroup
+	var turn int64
+	switch {
+	case !isWrite && s.lastCASWrite:
+		wtr := s.t.WTRS
+		if sameGroup {
+			wtr = s.t.WTRL
+		}
+		turn = s.lastCASTime + s.t.WL + s.t.BURST + wtr
+	case isWrite && !s.lastCASWrite:
+		ccd := s.t.CCDS
+		if sameGroup {
+			ccd = s.t.CCDL
+		}
+		turn = s.lastCASTime + ccd + s.t.RTW
+	default:
+		ccd := s.t.CCDS
+		if sameGroup {
+			ccd = s.t.CCDL
+		}
+		turn = s.lastCASTime + ccd
+	}
+	if turn > t {
+		t = turn
+	}
+	lat := s.t.RL
+	if isWrite {
+		lat = s.t.WL
+	}
+	if bf := s.busFree - lat; bf > t {
+		t = bf
+	}
+	return t
+}
+
+// earliestACT returns the exact first cycle actOK(e, ·) holds over the
+// frozen state: the max of the bank tRP/tRC window, the rank tRRD window,
+// and the four-activate window.
+func (s *SubChannel) earliestACT(e *entry) int64 {
+	t := s.banks[e.bnk].actAllowed
+	rrd := s.t.RRDS
+	if e.grp == s.lastActGroup {
+		rrd = s.t.RRDL
+	}
+	if a := s.lastActTime + rrd; a > t {
+		t = a
+	}
+	if f := s.actTimes[s.actIdx] + s.t.FAW; f > t {
+		t = f
+	}
+	return t
+}
+
 // stepRefresh drives the quiesce-then-REF sequence. It returns true if the
 // command slot was consumed (or the rank is still waiting on timing).
 func (s *SubChannel) stepRefresh(now int64) bool {
@@ -352,6 +611,17 @@ func (s *SubChannel) stepRefresh(now int64) bool {
 // must refresh once per tREFI; banks take turns every tREFI/nBanks cycles,
 // blocked individually for tRFCsb. Returns true if the command slot was
 // consumed.
+//
+// Slot semantics: a pending REFsb consumes the cycle's single command slot
+// only when it actually issues a command — the quiescing PRE for an open
+// victim bank, or the REFsb itself once the bank is closed. While the
+// victim bank sits open inside its tRAS/tRTP/tWR window (now < preAllowed),
+// no command can issue for the refresh, so the slot is NOT consumed and
+// ordinary FR-FCFS scheduling proceeds: other banks keep serving row hits
+// and activates. Only the victim bank stalls. This is the point of
+// same-bank refresh (DDR5 REFsb) versus all-bank refresh, which quiesces
+// and blocks the entire rank for tRFC; TestSameBankRefreshSlotSemantics
+// pins this behaviour.
 func (s *SubChannel) stepRefreshSameBank(now int64) bool {
 	b := &s.banks[s.sbNext]
 	if b.open {
@@ -359,7 +629,7 @@ func (s *SubChannel) stepRefreshSameBank(now int64) bool {
 			s.issuePRE(s.sbNext, now)
 			return true
 		}
-		return false // wait for the PRE window; others may proceed? No slot used.
+		return false // PRE window closed: slot unused, other banks proceed
 	}
 	// Bank closed: issue REFsb, blocking only this bank.
 	blockUntil := now + s.t.RFCsb
@@ -482,9 +752,16 @@ func (s *SubChannel) tryIssue(now int64) {
 // idlePreTimeout is the open-row idle window before speculative precharge.
 const idlePreTimeout = 120
 
-// tryIdlePrecharge closes one stale open bank, if any.
+// tryIdlePrecharge closes one stale open bank, if any. A fruitless scan
+// caches the earliest cycle any bank currently open could become eligible
+// (ignoring the queue-target mask, which can only clear earlier than it
+// sets), so the per-cycle fast path is a single compare: re-scanning
+// before idlePreAt is provably fruitless because a bank's lastUse and
+// preAllowed only ever move its eligibility later, banks opened after the
+// scan are eligible no earlier than scan-time banks (fresh lastUse), and
+// closed banks just drop out.
 func (s *SubChannel) tryIdlePrecharge(now int64, hitMask uint64) {
-	if s.openBanks == 0 {
+	if s.openBanks == 0 || now < s.idlePreAt {
 		return
 	}
 	// Protect banks targeted by any queued request in either queue (a
@@ -499,17 +776,28 @@ func (s *SubChannel) tryIdlePrecharge(now int64, hitMask uint64) {
 	}
 	start := s.idleScan
 	n := len(s.banks)
+	earliest := int64(math.MaxInt64)
 	for k := 0; k < n; k++ {
 		i := (start + k) % n
 		b := &s.banks[i]
-		if b.open && target&(1<<uint(i)) == 0 &&
-			now >= b.preAllowed && now-b.lastUse > idlePreTimeout {
+		if !b.open {
+			continue
+		}
+		if target&(1<<uint(i)) == 0 && now >= b.preAllowed && now-b.lastUse > idlePreTimeout {
 			s.issuePRE(int32(i), now)
 			s.idleScan = i + 1
 			return
 		}
+		e := b.lastUse + idlePreTimeout + 1
+		if b.preAllowed > e {
+			e = b.preAllowed
+		}
+		if e < earliest {
+			earliest = e
+		}
 	}
 	s.idleScan = start
+	s.idlePreAt = earliest
 }
 
 // casOK reports whether a column command for e may issue at cycle now,

@@ -102,8 +102,25 @@ type Backend interface {
 	// is full and the caller must retry.
 	Enqueue(r *Request, at int64) bool
 	// Tick advances the backend to the given cycle. Tick must be called
-	// with monotonically non-decreasing cycles.
+	// with monotonically non-decreasing cycles; re-ticking an
+	// already-simulated cycle is a no-op.
 	Tick(now int64)
+	// NextEvent returns the earliest cycle after `now` at which Tick could
+	// make progress (deliver an arrival or completion, issue a command, or
+	// start a refresh): the event-driven loop skips the backend until
+	// then. The bound is conservative — ticking earlier is harmless — and
+	// backends that cannot prove a gap return now+1. A backend with no
+	// scheduled work returns math.MaxInt64; new work arriving via Enqueue
+	// obliges the caller to re-tick at the enqueued arrival cycle.
+	NextEvent(now int64) int64
+	// Sync realizes any lagging per-cycle accounting (e.g. open-bank
+	// background-power integration) up to `now` without simulating events.
+	// The event-driven loop calls it before reading or resetting counters
+	// on a backend it has lazily skipped. Unlike Tick, Sync must never
+	// deliver completions, admit arrivals, or issue commands: work enqueued
+	// at the current cycle after the backend already ticked must wait for
+	// the next Tick, exactly as it would under cycle-by-cycle clocking.
+	Sync(now int64)
 	// PeakGBs returns the backend's peak deliverable bandwidth in GB/s
 	// (reads+writes) for utilization accounting.
 	PeakGBs() float64

@@ -143,6 +143,72 @@ func TestTimedHeapPopDueRespectsNow(t *testing.T) {
 	}
 }
 
+func TestTimedHeapPeekAtEmpty(t *testing.T) {
+	var h TimedHeap
+	if at, ok := h.PeekAt(); ok || at != 0 {
+		t.Errorf("PeekAt on empty heap = (%d, %v), want (0, false)", at, ok)
+	}
+	// Drain back to empty and re-check: PeekAt must not resurrect state.
+	h.Push(5, &Request{})
+	if _, ok := h.PopDue(5); !ok {
+		t.Fatal("pop failed")
+	}
+	if _, ok := h.PeekAt(); ok {
+		t.Error("PeekAt reported an item after the heap drained")
+	}
+}
+
+func TestTimedHeapPeekAtInterleaved(t *testing.T) {
+	// The event loop leans on PeekAt to skip dead cycles, so it must stay
+	// consistent under interleaved Push/PopDue: it always reports the
+	// minimum timestamp, never mutates the heap, and an earlier Push is
+	// visible to the very next PeekAt.
+	var h TimedHeap
+	rng := rand.New(rand.NewSource(7))
+	live := []int64{}
+	minOf := func() int64 {
+		m := live[0]
+		for _, v := range live[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	for i := 0; i < 2000; i++ {
+		if len(live) == 0 || rng.Intn(3) > 0 {
+			at := int64(rng.Intn(500))
+			h.Push(at, &Request{})
+			live = append(live, at)
+		} else {
+			want := minOf()
+			at, ok := h.PeekAt()
+			if !ok || at != want {
+				t.Fatalf("step %d: PeekAt = (%d, %v), want (%d, true)", i, at, ok, want)
+			}
+			// PeekAt twice: must be idempotent (no mutation).
+			if at2, _ := h.PeekAt(); at2 != at {
+				t.Fatalf("step %d: PeekAt mutated the heap (%d then %d)", i, at, at2)
+			}
+			if _, ok := h.PopDue(at - 1); ok {
+				t.Fatalf("step %d: PopDue(%d) popped before PeekAt's time %d", i, at-1, at)
+			}
+			if _, ok := h.PopDue(at); !ok {
+				t.Fatalf("step %d: PopDue(%d) refused PeekAt's time", i, at)
+			}
+			for j, v := range live {
+				if v == want {
+					live = append(live[:j], live[j+1:]...)
+					break
+				}
+			}
+		}
+	}
+	if h.Len() != len(live) {
+		t.Fatalf("length drifted: heap %d, model %d", h.Len(), len(live))
+	}
+}
+
 func TestTimedHeapProperty(t *testing.T) {
 	// Property: popping everything yields a non-decreasing sequence.
 	f := func(ats []int16) bool {

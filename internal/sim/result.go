@@ -30,6 +30,12 @@ type RunConfig struct {
 	// MaxCyclesPerInstr bounds runaway simulations (cycles budget =
 	// MaxCyclesPerInstr * instructions, per phase). Default 400.
 	MaxCyclesPerInstr int64
+	// Clocking selects the main-loop time-advance strategy; the zero value
+	// is EventDriven. CycleByCycle is the bit-identical reference loop
+	// (see TestClockingEquivalence), useful for debugging the event path.
+	Clocking Clocking
+	// Workers bounds RunSuite's parallelism; 0 means GOMAXPROCS.
+	Workers int
 }
 
 // DefaultRunConfig returns the standard experiment windows. The paper
@@ -111,6 +117,7 @@ func RunMix(cfg Config, workloads []trace.Workload, rc RunConfig) (Result, error
 	if err != nil {
 		return Result{}, err
 	}
+	sys.SetClocking(rc.Clocking)
 	if !rc.SkipFunctional {
 		hints := make([]trace.Params, len(workloads))
 		for i, w := range workloads {
@@ -151,6 +158,7 @@ func RunGenerators(cfg Config, gens []trace.Generator, hints []trace.Params, rc 
 	if err != nil {
 		return Result{}, err
 	}
+	sys.SetClocking(rc.Clocking)
 	if !rc.SkipFunctional {
 		if hints != nil {
 			sys.prefillLLC(hints, rc.Seed)
@@ -191,6 +199,7 @@ func RunGenerators(cfg Config, gens []trace.Generator, hints []trace.Params, rc 
 
 // collect snapshots measurements after the measure phase.
 func (s *System) collect(workloads []trace.Workload) Result {
+	s.syncClock()
 	res := Result{
 		Config:      s.cfg.Name,
 		Workload:    mixLabel(workloads),

@@ -23,6 +23,22 @@ type counterBackend interface {
 	Idle() bool
 }
 
+// Clocking selects the main loop's time-advance strategy.
+type Clocking uint8
+
+const (
+	// EventDriven (the default) advances the clock straight to the
+	// earliest cycle any component reports it can make progress
+	// (NextEvent), ticking only the components due at that cycle. Skipped
+	// cycles are provable no-ops, and each component catches up its
+	// per-cycle accounting on its next tick, so results are bit-identical
+	// to CycleByCycle (see TestClockingEquivalence).
+	EventDriven Clocking = iota
+	// CycleByCycle ticks every core and backend on every cycle — the
+	// straightforward reference loop, kept as the equivalence oracle.
+	CycleByCycle
+)
+
 // spillItem is a request refused by a full backend ingress queue, held for
 // in-order retry.
 type spillItem struct {
@@ -51,6 +67,10 @@ type System struct {
 	// split by kind so writes cannot head-of-line-block reads.
 	spillR [][]spillItem
 	spillW [][]spillItem
+	// spillPending counts queued spill items across all channels, so the
+	// per-cycle paths can skip the per-channel scans when it is zero (the
+	// common case).
+	spillPending int
 
 	// prefillHints, when non-nil, drives synthetic LLC pre-fill.
 	prefillHints []trace.Params
@@ -63,6 +83,14 @@ type System struct {
 	hist       *stats.Histogram
 	// fpDiscarded counts CALM false-positive responses dropped on arrival.
 	fpDiscarded uint64
+
+	clocking Clocking
+	// coreNext/backendNext cache each component's NextEvent: the earliest
+	// cycle its Tick could make progress. Entries are refreshed whenever
+	// the component ticks and clamped down by wake events (a completion
+	// unblocking a core, an enqueue scheduling a backend arrival).
+	coreNext    []int64
+	backendNext []int64
 
 	now int64
 }
@@ -144,7 +172,31 @@ func NewSystemGens(cfg Config, gens []trace.Generator, hints []trace.Params) (*S
 		s.cores = append(s.cores, cpu.New(i, gens[i], s, cfg.MSHRs, ipcCap))
 	}
 	s.prefillHints = hints
+	s.coreNext = make([]int64, len(s.cores))
+	s.backendNext = make([]int64, len(s.backends))
+	for i := range s.coreNext {
+		s.coreNext[i] = 1
+	}
+	for i := range s.backendNext {
+		s.backendNext[i] = 1
+	}
+	s.SetClocking(s.clocking) // apply the default mode's lazy ticking
 	return s, nil
+}
+
+// SetClocking selects the time-advance strategy; the zero value is
+// EventDriven. Backends that support per-sub-component event skipping
+// (dram.Channel, cxl.Channel) follow the mode: lazy under EventDriven so
+// busy channels skip their inert sub-channels, naive under CycleByCycle so
+// the reference loop really does tick everything every cycle. Switching
+// after stepping has begun is unsupported.
+func (s *System) SetClocking(m Clocking) {
+	s.clocking = m
+	for _, b := range s.backends {
+		if lt, ok := b.(interface{ SetLazy(bool) }); ok {
+			lt.SetLazy(m == EventDriven)
+		}
+	}
 }
 
 // peakGBs sums backend peak bandwidths.
@@ -249,7 +301,14 @@ func (s *System) Complete(r *memreq.Request, now int64) {
 		when = r.AckAt
 	}
 
-	dirty := s.cores[coreSlot(s, core)].ResolveMiss(line, when)
+	slot := coreSlot(s, core)
+	dirty := s.cores[slot].ResolveMiss(line, when)
+	// The fill may unblock the core (MSHR freed, ROB head completion
+	// scheduled): make sure it ticks next cycle, whatever its cached
+	// NextEvent said. Complete always runs in the backend phase of cycle
+	// s.now, after the cores ticked, so s.now+1 is the first cycle the
+	// core could observe the fill — exactly as in cycle-by-cycle mode.
+	s.wakeCore(slot, s.now+1)
 	s.fillFromMemory(core, line, dirty, now)
 
 	if s.measuring {
@@ -312,6 +371,21 @@ func (s *System) writeback(addr uint64, now int64) {
 	s.send(r, ch, now+s.mesh.Latency(sliceTile, s.portTiles[ch]))
 }
 
+// wakeCore clamps a core's cached next-event cycle down to `at`.
+func (s *System) wakeCore(slot int, at int64) {
+	if at < s.coreNext[slot] {
+		s.coreNext[slot] = at
+	}
+}
+
+// wakeBackend clamps a backend's cached next-event cycle down to `at` (the
+// arrival cycle of a freshly enqueued request).
+func (s *System) wakeBackend(ch int, at int64) {
+	if at < s.backendNext[ch] {
+		s.backendNext[ch] = at
+	}
+}
+
 // send enqueues a request, spilling to the retry queue on backpressure.
 func (s *System) send(r *memreq.Request, ch int, at int64) {
 	q := &s.spillR[ch]
@@ -319,13 +393,18 @@ func (s *System) send(r *memreq.Request, ch int, at int64) {
 		q = &s.spillW[ch]
 	}
 	if len(*q) == 0 && s.backends[ch].Enqueue(r, at) {
+		s.wakeBackend(ch, at)
 		return
 	}
 	*q = append(*q, spillItem{r: r, at: at})
+	s.spillPending++
 }
 
 // flushSpill retries refused requests in FIFO order per kind.
 func (s *System) flushSpill(now int64) {
+	if s.spillPending == 0 {
+		return
+	}
 	for ch := range s.backends {
 		s.flushOne(&s.spillR[ch], ch, now)
 		s.flushOne(&s.spillW[ch], ch, now)
@@ -344,15 +423,17 @@ func (s *System) flushOne(qp *[]spillItem, ch int, now int64) {
 		if !s.backends[ch].Enqueue(it.r, at) {
 			break
 		}
+		s.wakeBackend(ch, at)
 		it.r.Spill += at - it.at
 		n++
 	}
 	if n > 0 {
 		*qp = q[n:]
+		s.spillPending -= n
 	}
 }
 
-// step advances the whole system one cycle.
+// step advances the whole system one cycle (CycleByCycle mode).
 func (s *System) step() {
 	s.now++
 	now := s.now
@@ -362,6 +443,72 @@ func (s *System) step() {
 	s.flushSpill(now)
 	for _, b := range s.backends {
 		b.Tick(now)
+	}
+}
+
+// stepEvent advances the clock to the earliest cached component event (at
+// most `limit`) and ticks only the components due there. Components whose
+// NextEvent lies beyond the chosen cycle are provably inert across the
+// jump, so skipping their ticks — and the whole-system cycles where nobody
+// is due — leaves simulated behaviour bit-identical to step(). Phase order
+// within the chosen cycle matches step(): cores, spill retry, backends.
+// While any spill queue is non-empty the jump degrades to a single cycle,
+// because spill retry timing depends on backend dequeues the caches can't
+// see.
+func (s *System) stepEvent(limit int64) {
+	next := limit
+	if s.spillPending > 0 {
+		next = s.now + 1
+	} else {
+		for _, t := range s.coreNext {
+			if t < next {
+				next = t
+			}
+		}
+		for _, t := range s.backendNext {
+			if t < next {
+				next = t
+			}
+		}
+	}
+	if next <= s.now {
+		next = s.now + 1
+	}
+	s.now = next
+	for i, c := range s.cores {
+		if s.coreNext[i] <= next {
+			c.Tick(next)
+			s.coreNext[i] = c.NextEvent(next)
+		}
+	}
+	s.flushSpill(next)
+	for ch, b := range s.backends {
+		if s.backendNext[ch] <= next {
+			b.Tick(next)
+			s.backendNext[ch] = b.NextEvent(next)
+		}
+	}
+}
+
+// syncClock realizes every component's lagging bulk accounting at the
+// current cycle before counters are read or reset. Under event-driven
+// clocking a component's local clock may lag the system clock (it was
+// provably inert in between). Cores are re-Ticked: their Tick is idempotent
+// at an already-simulated cycle, a lagging core has no due work at s.now
+// (wakes always target s.now+1), and the tick runs the stall/token
+// catch-up the cycle-by-cycle loop would have accrued. Backends use Sync
+// rather than Tick: a lagging backend can hold work enqueued at s.now
+// *after* its tick-order slot this cycle (a write-back from a
+// later-ordered backend's completion), which the cycle-by-cycle loop only
+// processes at s.now+1 — re-Ticking would process it a cycle early. Sync
+// realizes the background integration (sub-channel ActiveBankCycles)
+// without simulating any events.
+func (s *System) syncClock() {
+	for _, c := range s.cores {
+		c.Tick(s.now)
+	}
+	for _, b := range s.backends {
+		b.Sync(s.now)
 	}
 }
 
@@ -400,6 +547,15 @@ func (s *System) prefillLLC(hints []trace.Params, seed uint64) {
 		return rng * 0x2545F4914F6CDD1D
 	}
 	// Overfill by 30% so set-conflict duplicates still leave sets full.
+	// The fills hit random sets across tens of megabytes of way metadata,
+	// so done one at a time they serialize on host-memory latency. Drawing
+	// a window of addresses and touching every target set first lets those
+	// misses overlap; the fills themselves still run in draw order, so the
+	// resulting LLC state is identical.
+	const batch = 64
+	var addrs [batch]uint64
+	var dirties [batch]bool
+	var sink uint64
 	for i, p := range hints {
 		base := (uint64(i) + 1) << 40
 		wsLines := p.WSBytes / memreq.LineSize
@@ -407,13 +563,27 @@ func (s *System) prefillLLC(hints []trace.Params, seed uint64) {
 			wsLines = 1
 		}
 		n := int(float64(totalLines) * 1.3 * weights[i] / wsum)
-		for k := 0; k < n; k++ {
-			addr := base + (next()%wsLines)*memreq.LineSize
-			dirty := float64(next()>>11)/(1<<53) < p.StoreFrac
-			s.llc.Fill(addr, dirty)
+		for k := 0; k < n; k += batch {
+			m := batch
+			if n-k < m {
+				m = n - k
+			}
+			for j := 0; j < m; j++ {
+				addrs[j] = base + (next()%wsLines)*memreq.LineSize
+				dirties[j] = float64(next()>>11)/(1<<53) < p.StoreFrac
+				sink += s.llc.Touch(addrs[j])
+			}
+			for j := 0; j < m; j++ {
+				s.llc.Fill(addrs[j], dirties[j])
+			}
 		}
 	}
+	prefillTouchSink = sink
 }
+
+// prefillTouchSink keeps prefillLLC's set pre-touch loads observable so the
+// compiler cannot elide them.
+var prefillTouchSink uint64
 
 func minf(a, b float64) float64 {
 	if a < b {
@@ -457,15 +627,24 @@ func (s *System) functionalWarmup(perCore uint64) {
 	s.muteWrites = false
 }
 
-// BenchSteps advances the system n cycles (benchmark support).
+// BenchSteps advances the system n cycles (benchmark support), honoring
+// the configured clocking mode.
 func (s *System) BenchSteps(n int) {
-	for i := 0; i < n; i++ {
-		s.step()
+	if s.clocking == CycleByCycle {
+		for i := 0; i < n; i++ {
+			s.step()
+		}
+		return
+	}
+	target := s.now + int64(n)
+	for s.now < target {
+		s.stepEvent(target)
 	}
 }
 
 // resetStats zeroes all measurement state at the warmup boundary.
 func (s *System) resetStats() {
+	s.syncClock()
 	for _, c := range s.cores {
 		c.ResetStats(s.now)
 	}
@@ -508,6 +687,10 @@ func (s *System) runPhase(target uint64, maxCycles int64) error {
 			return fmt.Errorf("sim: %s: exceeded cycle budget (%d cycles for %d instructions)",
 				s.cfg.Name, maxCycles, target)
 		}
-		s.step()
+		if s.clocking == CycleByCycle {
+			s.step()
+		} else {
+			s.stepEvent(limit)
+		}
 	}
 }
