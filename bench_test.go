@@ -200,6 +200,37 @@ func benchRunWindow(b *testing.B, wname string) {
 	}
 }
 
+// BenchmarkRunWindowLoaded measures a complete experiment window in the
+// loaded regime the paper's headline results live in: all 12 cores of the
+// CXL-pooled COAXIAL-4x system running a mixed-MPKI workload assignment
+// (Fig. 6 mixes), where nearly every component has work on most cycles and
+// event-driven clocking alone breaks even (see BENCH_pr1.json).
+func BenchmarkRunWindowLoaded(b *testing.B) {
+	wl := MixWorkloads(3, 12)
+	cfg := Coaxial4x()
+	for _, mode := range []struct {
+		name string
+		m    Clocking
+	}{{"event", EventDriven}, {"cycle", CycleByCycle}} {
+		b.Run("mix3/"+mode.name, func(b *testing.B) {
+			rc := RunConfig{
+				FunctionalWarmupInstr: 100_000,
+				WarmupInstr:           5_000,
+				MeasureInstr:          60_000,
+				Seed:                  1,
+				Clocking:              mode.m,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunMix(cfg, wl, rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEndToEndRun measures one complete small experiment (warmup +
 // measure) as a user of the public API would run it.
 func BenchmarkEndToEndRun(b *testing.B) {

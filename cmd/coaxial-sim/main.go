@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"coaxial"
@@ -39,6 +41,7 @@ func main() {
 		calmR    = flag.Float64("calm-r", 0.70, "CALM_R threshold (with -calm calm-r)")
 		calmKind = flag.String("calm", "", "CALM override: off, calm-r, map-i, ideal")
 		cxlNS    = flag.Float64("cxl-premium", 0, "CXL total latency premium in ns (0 = default 50)")
+		par      = flag.Int("parallelism", 0, "tick-phase goroutines (<=1 = sequential; results identical)")
 		clocking = flag.String("clocking", "event", "clock advance: event (skip dead cycles) or cycle (reference loop); results are identical")
 		list     = flag.Bool("list", false, "list configurations and workloads")
 	)
@@ -79,16 +82,24 @@ func main() {
 		cfg = cfg.WithCXLPortNS(*cxlNS / 4)
 	}
 
-	rc := coaxial.DefaultRunConfig()
-	rc.WarmupInstr, rc.MeasureInstr, rc.Seed = *warmup, *measure, *seed
+	mode := coaxial.EventDriven
 	switch *clocking {
 	case "event":
-		rc.Clocking = coaxial.EventDriven
 	case "cycle":
-		rc.Clocking = coaxial.CycleByCycle
+		mode = coaxial.CycleByCycle
 	default:
 		fatalf("unknown clocking mode %q (want event or cycle)", *clocking)
 	}
+	runner := coaxial.NewRunner(
+		coaxial.WithSeed(*seed),
+		coaxial.WithWindows(0, *warmup, *measure),
+		coaxial.WithClocking(mode),
+		coaxial.WithParallelism(*par),
+	)
+
+	// SIGINT stops the simulation cleanly at the next cycle-window boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var (
 		res coaxial.Result
@@ -96,12 +107,12 @@ func main() {
 	)
 	if *mix >= 0 {
 		wl := coaxial.MixWorkloads(*mix, cfg.Cores)
-		res, err = coaxial.RunMix(cfg, wl, rc)
+		res, err = runner.RunMix(ctx, cfg, wl)
 	} else {
 		var w coaxial.Workload
 		w, err = coaxial.WorkloadByName(*workload)
 		if err == nil {
-			res, err = coaxial.Run(cfg, w, rc)
+			res, err = runner.Run(ctx, cfg, w)
 		}
 	}
 	if err != nil {

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -41,12 +43,21 @@ func main() {
 		mixes    = flag.Int("mixes", 0, "additionally run N workload mixes")
 		workList = flag.String("workloads", "", "comma-separated workload subset (default: all 36)")
 		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		par      = flag.Int("parallelism", 0, "tick-phase goroutines per simulation (<=1 = sequential; results identical)")
 	)
 	flag.Parse()
+
+	// SIGINT stops the sweep cleanly: in-flight simulations halt at their
+	// next cycle-window boundary and the run exits with the cancellation
+	// error instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	rc := coaxial.DefaultRunConfig()
 	rc.WarmupInstr, rc.MeasureInstr, rc.Seed = *warmup, *measure, *seed
 	rc.Workers = *workers
+	rc.Parallelism = *par
+	runner := coaxial.NewRunner(coaxial.WithRunConfig(rc))
 
 	var cfgs []coaxial.Config
 	for _, name := range strings.Split(*cfgList, ",") {
@@ -99,18 +110,18 @@ func main() {
 			jobs = append(jobs, coaxial.SuiteJob{Config: c, Workload: w})
 		}
 	}
-	results, errs := coaxial.RunSuite(jobs, rc)
-	for i, res := range results {
-		if errs[i] != nil {
-			fail(errs[i])
-		}
+	results, err := runner.RunSuite(ctx, jobs)
+	if err != nil {
+		fail(err)
+	}
+	for _, res := range results {
 		writeRow(out, res)
 	}
 
 	for m := 0; m < *mixes; m++ {
 		wl := coaxial.MixWorkloads(m, 12)
 		for _, c := range cfgs {
-			res, err := coaxial.RunMix(c, wl, rc)
+			res, err := runner.RunMix(ctx, c, wl)
 			if err != nil {
 				fail(err)
 			}

@@ -19,9 +19,8 @@
 package coaxial
 
 import (
+	"context"
 	"math"
-	"runtime"
-	"sync"
 
 	"coaxial/internal/calm"
 	"coaxial/internal/power"
@@ -123,37 +122,11 @@ type SuiteJob struct {
 }
 
 // RunSuite executes jobs across rc.Workers workers (GOMAXPROCS when zero),
-// preserving order. Errors are returned per job.
+// preserving order. Errors are returned per job. It is a thin wrapper over
+// Runner.RunSuite (which additionally supports cancellation and aggregates
+// errors with errors.Join).
 func RunSuite(jobs []SuiteJob, rc RunConfig) ([]Result, []error) {
-	results := make([]Result, len(jobs))
-	errs := make([]error, len(jobs))
-	workers := rc.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				results[i], errs[i] = sim.Run(jobs[i].Config, jobs[i].Workload, rc)
-			}
-		}()
-	}
-	for i := range jobs {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
-	return results, errs
+	return NewRunner(WithRunConfig(rc)).runSuite(context.Background(), jobs)
 }
 
 // Speedup returns the normalized-IPC improvement of res over base.

@@ -20,14 +20,17 @@ type Config struct {
 	LatencyCycles int64
 }
 
-// line is one cache line's bookkeeping. Tags store the full line address
-// (address >> 6) for simplicity; the set index is derived from it.
-type line struct {
-	tag   uint64
-	stamp uint32 // LRU clock value at last touch
-	valid bool
-	dirty bool
-}
+// Way metadata is split into two parallel set-major arrays so the tag-match
+// scan — the inner loop of every access — touches 8 bytes per way instead
+// of a 16-byte struct. tags packs the line address with the state bits
+// (tag<<2 | dirty<<1 | valid; an invalid way is stored as 0), and stamps
+// holds the LRU clock, which is only read when a full set must choose a
+// victim and only written on the matched way.
+const (
+	tagValid uint64 = 1 << 0
+	tagDirty uint64 = 1 << 1
+	tagShift        = 2
+)
 
 // Cache is a single set-associative write-back, write-allocate cache with
 // per-set LRU replacement.
@@ -35,7 +38,8 @@ type Cache struct {
 	cfg    Config
 	sets   int
 	mask   uint64
-	lines  []line // sets*assoc, set-major
+	tags   []uint64 // sets*assoc, set-major: tag<<2 | dirty<<1 | valid
+	stamps []uint32 // sets*assoc, set-major: LRU clock at last touch
 	clock  uint32
 	stats  Stats
 	shift  uint // additional index shift above the line offset
@@ -68,11 +72,21 @@ func New(cfg Config) *Cache {
 		panic("cache: set count must be a power of two")
 	}
 	return &Cache{
-		cfg:   cfg,
-		sets:  sets,
-		mask:  uint64(sets - 1),
-		lines: make([]line, sets*cfg.Assoc),
+		cfg:    cfg,
+		sets:   sets,
+		mask:   uint64(sets - 1),
+		tags:   make([]uint64, sets*cfg.Assoc),
+		stamps: make([]uint32, sets*cfg.Assoc),
 	}
+}
+
+// Clone returns an independent deep copy of the cache, including contents,
+// LRU state, and counters. Used to snapshot warmed state between runs.
+func (c *Cache) Clone() *Cache {
+	d := *c
+	d.tags = append([]uint64(nil), c.tags...)
+	d.stamps = append([]uint32(nil), c.stamps...)
+	return &d
 }
 
 // Latency returns the configured hit latency.
@@ -93,23 +107,25 @@ func (c *Cache) index(lineAddr uint64) uint64 {
 	return h & c.mask
 }
 
-func (c *Cache) set(lineAddr uint64) []line {
-	i := c.index(lineAddr)
-	return c.lines[i*uint64(c.cfg.Assoc) : (i+1)*uint64(c.cfg.Assoc)]
+// setBase returns the flat index of lineAddr's set (its first way).
+func (c *Cache) setBase(lineAddr uint64) int {
+	return int(c.index(lineAddr)) * c.cfg.Assoc
 }
 
 // Lookup probes the cache for addr, updating LRU on a hit. If markDirty is
 // set and the line hits, it is marked dirty (store hit).
 func (c *Cache) Lookup(addr uint64, markDirty bool) bool {
 	la := addr >> memreq.LineShift
-	set := c.set(la)
+	base := c.setBase(la)
+	tags := c.tags[base : base+c.cfg.Assoc]
+	want := la<<tagShift | tagValid
 	c.stats.Accesses++
-	for i := range set {
-		if set[i].valid && set[i].tag == la {
+	for i := range tags {
+		if tags[i]&^tagDirty == want {
 			c.clock++
-			set[i].stamp = c.clock
+			c.stamps[base+i] = c.clock
 			if markDirty {
-				set[i].dirty = true
+				tags[i] |= tagDirty
 			}
 			c.stats.Hits++
 			return true
@@ -123,9 +139,11 @@ func (c *Cache) Lookup(addr uint64, markDirty bool) bool {
 // ideal CALM oracle).
 func (c *Cache) Probe(addr uint64) bool {
 	la := addr >> memreq.LineShift
-	set := c.set(la)
-	for i := range set {
-		if set[i].valid && set[i].tag == la {
+	base := c.setBase(la)
+	tags := c.tags[base : base+c.cfg.Assoc]
+	want := la<<tagShift | tagValid
+	for i := range tags {
+		if tags[i]&^tagDirty == want {
 			return true
 		}
 	}
@@ -144,41 +162,45 @@ type Victim struct {
 // victim, if any, is returned for the caller to propagate.
 func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 	la := addr >> memreq.LineShift
-	set := c.set(la)
+	base := c.setBase(la)
+	tags := c.tags[base : base+c.cfg.Assoc]
+	want := la<<tagShift | tagValid
 	c.stats.Fills++
 
-	// One pass: refresh if already present (e.g. a racing fill), otherwise
-	// remember the first invalid way and the LRU way (first way with the
-	// minimal stamp — the LRU result is only used when every way is valid).
+	// Tag pass: refresh if already present (e.g. a racing fill), otherwise
+	// remember the first invalid way. The stamp array is only consulted when
+	// every way is valid and a victim must be chosen.
 	inv := -1
-	vi := 0
-	oldest := set[0].stamp
-	for i := range set {
-		w := &set[i]
-		if w.valid {
-			if w.tag == la {
-				c.clock++
-				w.stamp = c.clock
-				if dirty {
-					w.dirty = true
-				}
-				return Victim{}
+	for i := range tags {
+		t := tags[i]
+		if t&^tagDirty == want {
+			c.clock++
+			c.stamps[base+i] = c.clock
+			if dirty {
+				tags[i] |= tagDirty
 			}
-			if w.stamp < oldest {
-				oldest = w.stamp
-				vi = i
-			}
-		} else if inv < 0 {
+			return Victim{}
+		}
+		if t&tagValid == 0 && inv < 0 {
 			inv = i
 		}
 	}
 	var out Victim
-	if inv >= 0 {
-		vi = inv
-	} else {
+	vi := inv
+	if vi < 0 {
+		// Full set: evict the LRU way (first way with the minimal stamp).
+		stamps := c.stamps[base : base+c.cfg.Assoc]
+		vi = 0
+		oldest := stamps[0]
+		for i := 1; i < len(stamps); i++ {
+			if stamps[i] < oldest {
+				oldest = stamps[i]
+				vi = i
+			}
+		}
 		out = Victim{
-			Addr:  set[vi].tag << memreq.LineShift,
-			Dirty: set[vi].dirty,
+			Addr:  tags[vi] >> tagShift << memreq.LineShift,
+			Dirty: tags[vi]&tagDirty != 0,
 			Valid: true,
 		}
 		if out.Dirty {
@@ -188,7 +210,12 @@ func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 		}
 	}
 	c.clock++
-	set[vi] = line{tag: la, stamp: c.clock, valid: true, dirty: dirty}
+	t := want
+	if dirty {
+		t |= tagDirty
+	}
+	tags[vi] = t
+	c.stamps[base+vi] = c.clock
 	return out
 }
 
@@ -199,10 +226,11 @@ func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 // serialize. The returned sum must be kept live by the caller so the loads
 // are not optimized away.
 func (c *Cache) Touch(addr uint64) uint64 {
-	set := c.set(addr >> memreq.LineShift)
+	base := c.setBase(addr >> memreq.LineShift)
+	tags := c.tags[base : base+c.cfg.Assoc]
 	var x uint64
-	for i := 0; i < len(set); i += 4 {
-		x += set[i].tag
+	for i := 0; i < len(tags); i += 8 {
+		x += tags[i]
 	}
 	return x
 }
@@ -210,11 +238,14 @@ func (c *Cache) Touch(addr uint64) uint64 {
 // Invalidate removes addr if present, returning whether it was dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	la := addr >> memreq.LineShift
-	set := c.set(la)
-	for i := range set {
-		if set[i].valid && set[i].tag == la {
-			d := set[i].dirty
-			set[i] = line{}
+	base := c.setBase(la)
+	tags := c.tags[base : base+c.cfg.Assoc]
+	want := la<<tagShift | tagValid
+	for i := range tags {
+		if tags[i]&^tagDirty == want {
+			d := tags[i]&tagDirty != 0
+			tags[i] = 0
+			c.stamps[base+i] = 0
 			return true, d
 		}
 	}

@@ -2,10 +2,10 @@ package cache
 
 // DebugDirtyCount reports (dirty, valid) line counts (test helper).
 func (c *Cache) DebugDirtyCount() (dirty, valid int) {
-	for i := range c.lines {
-		if c.lines[i].valid {
+	for _, t := range c.tags {
+		if t&tagValid != 0 {
 			valid++
-			if c.lines[i].dirty {
+			if t&tagDirty != 0 {
 				dirty++
 			}
 		}

@@ -25,6 +25,15 @@ func NewLLC(n, sliceBytes, assoc int, latency int64) *LLC {
 	return l
 }
 
+// Clone returns an independent deep copy of all slices (see Cache.Clone).
+func (l *LLC) Clone() *LLC {
+	d := &LLC{lat: l.lat, slices: make([]*Cache, len(l.slices))}
+	for i, s := range l.slices {
+		d.slices[i] = s.Clone()
+	}
+	return d
+}
+
 // Slices returns the number of slices.
 func (l *LLC) Slices() int { return len(l.slices) }
 

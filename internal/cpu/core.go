@@ -47,6 +47,15 @@ type missEntry struct {
 	dirty   bool     // a store merged into this miss: fill dirty (RFO)
 }
 
+// missSlot is one occupied MSHR: the line address and its entry. The MSHR
+// file is a flat array scanned linearly — at most `mshrs` (typically 16)
+// slots, which beats a map on every hot query (dispatch's budget check,
+// merge lookups, fills).
+type missSlot struct {
+	line uint64
+	m    *missEntry
+}
+
 // deferred is a dependent load whose issue waits on a producer load.
 type deferred struct {
 	seq      uint64
@@ -75,9 +84,17 @@ type Core struct {
 
 	// Dispatch-rate cap (token bucket): tokens accrue at ipcCap per cycle
 	// and each dispatched instruction consumes one, modelling the
-	// workload's inherent ILP limit.
-	ipcCap float64
-	tokens float64
+	// workload's inherent ILP limit. The balance is kept in closed form —
+	// tokens(n) = min(width, tokenBase + (n-tokenBaseCycle)*ipcCap) — and
+	// rebased only when dispatch consumes tokens, so the accrual arithmetic
+	// is identical whatever cycles the core is actually ticked at (the
+	// event-driven loop skips inert cycles; see NextEvent).
+	ipcCap         float64
+	tokenBase      float64
+	tokenBaseCycle int64
+	// tokenReadyAt memoizes the first cycle the accrual banks a full token
+	// (a pure function of the rebase state above); -1 = recompute.
+	tokenReadyAt int64
 
 	rob          [robSize]robEntry
 	headSeq      uint64 // oldest un-retired sequence number
@@ -90,8 +107,12 @@ type Core struct {
 	lastDepSeq uint64
 	haveDep    bool
 
-	pending map[uint64]*missEntry // line address -> MSHR
-	defq    []deferred
+	pending []missSlot // occupied MSHRs (unordered; len <= mshrs)
+	// freeMiss recycles missEntry allocations (and their waiter slices):
+	// every beyond-L2 access parks in an MSHR until the cycle barrier
+	// resolves it, so entry churn is per-access, not per-miss.
+	freeMiss []*missEntry
+	defq     []deferred
 
 	// One fetched-but-undispatched instruction (held across stalls).
 	held    trace.Instr
@@ -135,7 +156,8 @@ func New(id int, gen trace.Generator, hier Hierarchy, mshrs int, ipcCap float64)
 		hier:                  hier,
 		mshrs:                 mshrs,
 		ipcCap:                ipcCap,
-		pending:               make(map[uint64]*missEntry, mshrs*2),
+		tokenReadyAt:          -1,
+		pending:               make([]missSlot, 0, mshrs),
 		FinishCycle:           -1,
 		skipDispatchStallFrom: math.MaxInt64,
 	}
@@ -208,20 +230,15 @@ func (c *Core) Tick(now int64) {
 }
 
 // catchUp applies the per-cycle effects of the inert cycles in
-// (lastTick, now) exactly as the cycle-by-cycle loop would have: the token
-// bucket accrues (per-cycle, preserving float rounding), and MSHR-stall
+// (lastTick, now) exactly as the cycle-by-cycle loop would have: MSHR-stall
 // counters advance for accesses that would have retried and stalled every
-// cycle. The skip* fields were latched by NextEvent when the skip began;
-// the core's architectural state is unchanged over the window by
-// construction (otherwise NextEvent would have scheduled an earlier tick).
+// cycle. (Token accrual needs no catch-up: the closed-form bucket is a
+// function of the cycle number, not of how often Tick ran.) The skip*
+// fields were latched by NextEvent when the skip began; the core's
+// architectural state is unchanged over the window by construction
+// (otherwise NextEvent would have scheduled an earlier tick).
 func (c *Core) catchUp(now int64) {
 	skipped := now - c.lastTick - 1
-	for k := int64(0); k < skipped; k++ {
-		c.tokens += c.ipcCap
-		if c.tokens > width {
-			c.tokens = width
-		}
-	}
 	c.stats.StallMSHR += uint64(c.skipStallDefer) * uint64(skipped)
 	if from := c.skipDispatchStallFrom; from < now {
 		lo := c.lastTick + 1
@@ -264,13 +281,23 @@ func (c *Core) NextEvent(now int64) int64 {
 	}
 
 	// Deferred accesses: issue when their producer completes. An entry
-	// whose producer is already done survived this tick's issue pass, so
-	// it is MSHR-blocked: it retries (and counts a stall) every cycle
-	// until an external fill frees an MSHR.
+	// whose producer is already done survived this tick's issue pass; if it
+	// is still MSHR-blocked it retries (and counts a stall) every cycle
+	// until an external fill frees an MSHR. An MSHR may however have been
+	// freed *after* the issue pass — the cycle barrier resolves same-cycle
+	// LLC hits between Tick and NextEvent — so re-check before latching the
+	// per-skipped-cycle stall.
 	for i := range c.defq {
 		d := &c.defq[i]
 		if c.producerDone(d.producer, now) {
-			c.skipStallDefer++
+			line := memreq.LineAddr(d.addr)
+			if c.findMiss(line) != nil || len(c.pending) < c.mshrs {
+				if now+1 < next {
+					next = now + 1
+				}
+			} else {
+				c.skipStallDefer++
+			}
 			continue
 		}
 		if e := c.robAt(d.producer); e.ready && e.doneAt < math.MaxInt64 {
@@ -302,7 +329,7 @@ func (c *Core) NextEvent(now int64) int64 {
 			// (a state change) instead of stalling; only a
 			// straight-line MSHR miss blocks dispatch outright.
 			defers := c.held.Dependent && have && !c.producerDone(producer, t)
-			if _, merging := c.pending[line]; !merging && len(c.pending) >= c.mshrs && !defers {
+			if c.findMiss(line) == nil && len(c.pending) >= c.mshrs && !defers {
 				blocked = true
 				c.skipDispatchStallFrom = t
 			}
@@ -314,23 +341,48 @@ func (c *Core) NextEvent(now int64) int64 {
 	return next
 }
 
-// nextDispatchCycle simulates the token bucket forward from the current
-// balance and returns the first cycle whose accrual reaches a full token,
-// replicating dispatch's per-cycle add-then-cap float arithmetic exactly.
-func (c *Core) nextDispatchCycle(now int64) int64 {
-	t := c.tokens
-	for k := int64(1); k <= 4096; k++ {
-		t += c.ipcCap
-		if t > width {
-			t = width
-		}
-		if t >= 1 {
-			return now + k
-		}
+// tokensAt evaluates the closed-form token balance at cycle now. It is a
+// pure function of (tokenBase, tokenBaseCycle, now), so event-driven and
+// cycle-by-cycle clocking compute bit-identical balances regardless of
+// which cycles the core was actually ticked at.
+func (c *Core) tokensAt(now int64) float64 {
+	t := c.tokenBase + float64(now-c.tokenBaseCycle)*c.ipcCap
+	if t > width { // bucket depth: at most one full-width burst
+		t = width
 	}
-	// Pathologically small dispatch rate: fall back to ticking every
-	// cycle (conservative, still exact).
-	return now + 1
+	return t
+}
+
+// nextDispatchCycle returns the first cycle after now whose closed-form
+// accrual reaches a full token. The threshold depends only on the rebase
+// state, so it is computed once per token consumption and memoized.
+func (c *Core) nextDispatchCycle(now int64) int64 {
+	if c.tokenReadyAt < 0 {
+		c.tokenReadyAt = c.computeTokenReady()
+	}
+	if c.tokenReadyAt <= now {
+		return now + 1
+	}
+	return c.tokenReadyAt
+}
+
+// computeTokenReady locates the first cycle the accrual banks a full
+// token. The division lands within one cycle of the answer; the correction
+// loops pin it to the exact cycle tokensAt reports, so the bound agrees
+// bit-for-bit with dispatch's own check.
+func (c *Core) computeTokenReady() int64 {
+	need := 1 - c.tokenBase
+	if need <= 0 {
+		return c.tokenBaseCycle // a full token is already banked
+	}
+	x := c.tokenBaseCycle + int64(math.Ceil(need/c.ipcCap))
+	for x > c.tokenBaseCycle && c.tokensAt(x-1) >= 1 {
+		x--
+	}
+	for c.tokensAt(x) < 1 {
+		x++
+	}
+	return x
 }
 
 func (c *Core) issueDeferred(now int64) {
@@ -368,12 +420,21 @@ func (c *Core) retire(now int64) {
 }
 
 func (c *Core) dispatch(now int64) {
-	c.tokens += c.ipcCap
-	if c.tokens > width { // bucket depth: at most one full-width burst
-		c.tokens = width
-	}
+	tokens := c.tokensAt(now)
+	spent := false
+	defer func() {
+		// Rebase the closed form only when tokens were consumed: the
+		// accrual expression then stays anchored at the same
+		// (base, cycle) pair in both clocking modes, so float rounding
+		// cannot diverge between them.
+		if spent {
+			c.tokenBase = tokens
+			c.tokenBaseCycle = now
+			c.tokenReadyAt = -1
+		}
+	}()
 	for i := 0; i < width; i++ {
-		if c.tokens < 1 {
+		if tokens < 1 {
 			return // ILP limit this cycle
 		}
 		if c.tailSeq-c.headSeq >= robSize {
@@ -394,7 +455,8 @@ func (c *Core) dispatch(now int64) {
 			}
 			e.ready = true
 			e.doneAt = now + lat
-			c.tokens--
+			tokens--
+			spent = true
 			c.hasHeld = false
 			continue
 		}
@@ -430,14 +492,15 @@ func (c *Core) dispatch(now int64) {
 				c.lastDepSeq = seq
 				c.haveDep = true
 			}
-			c.tokens--
+			tokens--
+			spent = true
 			c.hasHeld = false
 			continue
 		}
 
 		// Check the MSHR budget before committing to the access; merges
 		// into an in-flight line are always allowed.
-		if _, merging := c.pending[line]; !merging && len(c.pending) >= c.mshrs {
+		if c.findMiss(line) == nil && len(c.pending) >= c.mshrs {
 			c.stats.StallMSHR++
 			return // structural stall: retry next cycle
 		}
@@ -458,7 +521,8 @@ func (c *Core) dispatch(now int64) {
 			}
 		}
 		c.startMem(seq, ins.Addr, ins.PC, ins.IsStore, now)
-		c.tokens--
+		tokens--
+		spent = true
 		c.hasHeld = false
 	}
 }
@@ -478,7 +542,7 @@ func (c *Core) alloc() uint64 {
 func (c *Core) startMem(seq uint64, addr, pc uint64, store bool, now int64) {
 	line := memreq.LineAddr(addr)
 
-	if m, ok := c.pending[line]; ok {
+	if m := c.findMiss(line); m != nil {
 		// Merge into the in-flight miss.
 		if store {
 			m.dirty = true
@@ -501,21 +565,29 @@ func (c *Core) startMem(seq uint64, addr, pc uint64, store bool, now int64) {
 		return
 	}
 
-	m := &missEntry{dirty: store}
+	var m *missEntry
+	if n := len(c.freeMiss); n > 0 {
+		m = c.freeMiss[n-1]
+		c.freeMiss = c.freeMiss[:n-1]
+		m.dirty = store
+		m.waiters = m.waiters[:0]
+	} else {
+		m = &missEntry{dirty: store}
+	}
 	if !store {
 		e := c.robAt(seq)
 		e.ready = false
 		e.doneAt = math.MaxInt64
 		m.waiters = append(m.waiters, seq)
 	}
-	c.pending[line] = m
+	c.pending = append(c.pending, missSlot{line: line, m: m})
 }
 
 // tryIssueMem issues a deferred access, honoring the MSHR budget. It
 // returns false on a structural stall.
 func (c *Core) tryIssueMem(seq uint64, addr, pc uint64, store bool, now int64) bool {
 	line := memreq.LineAddr(addr)
-	if _, merging := c.pending[line]; !merging && len(c.pending) >= c.mshrs {
+	if c.findMiss(line) == nil && len(c.pending) >= c.mshrs {
 		return false
 	}
 	c.startMem(seq, addr, pc, store, now)
@@ -526,11 +598,21 @@ func (c *Core) tryIssueMem(seq uint64, addr, pc uint64, store bool, now int64) b
 // `when` is the cycle data reaches the core. It returns whether the fill
 // must install dirty (a store merged into the miss) and releases the MSHR.
 func (c *Core) ResolveMiss(line uint64, when int64) (dirty bool) {
-	m, ok := c.pending[line]
-	if !ok {
+	idx := -1
+	for i := range c.pending {
+		if c.pending[i].line == line {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
 		return false
 	}
-	delete(c.pending, line)
+	m := c.pending[idx].m
+	last := len(c.pending) - 1
+	c.pending[idx] = c.pending[last]
+	c.pending[last] = missSlot{}
+	c.pending = c.pending[:last]
 	for _, seq := range m.waiters {
 		if seq < c.headSeq {
 			continue // already retired (shouldn't happen; defensive)
@@ -539,7 +621,19 @@ func (c *Core) ResolveMiss(line uint64, when int64) (dirty bool) {
 		e.ready = true
 		e.doneAt = when
 	}
+	c.freeMiss = append(c.freeMiss, m)
 	return m.dirty
+}
+
+// findMiss returns the in-flight miss for line, or nil. The MSHR set is
+// tiny (≤16 entries), so a linear scan beats a map lookup on the hot path.
+func (c *Core) findMiss(line uint64) *missEntry {
+	for i := range c.pending {
+		if c.pending[i].line == line {
+			return c.pending[i].m
+		}
+	}
+	return nil
 }
 
 // OutstandingMisses reports the in-flight miss count (tests).

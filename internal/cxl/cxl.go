@@ -293,18 +293,18 @@ func (c *Channel) Tick(now int64) {
 	}
 }
 
-// NextEvent implements memreq.Backend. With no device-stalled requests, the
-// channel only acts when a queued item comes due — a response delivery, an
-// ingress request entering the TX link, a request arriving at the device —
-// or when a device DDR channel has work, so the next event is the earliest
-// of those. Cycles skipped on that basis are provable no-ops: every PopDue
-// would return nothing and the DDR ticks would idle. Stalled requests retry
-// DDR admission every cycle (the freeing of a DDR queue slot is not
-// observable from here), so any stall forces now+1.
+// NextEvent implements memreq.Backend. The channel only acts when a queued
+// item comes due — a response delivery, an ingress request entering the TX
+// link, a request arriving at the device — or when a device DDR channel has
+// work, so the next event is the earliest of those. Cycles skipped on that
+// basis are provable no-ops: every PopDue would return nothing and the DDR
+// ticks would idle. The same bound covers device-stalled requests: a DDR
+// queue slot only frees when a sub-channel issues a CAS (arrival pops move
+// pending counts into the queues without changing the admission sum), and
+// every such issue happens at a cycle the DDR channels' own NextEvent
+// already reports, so stalled retries between DDR events are provably
+// rejected again.
 func (c *Channel) NextEvent(now int64) int64 {
-	if len(c.stalled) > 0 {
-		return now + 1
-	}
 	next := int64(math.MaxInt64)
 	if t, ok := c.responses.PeekAt(); ok && t < next {
 		next = t

@@ -87,6 +87,15 @@ type SubChannel struct {
 	// idlePreAt caches the earliest cycle an idle-precharge scan could
 	// succeed, set by a fruitless scan (see tryIdlePrecharge).
 	idlePreAt int64
+	// targetCnt counts queued requests (both queues) per bank, maintained
+	// incrementally at arrival pop and CAS retirement so the idle-precharge
+	// paths need no per-scan queue walks to build the protected-bank set.
+	targetCnt []int32
+	// issueBound caches tryIssue's return — the earliest cycle the command
+	// slot could next be usable — valid only when boundAt equals the cycle
+	// NextEvent is queried at (Tick and NextEvent run back to back).
+	issueBound int64
+	boundAt    int64
 
 	// pendingR/pendingW count requests pushed but not yet arrived, so
 	// queue-depth admission covers in-flight arrivals too.
@@ -159,9 +168,9 @@ func NewSubChannel(cfg Config, divisor int) *SubChannel {
 		divisor = 1
 	}
 	s := &SubChannel{
-		cfg:             cfg,
-		t:               cfg.Timing,
-		banks:           make([]bank, cfg.Banks()),
+		cfg:   cfg,
+		t:     cfg.Timing,
+		banks: make([]bank, cfg.Banks()),
 		// Queue occupancy is bounded by the admission check in Enqueue
 		// (len+pending never exceeds the configured depth), so sizing the
 		// backing arrays to capacity up front means the hot scheduler path
@@ -169,6 +178,7 @@ func NewSubChannel(cfg Config, divisor int) *SubChannel {
 		// in-place delete reuses the same array.
 		readQ:           make([]entry, 0, cfg.ReadQueueDepth),
 		writeQ:          make([]entry, 0, cfg.WriteQueueDepth),
+		targetCnt:       make([]int32, cfg.Banks()),
 		divisor:         uint64(divisor),
 		linesPerRow:     uint64(cfg.RowBytes / memreq.LineSize),
 		nBanks:          uint64(cfg.Banks()),
@@ -306,6 +316,7 @@ func (s *SubChannel) Tick(now int64) {
 		row, bnk, grp := s.decode(r.Addr)
 		r.ArriveMC = now
 		e := entry{req: r, row: row, bnk: bnk, grp: grp}
+		s.targetCnt[bnk]++
 		if r.Kind == memreq.Write {
 			s.writeQ = append(s.writeQ, e)
 			s.pendingW--
@@ -322,7 +333,8 @@ func (s *SubChannel) Tick(now int64) {
 				return // command slot consumed this cycle
 			}
 		}
-		s.tryIssue(now)
+		s.issueBound = s.tryIssue(now)
+		s.boundAt = now
 		return
 	}
 
@@ -343,7 +355,8 @@ func (s *SubChannel) Tick(now int64) {
 		return
 	}
 
-	s.tryIssue(now)
+	s.issueBound = s.tryIssue(now)
+	s.boundAt = now
 }
 
 // NextEvent returns the earliest cycle after now at which Tick could make
@@ -392,8 +405,22 @@ func (s *SubChannel) NextEvent(now int64) int64 {
 			next = s.refreshDue
 		}
 	}
+	if next <= now {
+		// An already-counted candidate forces the next cycle (quiesce or
+		// REFsb PRE windows); the scheduler bound cannot be earlier.
+		return now + 1
+	}
 	if !blocked && (len(s.readQ) > 0 || len(s.writeQ) > 0) {
-		if t := s.nextIssueAt(); t < next {
+		// Tick's scheduling decision already computed the bound over
+		// exactly this frozen state; reuse it when NextEvent is queried
+		// the same cycle (the normal Tick/NextEvent pairing) and fall
+		// back to a fresh scan otherwise (e.g. after a refresh step
+		// consumed the command slot before tryIssue ran).
+		t := s.issueBound
+		if s.boundAt != now {
+			t = s.nextIssueAt()
+		}
+		if t < next {
 			next = t
 		}
 	}
@@ -491,19 +518,13 @@ func (s *SubChannel) nextIssueAt() int64 {
 	}
 
 	// Pass 4: idle precharge of a stale open bank no queued request
-	// targets. Untargeting a bank requires a queue entry to leave (a CAS —
-	// a tick), so excluding targeted banks here is sound.
+	// targets (targetCnt spans both queues). Untargeting a bank requires a
+	// queue entry to leave (a CAS — a tick), so excluding targeted banks
+	// here is sound.
 	if s.openBanks > 0 {
-		target := hitMask
-		for i := range s.readQ {
-			target |= 1 << uint(s.readQ[i].bnk)
-		}
-		for i := range s.writeQ {
-			target |= 1 << uint(s.writeQ[i].bnk)
-		}
 		for i := range s.banks {
 			bb := &s.banks[i]
-			if !bb.open || target&(1<<uint(i)) != 0 {
+			if !bb.open || s.targetCnt[i] != 0 {
 				continue
 			}
 			t := bb.lastUse + idlePreTimeout + 1
@@ -643,8 +664,17 @@ func (s *SubChannel) stepRefreshSameBank(now int64) bool {
 	return true
 }
 
-// tryIssue performs one FR-FCFS scheduling decision.
-func (s *SubChannel) tryIssue(now int64) {
+// tryIssue performs one FR-FCFS scheduling decision and returns the
+// earliest cycle the command slot could next be usable, fusing the
+// scheduling scan with the bound computation NextEvent needs (the two
+// previously walked the queue separately every tick). When a command
+// issues, the returned bound is now+1: the issue changed rank state
+// mid-scan, and an extra tick is always harmless (NextEvent's contract),
+// while in the loaded regime the following cycle usually issues anyway.
+// When nothing issues, the bound is exact over the frozen state: the
+// minimum over every candidate's gate-opening cycle, matching what
+// nextIssueAt would compute.
+func (s *SubChannel) tryIssue(now int64) int64 {
 	// Write-drain hysteresis.
 	if s.draining {
 		if len(s.writeQ) <= s.cfg.WriteLow {
@@ -666,7 +696,7 @@ func (s *SubChannel) tryIssue(now int64) {
 		isWrite = true
 	}
 	if len(*q) == 0 {
-		return
+		return math.MaxInt64 // both queues empty: only arrivals create work
 	}
 
 	// Per-bank mask of banks whose open row has queued hits; precharging
@@ -680,6 +710,8 @@ func (s *SubChannel) tryIssue(now int64) {
 		}
 	}
 
+	earliest := int64(math.MaxInt64)
+
 	// Starvation guard: when the oldest request has waited pathologically
 	// long, serve it exclusively this slot (ignoring row-hit protection).
 	if oldest := &(*q)[0]; now-oldest.req.ArriveMC > s.starvationLimit {
@@ -688,12 +720,12 @@ func (s *SubChannel) tryIssue(now int64) {
 		case b.open && b.row == oldest.row:
 			if s.casOK(oldest, isWrite, now) {
 				s.issueCAS(q, 0, isWrite, now)
-				return
+				return now + 1
 			}
 		case !b.open:
 			if s.actOK(oldest, now) {
 				s.issueACT(oldest, now)
-				return
+				return now + 1
 			}
 		default:
 			if now >= b.preAllowed {
@@ -702,77 +734,119 @@ func (s *SubChannel) tryIssue(now int64) {
 					oldest.req.StartSvc = now
 				}
 				s.issuePRE(oldest.bnk, now)
-				return
+				return now + 1
+			}
+			// Protected-conflict oldest: the guard is the only path that
+			// may precharge it, so its PRE window bounds the slot.
+			if b.preAllowed < earliest {
+				earliest = b.preAllowed
 			}
 		}
 		// The oldest request's own timing blocks it; let others proceed.
-	}
-
-	// Pass 1 (FR): oldest row hit whose CAS can issue now.
-	for i := range *q {
-		e := &(*q)[i]
-		b := &s.banks[e.bnk]
-		if b.open && b.row == e.row && s.casOK(e, isWrite, now) {
-			s.issueCAS(q, i, isWrite, now)
-			return
-		}
-	}
-
-	// Pass 2 (FCFS prep, bank-parallel): oldest request on a closed bank
-	// whose ACT can issue now.
-	for i := range *q {
-		e := &(*q)[i]
-		if b := &s.banks[e.bnk]; !b.open && s.actOK(e, now) {
-			s.issueACT(e, now)
-			return
-		}
-	}
-
-	// Pass 3: oldest row-conflict request whose bank holds no pending row
-	// hits; precharge it.
-	for i := range *q {
-		e := &(*q)[i]
-		b := &s.banks[e.bnk]
-		if b.open && b.row != e.row && hitMask&(1<<uint(e.bnk)) == 0 && now >= b.preAllowed {
-			if !e.seen {
-				e.seen = true
-				e.req.StartSvc = now
+	} else {
+		// Guard not yet active: a protected-conflict oldest becomes
+		// servable (via the guard's PRE) once its age crosses the limit.
+		// Other classes are covered by the fused pass below, whose
+		// candidates can only be earlier than the guard's.
+		b := &s.banks[oldest.bnk]
+		if b.open && b.row != oldest.row && hitMask&(1<<uint(oldest.bnk)) != 0 {
+			g := b.preAllowed
+			if t0 := oldest.req.ArriveMC + s.starvationLimit + 1; g < t0 {
+				g = t0
 			}
-			s.issuePRE(e.bnk, now)
-			return
+			if g < earliest {
+				earliest = g
+			}
 		}
+	}
+
+	// Single fused pass over the queue, preserving the priority order of
+	// the former passes 1–3: the first issuable row-hit CAS wins outright
+	// (scanning stops — nothing later can preempt it); otherwise the first
+	// issuable closed-bank ACT, then the first issuable unprotected-
+	// conflict PRE, are remembered while the scan completes (a later
+	// issuable CAS still has priority over either).
+	actIdx, preIdx := -1, -1
+	for i := range *q {
+		e := &(*q)[i]
+		b := &s.banks[e.bnk]
+		switch {
+		case b.open && b.row == e.row:
+			if t := s.earliestCAS(e, isWrite); t <= now {
+				s.issueCAS(q, i, isWrite, now)
+				return now + 1
+			} else if t < earliest {
+				earliest = t
+			}
+		case !b.open:
+			if actIdx >= 0 {
+				continue
+			}
+			if t := s.earliestACT(e); t <= now {
+				actIdx = i
+			} else if t < earliest {
+				earliest = t
+			}
+		case hitMask&(1<<uint(e.bnk)) == 0:
+			if preIdx >= 0 {
+				continue
+			}
+			if t := b.preAllowed; t <= now {
+				preIdx = i
+			} else if t < earliest {
+				earliest = t
+			}
+		default:
+			// Conflict on a bank with protected row hits: unservable
+			// until a CAS retires a queue entry (a tick of its own).
+		}
+	}
+
+	if actIdx >= 0 {
+		s.issueACT(&(*q)[actIdx], now)
+		return now + 1
+	}
+	if preIdx >= 0 {
+		e := &(*q)[preIdx]
+		if !e.seen {
+			e.seen = true
+			e.req.StartSvc = now
+		}
+		s.issuePRE(e.bnk, now)
+		return now + 1
 	}
 
 	// Pass 4 (idle precharge): spend an otherwise-wasted command slot
 	// closing a bank that has been idle past the timeout and has no queued
 	// row hits, so future random accesses skip the conflict precharge.
-	s.tryIdlePrecharge(now, hitMask)
+	if t := s.tryIdlePrecharge(now); t < earliest {
+		earliest = t
+	}
+	return earliest
 }
 
 // idlePreTimeout is the open-row idle window before speculative precharge.
 const idlePreTimeout = 120
 
-// tryIdlePrecharge closes one stale open bank, if any. A fruitless scan
-// caches the earliest cycle any bank currently open could become eligible
-// (ignoring the queue-target mask, which can only clear earlier than it
-// sets), so the per-cycle fast path is a single compare: re-scanning
-// before idlePreAt is provably fruitless because a bank's lastUse and
-// preAllowed only ever move its eligibility later, banks opened after the
-// scan are eligible no earlier than scan-time banks (fresh lastUse), and
-// closed banks just drop out.
-func (s *SubChannel) tryIdlePrecharge(now int64, hitMask uint64) {
-	if s.openBanks == 0 || now < s.idlePreAt {
-		return
+// tryIdlePrecharge closes one stale open bank, if any, and returns the
+// earliest cycle a currently open, untargeted bank could become eligible
+// (now+1 when a PRE issued). Banks targeted by any queued request — in
+// either queue, tracked incrementally in targetCnt — are protected: a
+// pending ACT would only be delayed by tRP anyway, and row hits would be
+// thrown away. A fruitless scan caches the bound in idlePreAt so the
+// per-cycle fast path is a single compare: re-scanning before it is
+// provably fruitless because an untargeted bank's lastUse and preAllowed
+// only ever move its eligibility later, banks opened after the scan are
+// both targeted (their ACT served a queued entry) and fresh, closed banks
+// drop out, and the one transition that could make a bank eligible
+// *earlier* — losing its last targeting entry, which happens only when a
+// CAS retires it — invalidates the cache at the issueCAS site.
+func (s *SubChannel) tryIdlePrecharge(now int64) int64 {
+	if s.openBanks == 0 {
+		return math.MaxInt64
 	}
-	// Protect banks targeted by any queued request in either queue (a
-	// pending ACT would only be delayed by tRP anyway; row hits would be
-	// thrown away).
-	target := hitMask
-	for i := range s.readQ {
-		target |= 1 << uint(s.readQ[i].bnk)
-	}
-	for i := range s.writeQ {
-		target |= 1 << uint(s.writeQ[i].bnk)
+	if now < s.idlePreAt {
+		return s.idlePreAt
 	}
 	start := s.idleScan
 	n := len(s.banks)
@@ -780,13 +854,13 @@ func (s *SubChannel) tryIdlePrecharge(now int64, hitMask uint64) {
 	for k := 0; k < n; k++ {
 		i := (start + k) % n
 		b := &s.banks[i]
-		if !b.open {
+		if !b.open || s.targetCnt[i] != 0 {
 			continue
 		}
-		if target&(1<<uint(i)) == 0 && now >= b.preAllowed && now-b.lastUse > idlePreTimeout {
+		if now >= b.preAllowed && now-b.lastUse > idlePreTimeout {
 			s.issuePRE(int32(i), now)
 			s.idleScan = i + 1
-			return
+			return now + 1
 		}
 		e := b.lastUse + idlePreTimeout + 1
 		if b.preAllowed > e {
@@ -798,6 +872,7 @@ func (s *SubChannel) tryIdlePrecharge(now int64, hitMask uint64) {
 	}
 	s.idleScan = start
 	s.idlePreAt = earliest
+	return earliest
 }
 
 // casOK reports whether a column command for e may issue at cycle now,
@@ -934,6 +1009,20 @@ func (s *SubChannel) issueCAS(q *[]entry, i int, isWrite bool, now int64) {
 
 	// Remove from queue preserving order.
 	*q = append((*q)[:i], (*q)[i+1:]...)
+	if s.targetCnt[e.bnk]--; s.targetCnt[e.bnk] == 0 {
+		// The bank lost its last targeting entry: it joins the
+		// idle-precharge candidate set, so fold its eligibility — exactly
+		// computable here, since this CAS just set lastUse=now and any
+		// recovery-window push to preAllowed happened above — into the
+		// cached bound rather than forcing a rescan.
+		t := now + idlePreTimeout + 1
+		if b.preAllowed > t {
+			t = b.preAllowed
+		}
+		if t < s.idlePreAt {
+			s.idlePreAt = t
+		}
+	}
 
 	if e.req.Ret != nil {
 		s.completions.Push(dataEnd, e.req)

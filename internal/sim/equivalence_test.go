@@ -8,9 +8,10 @@ import (
 	"coaxial/internal/trace"
 )
 
-// TestClockingEquivalence is the golden guard for event-driven clocking:
-// the event loop must be bit-identical to the cycle-by-cycle reference —
-// every Result field (IPC, cycle counts, latency breakdown and histogram
+// TestClockingEquivalence is the golden guard for the main loop: every
+// combination of clocking mode (event-driven vs the cycle-by-cycle
+// reference) and tick-phase parallelism must be bit-identical — every
+// Result field (IPC, cycle counts, latency breakdown and histogram
 // percentiles, DRAM counters, CALM tallies) equal across configs covering
 // direct DDR, symmetric CXL, asymmetric CXL (two DDR channels per device),
 // same-bank refresh, and a partially-idle machine, over low- and high-MPKI
@@ -49,17 +50,26 @@ func TestClockingEquivalence(t *testing.T) {
 						Seed:                  seed,
 					}
 					rc.Clocking = EventDriven
-					ev, err := Run(tc.cfg, w, rc)
+					ref, err := Run(tc.cfg, w, rc)
 					if err != nil {
 						t.Fatalf("event-driven: %v", err)
 					}
-					rc.Clocking = CycleByCycle
-					cyc, err := Run(tc.cfg, w, rc)
-					if err != nil {
-						t.Fatalf("cycle-by-cycle: %v", err)
-					}
-					if !reflect.DeepEqual(ev, cyc) {
-						t.Errorf("results diverge\nevent-driven:   %+v\ncycle-by-cycle: %+v", ev, cyc)
+					for _, mode := range []Clocking{EventDriven, CycleByCycle} {
+						for _, par := range []int{1, 3} {
+							if mode == EventDriven && par == 1 {
+								continue // the reference itself
+							}
+							rc.Clocking = mode
+							rc.Parallelism = par
+							got, err := Run(tc.cfg, w, rc)
+							if err != nil {
+								t.Fatalf("mode %d par %d: %v", mode, par, err)
+							}
+							if !reflect.DeepEqual(ref, got) {
+								t.Errorf("mode %d par %d diverges from event-driven/sequential\nref: %+v\ngot: %+v",
+									mode, par, ref, got)
+							}
+						}
 					}
 				})
 			}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"coaxial/internal/calm"
@@ -36,6 +37,11 @@ type RunConfig struct {
 	Clocking Clocking
 	// Workers bounds RunSuite's parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Parallelism is the intra-system tick-phase worker count: cores and
+	// memory backends due at a cycle tick on this many goroutines between
+	// the cycle's synchronization points (see System.SetParallelism).
+	// Results are bit-identical for every value; <= 1 ticks sequentially.
+	Parallelism int
 }
 
 // DefaultRunConfig returns the standard experiment windows. The paper
@@ -96,17 +102,31 @@ type Result struct {
 // Run executes one experiment: cfg's system running the same workload on
 // every active core (the paper's rate mode).
 func Run(cfg Config, w trace.Workload, rc RunConfig) (Result, error) {
+	return RunCtx(context.Background(), cfg, w, rc)
+}
+
+// RunCtx is Run with cancellation; see RunMixCtx for its semantics.
+func RunCtx(ctx context.Context, cfg Config, w trace.Workload, rc RunConfig) (Result, error) {
 	wl := make([]trace.Workload, cfg.active())
 	for i := range wl {
 		wl[i] = w
 	}
-	res, err := RunMix(cfg, wl, rc)
+	res, err := RunMixCtx(ctx, cfg, wl, rc)
 	res.Workload = w.Params.Name
 	return res, err
 }
 
 // RunMix executes one experiment with per-core workloads (Fig. 6 mixes).
 func RunMix(cfg Config, workloads []trace.Workload, rc RunConfig) (Result, error) {
+	return RunMixCtx(context.Background(), cfg, workloads, rc)
+}
+
+// RunMixCtx is RunMix with cancellation: the simulation polls ctx at cycle
+// window boundaries and stops cleanly when it is done. A canceled run
+// returns the measurements collected so far (a partial window) together
+// with an error wrapping the ctx cause; callers must treat the Result as
+// incomplete whenever err != nil.
+func RunMixCtx(ctx context.Context, cfg Config, workloads []trace.Workload, rc RunConfig) (Result, error) {
 	if rc.MeasureInstr == 0 {
 		return Result{}, fmt.Errorf("sim: zero measure window")
 	}
@@ -117,6 +137,8 @@ func RunMix(cfg Config, workloads []trace.Workload, rc RunConfig) (Result, error
 	if err != nil {
 		return Result{}, err
 	}
+	sys.SetParallelism(rc.Parallelism)
+	defer sys.Close()
 	sys.SetClocking(rc.Clocking)
 	if !rc.SkipFunctional {
 		hints := make([]trace.Params, len(workloads))
@@ -124,24 +146,41 @@ func RunMix(cfg Config, workloads []trace.Workload, rc RunConfig) (Result, error
 			hints[i] = w.Params
 		}
 		sys.prefillLLC(hints, rc.Seed)
-		fw := rc.FunctionalWarmupInstr
-		if fw == 0 {
-			fw = 1_000_000
-		}
-		sys.functionalWarmup(fw)
+		sys.functionalWarmup(rc.functionalInstr())
 	}
+	return sys.timedPhases(ctx, workloads, rc)
+}
+
+// functionalInstr resolves the functional-warmup budget.
+func (rc RunConfig) functionalInstr() uint64 {
+	if rc.FunctionalWarmupInstr == 0 {
+		return 1_000_000
+	}
+	return rc.FunctionalWarmupInstr
+}
+
+// timedPhases runs the timed warmup and measure windows on an
+// already-warmed system. On cancellation it returns the partial
+// measurements alongside the wrapped ctx error.
+func (s *System) timedPhases(ctx context.Context, workloads []trace.Workload, rc RunConfig) (Result, error) {
 	if rc.WarmupInstr > 0 {
 		budget := int64(rc.WarmupInstr)*rc.MaxCyclesPerInstr + 1_000_000
-		if err := sys.runPhase(rc.WarmupInstr, budget); err != nil {
+		if err := s.runPhase(ctx, rc.WarmupInstr, budget); err != nil {
+			if ctx.Err() != nil {
+				return s.collect(workloads), err
+			}
 			return Result{}, err
 		}
 	}
-	sys.resetStats()
+	s.resetStats()
 	budget := int64(rc.MeasureInstr)*rc.MaxCyclesPerInstr + 1_000_000
-	if err := sys.runPhase(rc.MeasureInstr, budget); err != nil {
+	if err := s.runPhase(ctx, rc.MeasureInstr, budget); err != nil {
+		if ctx.Err() != nil {
+			return s.collect(workloads), err
+		}
 		return Result{}, err
 	}
-	return sys.collect(workloads), nil
+	return s.collect(workloads), nil
 }
 
 // RunGenerators executes one experiment over caller-provided generators
@@ -158,29 +197,19 @@ func RunGenerators(cfg Config, gens []trace.Generator, hints []trace.Params, rc 
 	if err != nil {
 		return Result{}, err
 	}
+	sys.SetParallelism(rc.Parallelism)
+	defer sys.Close()
 	sys.SetClocking(rc.Clocking)
 	if !rc.SkipFunctional {
 		if hints != nil {
 			sys.prefillLLC(hints, rc.Seed)
 		}
-		fw := rc.FunctionalWarmupInstr
-		if fw == 0 {
-			fw = 1_000_000
-		}
-		sys.functionalWarmup(fw)
+		sys.functionalWarmup(rc.functionalInstr())
 	}
-	if rc.WarmupInstr > 0 {
-		budget := int64(rc.WarmupInstr)*rc.MaxCyclesPerInstr + 1_000_000
-		if err := sys.runPhase(rc.WarmupInstr, budget); err != nil {
-			return Result{}, err
-		}
-	}
-	sys.resetStats()
-	budget := int64(rc.MeasureInstr)*rc.MaxCyclesPerInstr + 1_000_000
-	if err := sys.runPhase(rc.MeasureInstr, budget); err != nil {
+	res, err := sys.timedPhases(context.Background(), nil, rc)
+	if err != nil {
 		return Result{}, err
 	}
-	res := sys.collect(nil)
 	names := make([]string, 0, len(gens))
 	for _, g := range gens {
 		names = append(names, g.Name())

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"coaxial/internal/cache"
@@ -44,6 +45,50 @@ const (
 type spillItem struct {
 	r  *memreq.Request
 	at int64
+}
+
+// memEvent is one beyond-L2 action a core produced during the (potentially
+// parallel) core tick phase, buffered for the sequential drain at the cycle
+// barrier. Cores only touch their private L1/L2 inline; everything that
+// reaches shared state — the LLC, the CALM policy, the NoC send path — is
+// deferred here, so core ticks never race and the drain (in fixed core
+// order) reproduces exactly the shared-state operation order the
+// sequential loop would have produced.
+type memEvent struct {
+	kind  uint8 // evAccess or evVictim
+	store bool
+	line  uint64
+	pc    uint64
+	t2    int64 // the L2-miss cycle (the paper's datum) for evAccess
+}
+
+const (
+	// evAccess is an L1+L2 miss headed for the LLC lookup (accessLLC).
+	evAccess = iota
+	// evVictim is a dirty L2 victim displaced by an L2-hit install,
+	// headed for the LLC (l2VictimToLLC).
+	evVictim
+)
+
+// completion is one backend completion buffered during the (potentially
+// parallel) backend tick phase, delivered by drainCompletions at the cycle
+// barrier in backend order.
+type completion struct {
+	r  *memreq.Request
+	at int64
+}
+
+// chanCompleter is the per-channel memreq.Completer handed to backends:
+// each channel appends only to its own buffer, so the backend tick phase
+// is race-free and the sequential drain preserves channel order.
+type chanCompleter struct {
+	s  *System
+	ch int
+}
+
+// Complete implements memreq.Completer.
+func (c *chanCompleter) Complete(r *memreq.Request, at int64) {
+	c.s.doneBuf[c.ch] = append(c.s.doneBuf[c.ch], completion{r: r, at: at})
 }
 
 // System is one assembled simulated machine.
@@ -91,6 +136,25 @@ type System struct {
 	// unblocking a core, an enqueue scheduling a backend arrival).
 	coreNext    []int64
 	backendNext []int64
+
+	// Phased-tick state: per-core buffers of beyond-L2 work generated
+	// during the core tick phase, and per-channel buffers of completions
+	// generated during the backend tick phase, both drained sequentially
+	// at the cycle barrier (see step/stepEvent). Always on — for every
+	// clocking mode and parallelism level — so results are identical by
+	// construction whatever the worker count.
+	coreEvents [][]memEvent
+	doneBuf    [][]completion
+	completers []*chanCompleter
+
+	// par is the tick-phase worker count (<=1: sequential); pool holds the
+	// par-1 helper goroutines when parallel.
+	par  int
+	pool *workerPool
+	// dueCores/dueBackends are reused scratch lists of the components due
+	// at the cycle stepEvent selected.
+	dueCores    []int
+	dueBackends []int
 
 	now int64
 }
@@ -180,8 +244,38 @@ func NewSystemGens(cfg Config, gens []trace.Generator, hints []trace.Params) (*S
 	for i := range s.backendNext {
 		s.backendNext[i] = 1
 	}
+	s.coreEvents = make([][]memEvent, len(s.cores))
+	s.doneBuf = make([][]completion, len(s.backends))
+	s.completers = make([]*chanCompleter, len(s.backends))
+	for ch := range s.completers {
+		s.completers[ch] = &chanCompleter{s: s, ch: ch}
+	}
 	s.SetClocking(s.clocking) // apply the default mode's lazy ticking
 	return s, nil
+}
+
+// SetParallelism sets the tick-phase worker count: cores (and backends)
+// due at a cycle advance on n goroutines between the synchronization
+// points, with all shared-state work drained at the barrier. Results are
+// identical for every n by construction (TestClockingEquivalence covers
+// Parallelism > 1). n <= 1 is sequential. Call Close when done with a
+// parallel system to release its worker goroutines.
+func (s *System) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.par = n
+	if n > 1 && s.pool == nil {
+		s.pool = newWorkerPool(n - 1)
+	}
+}
+
+// Close releases the worker goroutines of a parallel system. Safe to call
+// on a sequential system and more than once.
+func (s *System) Close() {
+	s.pool.close()
+	s.pool = nil
+	s.par = 1
 }
 
 // SetClocking selects the time-advance strategy; the zero value is
@@ -214,8 +308,13 @@ func (s *System) peakGBs() float64 {
 // chOf maps an address to its memory channel.
 func (s *System) chOf(addr uint64) int { return s.iv.ChannelOf(addr) }
 
-// Access implements cpu.Hierarchy: the full L1 -> L2 -> (CALM?) -> LLC ->
-// memory path for a first access to a line.
+// Access implements cpu.Hierarchy: the private L1 -> L2 path for a first
+// access to a line, inline; anything beyond the L2 — LLC, CALM, memory —
+// touches state shared between cores, so it is buffered as a memEvent for
+// the sequential drain at the cycle barrier (accessLLC) and reported
+// Async: the core parks the access in an MSHR and the barrier resolves
+// same-cycle LLC hits before the next cycle begins. Access therefore only
+// mutates per-core state and may run concurrently across cores.
 func (s *System) Access(core int, addr, pc uint64, store bool, now int64) cpu.PathResult {
 	line := memreq.LineAddr(addr)
 
@@ -226,11 +325,23 @@ func (s *System) Access(core int, addr, pc uint64, store bool, now int64) cpu.Pa
 
 	if s.l2[core].Lookup(line, store) {
 		// Move up to L1 (write-allocate); victim may cascade.
-		s.installL1(core, line, store)
+		s.installL1Buffered(core, line, store)
 		return cpu.PathResult{When: t1 + s.l2[core].Latency()}
 	}
 	t2 := t1 + s.l2[core].Latency() // the L2 miss register (paper's datum)
 
+	s.coreEvents[core] = append(s.coreEvents[core], memEvent{
+		kind: evAccess, store: store, line: line, pc: pc, t2: t2,
+	})
+	return cpu.PathResult{Async: true}
+}
+
+// accessLLC performs the shared-state half of one buffered access — the
+// CALM decision and the LLC -> memory path — during the sequential drain.
+// It reports whether the access resolved as an LLC hit (the core's MSHR
+// was released, so its cached next event must be recomputed).
+func (s *System) accessLLC(core int, ev *memEvent) bool {
+	line, t2 := ev.line, ev.t2
 	sliceIdx := s.llc.SliceOf(line)
 	sliceTile := s.coreTiles[sliceIdx]
 	nocTo := s.mesh.Latency(s.coreTiles[core], sliceTile)
@@ -238,22 +349,26 @@ func (s *System) Access(core int, addr, pc uint64, store bool, now int64) cpu.Pa
 
 	doCALM := false
 	if s.cfg.CALM.Kind != calm.Off {
-		doCALM = s.policy.Decide(core, pc, t2, func() bool { return llcHit })
+		doCALM = s.policy.Decide(core, ev.pc, t2, func() bool { return llcHit })
 	}
-	s.policy.Observe(core, pc, llcHit, doCALM)
+	s.policy.Observe(core, ev.pc, llcHit, doCALM)
 
 	ch := s.chOf(line)
 	portTile := s.portTiles[ch]
 
 	if llcHit {
 		when := t2 + nocTo + s.llc.Latency() + nocTo
-		s.installPrivate(core, line, store, when)
+		// Release the MSHR the core parked this access in; same-cycle
+		// stores to the line merged into it, so the pending entry's dirty
+		// bit subsumes ev.store.
+		dirty := s.cores[coreSlot(s, core)].ResolveMiss(line, when)
+		s.installPrivate(core, line, dirty, when)
 		if doCALM {
 			// False positive: the concurrent memory request was already
 			// launched; its response will be discarded on arrival.
 			r := &memreq.Request{
 				Addr: line, Kind: memreq.Read, Core: int16(core),
-				CALM: true, Discard: true, Issue: t2, Ret: s,
+				CALM: true, Discard: true, Issue: t2, Ret: s.completers[ch],
 			}
 			s.send(r, ch, t2+s.mesh.Latency(s.coreTiles[core], portTile))
 		}
@@ -261,7 +376,7 @@ func (s *System) Access(core int, addr, pc uint64, store bool, now int64) cpu.Pa
 			s.breakdown.Add(when-t2, 0, 0, 0)
 			s.hist.Add(when - t2)
 		}
-		return cpu.PathResult{When: when}
+		return true
 	}
 
 	// LLC miss: go to memory. The LLC's (miss) response still returns to
@@ -269,7 +384,7 @@ func (s *System) Access(core int, addr, pc uint64, store bool, now int64) cpu.Pa
 	llcAck := t2 + nocTo + s.llc.Latency() + nocTo
 	r := &memreq.Request{
 		Addr: line, Kind: memreq.Read, Core: int16(core),
-		CALM: doCALM, Issue: t2, Ret: s,
+		CALM: doCALM, Issue: t2, Ret: s.completers[ch],
 	}
 	var at int64
 	if doCALM {
@@ -279,7 +394,52 @@ func (s *System) Access(core int, addr, pc uint64, store bool, now int64) cpu.Pa
 		at = t2 + nocTo + s.llc.Latency() + s.mesh.Latency(sliceTile, portTile)
 	}
 	s.send(r, ch, at)
-	return cpu.PathResult{Async: true}
+	return false
+}
+
+// drainCoreEvents applies the buffered beyond-L2 work in fixed core order
+// (and, per core, in generation order), reproducing exactly the
+// shared-state operation order of a sequential core loop. Cores whose
+// accesses resolved as LLC hits get their cached next event recomputed
+// under event-driven clocking: the resolution freed MSHRs and scheduled
+// ROB completions after the core's own tick computed it.
+func (s *System) drainCoreEvents(event bool) {
+	for i := range s.coreEvents {
+		evs := s.coreEvents[i]
+		if len(evs) == 0 {
+			continue
+		}
+		for k := range evs {
+			ev := &evs[k]
+			if ev.kind == evVictim {
+				s.l2VictimToLLC(ev.line, s.now)
+			} else {
+				s.accessLLC(i, ev)
+			}
+		}
+		s.coreEvents[i] = evs[:0]
+		if event {
+			// The tick phase skipped this core's NextEvent because its
+			// buffered accesses could resolve here; compute it now, over
+			// the post-drain state.
+			s.coreNext[i] = s.cores[i].NextEvent(s.now)
+		}
+	}
+}
+
+// drainCompletions delivers the completions buffered during the backend
+// tick phase, in backend order.
+func (s *System) drainCompletions() {
+	for ch := range s.doneBuf {
+		buf := s.doneBuf[ch]
+		if len(buf) == 0 {
+			continue
+		}
+		for k := range buf {
+			s.Complete(buf[k].r, buf[k].at)
+		}
+		s.doneBuf[ch] = buf[:0]
+	}
 }
 
 // Complete implements memreq.Completer: memory data arrived back at the
@@ -343,11 +503,25 @@ func (s *System) installPrivate(core int, line uint64, dirty bool, now int64) {
 }
 
 // installL1 fills L1; its dirty victims land in the L2 (which may in turn
-// displace a victim to the LLC; timestamps use the current tick).
+// displace a victim to the LLC; timestamps use the current tick). Only
+// safe in the sequential drain phases, where the LLC may be touched.
 func (s *System) installL1(core int, line uint64, dirty bool) {
 	if v := s.l1[core].Fill(line, dirty); v.Valid && v.Dirty {
 		if v2 := s.l2[core].Fill(v.Addr, true); v2.Valid && v2.Dirty {
 			s.l2VictimToLLC(v2.Addr, s.now)
+		}
+	}
+}
+
+// installL1Buffered is installL1 for the (potentially parallel) core tick
+// phase: a dirty L2 victim is buffered for the barrier drain instead of
+// being written to the shared LLC inline.
+func (s *System) installL1Buffered(core int, line uint64, dirty bool) {
+	if v := s.l1[core].Fill(line, dirty); v.Valid && v.Dirty {
+		if v2 := s.l2[core].Fill(v.Addr, true); v2.Valid && v2.Dirty {
+			s.coreEvents[core] = append(s.coreEvents[core], memEvent{
+				kind: evVictim, line: v2.Addr,
+			})
 		}
 	}
 }
@@ -433,17 +607,60 @@ func (s *System) flushOne(qp *[]spillItem, ch int, now int64) {
 	}
 }
 
-// step advances the whole system one cycle (CycleByCycle mode).
+// step advances the whole system one cycle (CycleByCycle mode). The cycle
+// is phased: core ticks (parallelizable — cores touch only private state,
+// buffering beyond-L2 work), core-event drain and spill retry at the
+// barrier, backend ticks (parallelizable — channels touch only their own
+// state, buffering completions), completion drain at the barrier.
 func (s *System) step() {
 	s.now++
 	now := s.now
-	for _, c := range s.cores {
-		c.Tick(now)
+	if s.par > 1 && len(s.cores) > 1 {
+		s.tickCoresPar(now)
+	} else {
+		for _, c := range s.cores {
+			c.Tick(now)
+		}
 	}
+	s.drainCoreEvents(false)
 	s.flushSpill(now)
-	for _, b := range s.backends {
-		b.Tick(now)
+	if s.par > 1 && len(s.backends) > 1 {
+		s.tickBackendsPar(now)
+	} else {
+		for _, b := range s.backends {
+			b.Tick(now)
+		}
 	}
+	s.drainCompletions()
+}
+
+// tickCoresPar / tickBackendsPar / tickDueCoresPar / tickDueBackendsPar
+// hold the parallel tick phases in their own frames so the sequential
+// paths pay no closure-capture allocations.
+func (s *System) tickCoresPar(now int64) {
+	s.pool.run(len(s.cores), func(i int) { s.cores[i].Tick(now) })
+}
+
+func (s *System) tickBackendsPar(now int64) {
+	s.pool.run(len(s.backends), func(ch int) { s.backends[ch].Tick(now) })
+}
+
+func (s *System) tickDueCoresPar(due []int, next int64) {
+	s.pool.run(len(due), func(k int) {
+		i := due[k]
+		s.cores[i].Tick(next)
+		if len(s.coreEvents[i]) == 0 {
+			s.coreNext[i] = s.cores[i].NextEvent(next)
+		}
+	})
+}
+
+func (s *System) tickDueBackendsPar(due []int, next int64) {
+	s.pool.run(len(due), func(k int) {
+		ch := due[k]
+		s.backends[ch].Tick(next)
+		s.backendNext[ch] = s.backends[ch].NextEvent(next)
+	})
 }
 
 // stepEvent advances the clock to the earliest cached component event (at
@@ -451,10 +668,10 @@ func (s *System) step() {
 // NextEvent lies beyond the chosen cycle are provably inert across the
 // jump, so skipping their ticks — and the whole-system cycles where nobody
 // is due — leaves simulated behaviour bit-identical to step(). Phase order
-// within the chosen cycle matches step(): cores, spill retry, backends.
-// While any spill queue is non-empty the jump degrades to a single cycle,
-// because spill retry timing depends on backend dequeues the caches can't
-// see.
+// within the chosen cycle matches step(): cores, core-event drain, spill
+// retry, backends, completion drain. While any spill queue is non-empty
+// the jump degrades to a single cycle, because spill retry timing depends
+// on backend dequeues the caches can't see.
 func (s *System) stepEvent(limit int64) {
 	next := limit
 	if s.spillPending > 0 {
@@ -475,19 +692,46 @@ func (s *System) stepEvent(limit int64) {
 		next = s.now + 1
 	}
 	s.now = next
-	for i, c := range s.cores {
+
+	due := s.dueCores[:0]
+	for i := range s.cores {
 		if s.coreNext[i] <= next {
-			c.Tick(next)
-			s.coreNext[i] = c.NextEvent(next)
+			due = append(due, i)
 		}
 	}
+	s.dueCores = due
+	// Cores that buffered beyond-L2 work this tick get their NextEvent
+	// computed after the drain instead (the barrier may resolve their
+	// accesses, freeing MSHRs); computing it here too would be wasted.
+	if s.par > 1 && len(due) > 1 {
+		s.tickDueCoresPar(due, next)
+	} else {
+		for _, i := range due {
+			s.cores[i].Tick(next)
+			if len(s.coreEvents[i]) == 0 {
+				s.coreNext[i] = s.cores[i].NextEvent(next)
+			}
+		}
+	}
+	s.drainCoreEvents(true)
 	s.flushSpill(next)
-	for ch, b := range s.backends {
+
+	due = s.dueBackends[:0]
+	for ch := range s.backends {
 		if s.backendNext[ch] <= next {
-			b.Tick(next)
-			s.backendNext[ch] = b.NextEvent(next)
+			due = append(due, ch)
 		}
 	}
+	s.dueBackends = due
+	if s.par > 1 && len(due) > 1 {
+		s.tickDueBackendsPar(due, next)
+	} else {
+		for _, ch := range due {
+			s.backends[ch].Tick(next)
+			s.backendNext[ch] = s.backends[ch].NextEvent(next)
+		}
+	}
+	s.drainCompletions()
 }
 
 // syncClock realizes every component's lagging bulk accounting at the
@@ -665,13 +909,21 @@ func (s *System) resetStats() {
 	s.measuring = true
 }
 
+// ctxCheckCycles is the cancellation-poll granularity of runPhase: the
+// context is consulted once per this many simulated cycles, so a canceled
+// run stops at the next such window boundary with consistent state (every
+// in-flight cycle fully drained) rather than mid-cycle.
+const ctxCheckCycles = 4096
+
 // runPhase executes until every core retires `target` instructions
-// (counted from the last stats reset), bounded by maxCycles.
-func (s *System) runPhase(target uint64, maxCycles int64) error {
+// (counted from the last stats reset), bounded by maxCycles and by ctx
+// cancellation (checked at ctxCheckCycles boundaries).
+func (s *System) runPhase(ctx context.Context, target uint64, maxCycles int64) error {
 	for _, c := range s.cores {
 		c.SetTarget(target)
 	}
 	limit := s.now + maxCycles
+	nextCheck := s.now + ctxCheckCycles
 	for {
 		done := true
 		for _, c := range s.cores {
@@ -686,6 +938,12 @@ func (s *System) runPhase(target uint64, maxCycles int64) error {
 		if s.now >= limit {
 			return fmt.Errorf("sim: %s: exceeded cycle budget (%d cycles for %d instructions)",
 				s.cfg.Name, maxCycles, target)
+		}
+		if s.now >= nextCheck {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sim: %s: stopped at cycle %d: %w", s.cfg.Name, s.now, err)
+			}
+			nextCheck = s.now + ctxCheckCycles
 		}
 		if s.clocking == CycleByCycle {
 			s.step()

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"coaxial/internal/cache"
+	"coaxial/internal/trace"
+)
+
+// WarmState is a snapshot of the untimed warmup product for one
+// (cache geometry, workload set, seed) point: the cache contents after LLC
+// pre-fill plus functional warmup, and every generator parked at its
+// post-warmup stream position. One capture can seed any number of timed
+// runs — each bit-identical to a cold run of the same configuration —
+// which turns the warmup from a per-sweep-point cost into a one-time cost
+// when sweep points share their warm key (WarmKey).
+//
+// The snapshot is immutable after capture: RunMixWarm clones the caches
+// and generators per use.
+type WarmState struct {
+	workloads []trace.Workload
+	hints     []trace.Params
+	gens      []trace.Generator
+	l1, l2    []*cache.Cache
+	llc       *cache.LLC
+	seed      uint64
+	fw        uint64
+	geom      string
+}
+
+// warmGeometry fingerprints the configuration facets the untimed warmup
+// depends on: core/cache shape only. Timing, backend, and CALM parameters
+// are irrelevant to warmup (it is timing-free and touches caches and
+// generators only), so e.g. a CALM-threshold sweep shares one warm state.
+func warmGeometry(cfg Config) string {
+	return fmt.Sprintf("c%d/%d|l1:%+v|l2:%+v|llc:%d/%d/%d",
+		cfg.Cores, cfg.active(), cfg.L1, cfg.L2,
+		cfg.LLCSliceBytes, cfg.LLCAssoc, cfg.LLCLatency)
+}
+
+// WarmKey identifies the warm state a (cfg, workloads, rc) run would
+// consume: two runs with equal keys can share one CaptureWarm snapshot.
+func WarmKey(cfg Config, workloads []trace.Workload, rc RunConfig) string {
+	key := fmt.Sprintf("%s|seed:%d|fw:%d", warmGeometry(cfg), rc.Seed, rc.functionalInstr())
+	for _, w := range workloads {
+		key += fmt.Sprintf("|%+v", w.Params)
+	}
+	return key
+}
+
+// CaptureWarm builds cfg's system and runs the untimed warmup (LLC
+// pre-fill plus functional warmup) once, returning the snapshot. ok is
+// false — with no error — when the workloads' generators do not support
+// cloning, in which case callers fall back to cold-start runs.
+func CaptureWarm(cfg Config, workloads []trace.Workload, rc RunConfig) (ws *WarmState, ok bool, err error) {
+	sys, err := NewSystem(cfg, workloads, rc.Seed)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, c := range sys.cores {
+		if _, ok := c.Gen().(trace.Cloner); !ok {
+			return nil, false, nil
+		}
+	}
+	hints := make([]trace.Params, len(workloads))
+	for i, w := range workloads {
+		hints[i] = w.Params
+	}
+	sys.prefillLLC(hints, rc.Seed)
+	sys.functionalWarmup(rc.functionalInstr())
+
+	ws = &WarmState{
+		workloads: append([]trace.Workload(nil), workloads...),
+		hints:     hints,
+		gens:      make([]trace.Generator, len(sys.cores)),
+		l1:        sys.l1,
+		l2:        sys.l2,
+		llc:       sys.llc,
+		seed:      rc.Seed,
+		fw:        rc.functionalInstr(),
+		geom:      warmGeometry(cfg),
+	}
+	// The system is discarded, so its caches transfer to the snapshot
+	// as-is; only the generators need detaching from the cores.
+	for i, c := range sys.cores {
+		ws.gens[i] = c.Gen()
+	}
+	return ws, true, nil
+}
+
+// RunMixWarm runs the timed phases of RunMixCtx from a warm snapshot,
+// skipping the untimed warmup. The result is bit-identical to
+// RunMixCtx(ctx, cfg, ws workloads, rc) (TestWarmStateBitIdentical); rc's
+// seed and functional-warmup budget must match the capture, and cfg's
+// core/cache geometry must match the capture configuration.
+func RunMixWarm(ctx context.Context, cfg Config, ws *WarmState, rc RunConfig) (Result, error) {
+	if rc.MeasureInstr == 0 {
+		return Result{}, fmt.Errorf("sim: zero measure window")
+	}
+	if rc.MaxCyclesPerInstr <= 0 {
+		rc.MaxCyclesPerInstr = 400
+	}
+	if rc.SkipFunctional {
+		return Result{}, fmt.Errorf("sim: warm run with SkipFunctional set")
+	}
+	if g := warmGeometry(cfg); g != ws.geom {
+		return Result{}, fmt.Errorf("sim: warm state geometry mismatch: captured %q, running %q", ws.geom, g)
+	}
+	if rc.Seed != ws.seed || rc.functionalInstr() != ws.fw {
+		return Result{}, fmt.Errorf("sim: warm state seed/warmup mismatch")
+	}
+	gens := make([]trace.Generator, len(ws.gens))
+	for i, g := range ws.gens {
+		gens[i] = g.(trace.Cloner).Clone()
+	}
+	sys, err := NewSystemGens(cfg, gens, ws.hints)
+	if err != nil {
+		return Result{}, err
+	}
+	sys.SetParallelism(rc.Parallelism)
+	defer sys.Close()
+	sys.SetClocking(rc.Clocking)
+	for i := range sys.l1 {
+		sys.l1[i] = ws.l1[i].Clone()
+		sys.l2[i] = ws.l2[i].Clone()
+	}
+	sys.llc = ws.llc.Clone()
+	return sys.timedPhases(ctx, ws.workloads, rc)
+}

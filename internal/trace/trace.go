@@ -40,6 +40,15 @@ type Generator interface {
 	Name() string
 }
 
+// Cloner is an optional Generator extension: Clone deep-copies the
+// generator at its current stream position, so the copy and the original
+// produce identical continuations independently. Generators implementing
+// it can participate in warm-state reuse (sim.CaptureWarm); those that
+// don't (e.g. single-pass trace readers) fall back to cold-start runs.
+type Cloner interface {
+	Clone() Generator
+}
+
 // Params parameterizes a synthetic workload. See the package comment for
 // the generation model.
 type Params struct {
@@ -208,6 +217,20 @@ func NewSynthetic(p Params, base, seed uint64) *Synthetic {
 
 // Name implements Generator.
 func (g *Synthetic) Name() string { return g.p.Name }
+
+// Clone implements Cloner: an independent generator at the same stream
+// position. The store-stream set may alias the load-stream set (the
+// single-stream store case); the copy preserves that aliasing.
+func (g *Synthetic) Clone() Generator {
+	d := *g
+	d.loadStreams = append([]uint64(nil), g.loadStreams...)
+	if len(g.storeStreams) > 0 && len(g.loadStreams) > 0 && &g.storeStreams[0] == &g.loadStreams[0] {
+		d.storeStreams = d.loadStreams
+	} else {
+		d.storeStreams = append([]uint64(nil), g.storeStreams...)
+	}
+	return &d
+}
 
 // PC bases per access category; low bits select within a small pool so
 // PC-indexed predictors observe stable per-site behaviour.

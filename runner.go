@@ -1,0 +1,209 @@
+package coaxial
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"coaxial/internal/sim"
+)
+
+// Runner is the primary entry point for experiments: a reusable driver
+// holding the run configuration (seed, windows, clocking, parallelism) set
+// once through functional options, plus a cache of warmed system state
+// shared across runs. The one-shot Run/RunMix/RunSuite functions remain as
+// thin wrappers for existing callers.
+//
+// Sweeps benefit twice: every Runner method takes a context.Context and
+// stops cleanly at cycle-window boundaries on cancellation (returning the
+// partial measurements with a wrapping error), and runs that share a warm
+// key — same cache geometry, workloads, seed, and functional-warmup budget;
+// e.g. the points of a CALM-threshold or link-latency sweep — pay the LLC
+// pre-fill and functional warmup once instead of once per point. Warm
+// reuse is bit-identical to cold starts by construction.
+//
+// A Runner is safe for concurrent use.
+type Runner struct {
+	rc RunConfig
+
+	mu   sync.Mutex
+	warm map[string]*warmEntry
+}
+
+// warmEntry memoizes one CaptureWarm call; the sync.Once collapses
+// concurrent suite workers racing for the same key into a single capture.
+type warmEntry struct {
+	once sync.Once
+	ws   *sim.WarmState
+	ok   bool
+	err  error
+}
+
+// RunnerOption configures a Runner at construction.
+type RunnerOption func(*Runner)
+
+// WithSeed sets the workload-generation seed.
+func WithSeed(seed uint64) RunnerOption {
+	return func(r *Runner) { r.rc.Seed = seed }
+}
+
+// WithWorkers bounds RunSuite's job-level parallelism (0 = GOMAXPROCS).
+func WithWorkers(n int) RunnerOption {
+	return func(r *Runner) { r.rc.Workers = n }
+}
+
+// WithClocking selects the main-loop time-advance strategy (EventDriven,
+// the default, or the bit-identical CycleByCycle reference loop).
+func WithClocking(m Clocking) RunnerOption {
+	return func(r *Runner) { r.rc.Clocking = m }
+}
+
+// WithParallelism sets the intra-system tick-phase worker count: cores and
+// memory backends due at a cycle tick on n goroutines between the cycle's
+// synchronization points. Results are bit-identical for every n; n <= 1
+// ticks sequentially.
+func WithParallelism(n int) RunnerOption {
+	return func(r *Runner) { r.rc.Parallelism = n }
+}
+
+// WithWindows sets the simulation windows, per core: the timing-free
+// functional cache warmup, the timed (discarded) warmup, and the measured
+// instruction budget. A zero functionalWarmup keeps the 1M-instruction
+// default; measure must be nonzero.
+func WithWindows(functionalWarmup, warmup, measure uint64) RunnerOption {
+	return func(r *Runner) {
+		r.rc.FunctionalWarmupInstr = functionalWarmup
+		r.rc.WarmupInstr = warmup
+		r.rc.MeasureInstr = measure
+	}
+}
+
+// WithRunConfig replaces the whole run configuration (escape hatch for
+// fields without a dedicated option, e.g. SkipFunctional). Options applied
+// after it override individual fields.
+func WithRunConfig(rc RunConfig) RunnerOption {
+	return func(r *Runner) { r.rc = rc }
+}
+
+// NewRunner builds a Runner over DefaultRunConfig, modified by opts.
+func NewRunner(opts ...RunnerOption) *Runner {
+	r := &Runner{rc: DefaultRunConfig(), warm: make(map[string]*warmEntry)}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Config returns a copy of the effective run configuration.
+func (r *Runner) Config() RunConfig { return r.rc }
+
+// Run executes one experiment: cfg's system running the same workload on
+// every active core (the paper's rate mode).
+func (r *Runner) Run(ctx context.Context, cfg Config, w Workload) (Result, error) {
+	active := cfg.ActiveCores
+	if active == 0 {
+		active = cfg.Cores
+	}
+	wl := make([]Workload, active)
+	for i := range wl {
+		wl[i] = w
+	}
+	res, err := r.RunMix(ctx, cfg, wl)
+	res.Workload = w.Params.Name
+	return res, err
+}
+
+// RunMix executes one experiment with per-core workloads (Fig. 6 mixes).
+func (r *Runner) RunMix(ctx context.Context, cfg Config, workloads []Workload) (Result, error) {
+	if !r.rc.SkipFunctional {
+		ws, ok, err := r.warmFor(cfg, workloads)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			return sim.RunMixWarm(ctx, cfg, ws, r.rc)
+		}
+	}
+	return sim.RunMixCtx(ctx, cfg, workloads, r.rc)
+}
+
+// warmFor returns the memoized warm state for this run's warm key,
+// capturing it on first use. ok is false when the generators cannot be
+// cloned (the caller then runs cold).
+func (r *Runner) warmFor(cfg Config, workloads []Workload) (*sim.WarmState, bool, error) {
+	key := sim.WarmKey(cfg, workloads, r.rc)
+	r.mu.Lock()
+	e, hit := r.warm[key]
+	if !hit {
+		e = &warmEntry{}
+		r.warm[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		e.ws, e.ok, e.err = sim.CaptureWarm(cfg, workloads, r.rc)
+	})
+	return e.ws, e.ok, e.err
+}
+
+// RunSuite executes jobs across the configured worker count, preserving
+// order. All failures are aggregated into the returned error with
+// errors.Join, each annotated with its job; results[i] is valid iff job i
+// did not contribute an error. Cancellation stops scheduling further jobs
+// and interrupts the running ones at their next cycle-window boundary.
+func (r *Runner) RunSuite(ctx context.Context, jobs []SuiteJob) ([]Result, error) {
+	results, errs := r.runSuite(ctx, jobs)
+	for i, err := range errs {
+		if err != nil {
+			errs[i] = fmt.Errorf("job %d (%s/%s): %w",
+				i, jobs[i].Config.Name, jobs[i].Workload.Params.Name, err)
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// runSuite is the shared fan-out under both suite entry points.
+func (r *Runner) runSuite(ctx context.Context, jobs []SuiteJob) ([]Result, []error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := r.rc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i], errs[i] = r.Run(ctx, jobs[i].Config, jobs[i].Workload)
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case ch <- i:
+		case <-ctx.Done():
+			// Unscheduled jobs report the cancellation; running ones
+			// stop at their next cycle-window boundary on their own.
+			for j := i; j < len(jobs); j++ {
+				if errs[j] == nil {
+					errs[j] = ctx.Err()
+				}
+			}
+			break dispatch
+		}
+	}
+	close(ch)
+	wg.Wait()
+	return results, errs
+}
