@@ -231,6 +231,39 @@ func BenchmarkRunWindowLoaded(b *testing.B) {
 	}
 }
 
+// BenchmarkRunWindowPooled measures the experiment window on the CXL-pooled
+// rack configuration under the mixed-MPKI rack workload: 12 cores
+// alternating bandwidth-hungry and latency-sensitive jobs over 2 pooled CXL
+// channels (2 DDR channels each). Event-vs-cycle is reported for both modes
+// so the pooled config's dead-cycle profile is tracked alongside
+// BenchmarkRunWindow/BenchmarkRunWindowLoaded (ROADMAP: event-vs-cycle
+// coverage for the multi-core CXL-pooled configs).
+func BenchmarkRunWindowPooled(b *testing.B) {
+	wl := RackMixWorkloads(0, 12)
+	cfg := CoaxialPooled()
+	for _, mode := range []struct {
+		name string
+		m    Clocking
+	}{{"event", EventDriven}, {"cycle", CycleByCycle}} {
+		b.Run("rack0/"+mode.name, func(b *testing.B) {
+			rc := RunConfig{
+				FunctionalWarmupInstr: 100_000,
+				WarmupInstr:           5_000,
+				MeasureInstr:          60_000,
+				Seed:                  1,
+				Clocking:              mode.m,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunMix(cfg, wl, rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEndToEndRun measures one complete small experiment (warmup +
 // measure) as a user of the public API would run it.
 func BenchmarkEndToEndRun(b *testing.B) {

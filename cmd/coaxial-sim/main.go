@@ -22,11 +22,12 @@ import (
 )
 
 var configs = map[string]func() coaxial.Config{
-	"ddr-baseline": coaxial.Baseline,
-	"coaxial-2x":   coaxial.Coaxial2x,
-	"coaxial-4x":   coaxial.Coaxial4x,
-	"coaxial-5x":   coaxial.Coaxial5x,
-	"coaxial-asym": coaxial.CoaxialAsym,
+	"ddr-baseline":   coaxial.Baseline,
+	"coaxial-2x":     coaxial.Coaxial2x,
+	"coaxial-4x":     coaxial.Coaxial4x,
+	"coaxial-5x":     coaxial.Coaxial5x,
+	"coaxial-asym":   coaxial.CoaxialAsym,
+	"coaxial-pooled": coaxial.CoaxialPooled,
 }
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		cfgName  = flag.String("config", "coaxial-4x", "system configuration (see -list)")
 		workload = flag.String("workload", "stream-copy", "workload name (see -list)")
 		mix      = flag.Int("mix", -1, "run workload mix N instead of -workload")
+		rack     = flag.Int("rack", -1, "run mixed-MPKI rack mix N instead of -workload")
 		warmup   = flag.Uint64("warmup", 40_000, "timed warmup instructions per core")
 		measure  = flag.Uint64("measure", 150_000, "measured instructions per core")
 		seed     = flag.Uint64("seed", 1, "workload generation seed")
@@ -43,6 +45,7 @@ func main() {
 		cxlNS    = flag.Float64("cxl-premium", 0, "CXL total latency premium in ns (0 = default 50)")
 		par      = flag.Int("parallelism", 0, "tick-phase goroutines (<=1 = sequential; results identical)")
 		clocking = flag.String("clocking", "event", "clock advance: event (skip dead cycles) or cycle (reference loop); results are identical")
+		validate = flag.Bool("validate", false, "run the differential validation harness (DDR timing oracle + lifecycle invariants); observation-only")
 		list     = flag.Bool("list", false, "list configurations and workloads")
 	)
 	flag.Parse()
@@ -90,12 +93,16 @@ func main() {
 	default:
 		fatalf("unknown clocking mode %q (want event or cycle)", *clocking)
 	}
-	runner := coaxial.NewRunner(
+	opts := []coaxial.RunnerOption{
 		coaxial.WithSeed(*seed),
 		coaxial.WithWindows(0, *warmup, *measure),
 		coaxial.WithClocking(mode),
 		coaxial.WithParallelism(*par),
-	)
+	}
+	if *validate {
+		opts = append(opts, coaxial.WithValidation())
+	}
+	runner := coaxial.NewRunner(opts...)
 
 	// SIGINT stops the simulation cleanly at the next cycle-window boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -105,10 +112,14 @@ func main() {
 		res coaxial.Result
 		err error
 	)
-	if *mix >= 0 {
+	switch {
+	case *rack >= 0:
+		wl := coaxial.RackMixWorkloads(*rack, cfg.Cores)
+		res, err = runner.RunMix(ctx, cfg, wl)
+	case *mix >= 0:
 		wl := coaxial.MixWorkloads(*mix, cfg.Cores)
 		res, err = runner.RunMix(ctx, cfg, wl)
-	} else {
+	default:
 		var w coaxial.Workload
 		w, err = coaxial.WorkloadByName(*workload)
 		if err == nil {

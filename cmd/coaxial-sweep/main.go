@@ -32,6 +32,7 @@ var allConfigs = []struct {
 	{"coaxial-4x", coaxial.Coaxial4x},
 	{"coaxial-5x", coaxial.Coaxial5x},
 	{"coaxial-asym", coaxial.CoaxialAsym},
+	{"coaxial-pooled", coaxial.CoaxialPooled},
 }
 
 func main() {
@@ -41,6 +42,8 @@ func main() {
 		measure  = flag.Uint64("measure", 150_000, "measured instructions per core")
 		seed     = flag.Uint64("seed", 1, "workload generation seed")
 		mixes    = flag.Int("mixes", 0, "additionally run N workload mixes")
+		racks    = flag.Int("racks", 0, "additionally run N mixed-MPKI rack mixes")
+		validate = flag.Bool("validate", false, "run the differential validation harness alongside every simulation (observation-only)")
 		workList = flag.String("workloads", "", "comma-separated workload subset (default: all 36)")
 		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		par      = flag.Int("parallelism", 0, "tick-phase goroutines per simulation (<=1 = sequential; results identical)")
@@ -57,6 +60,7 @@ func main() {
 	rc.WarmupInstr, rc.MeasureInstr, rc.Seed = *warmup, *measure, *seed
 	rc.Workers = *workers
 	rc.Parallelism = *par
+	rc.Validate = *validate
 	runner := coaxial.NewRunner(coaxial.WithRunConfig(rc))
 
 	var cfgs []coaxial.Config
@@ -126,6 +130,18 @@ func main() {
 				fail(err)
 			}
 			res.Workload = fmt.Sprintf("mix%d", m)
+			writeRow(out, res)
+		}
+	}
+
+	for m := 0; m < *racks; m++ {
+		wl := coaxial.RackMixWorkloads(m, 12)
+		for _, c := range cfgs {
+			res, err := runner.RunMix(ctx, c, wl)
+			if err != nil {
+				fail(err)
+			}
+			res.Workload = fmt.Sprintf("rack%d", m)
 			writeRow(out, res)
 		}
 	}

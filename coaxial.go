@@ -80,7 +80,16 @@ var (
 	// CoaxialAsym provisions CXL lanes asymmetrically (20RX/12TX) with
 	// two DDR channels per device (§IV-D).
 	CoaxialAsym = sim.CoaxialAsym
+	// CoaxialPooled is the CXL-pooled rack variant: 2 CXL channels, each
+	// fronting a two-DDR-channel pool device with a deeper ingress queue.
+	CoaxialPooled = sim.CoaxialPooled
 )
+
+// ValidationError is the aggregated report returned by validation-enabled
+// runs (WithValidation / RunConfig.Validate) that observed DDR timing or
+// request-lifecycle invariant violations. The accompanying Result is still
+// complete.
+type ValidationError = sim.ValidationError
 
 // DefaultRunConfig returns the standard experiment windows.
 func DefaultRunConfig() RunConfig { return sim.DefaultRunConfig() }
@@ -103,6 +112,12 @@ func WorkloadNames() []string { return trace.Names() }
 // MixWorkloads returns the per-core assignment of workload mix idx
 // (Fig. 6; deterministic sampling with replacement).
 func MixWorkloads(idx, cores int) []Workload { return trace.Mix(idx, cores) }
+
+// RackMixWorkloads returns the per-core assignment of mixed-MPKI rack mix
+// idx: even core slots draw bandwidth-hungry high-MPKI workloads, odd
+// slots latency-sensitive low-MPKI ones, modeling a consolidated server
+// where batch jobs and foreground services share the machine.
+func RackMixWorkloads(idx, cores int) []Workload { return trace.RackMix(idx, cores) }
 
 // Run executes one experiment: the system running the same workload on
 // every active core (the paper's rate mode).

@@ -1,0 +1,81 @@
+package coaxial
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden rewrites the golden corpus from the current simulator:
+//
+//	go test -run TestGoldenResults -update .
+//
+// Review the resulting testdata/golden diff like any other code change — it
+// is the project's record of every intentional shift in simulated numbers.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden result files")
+
+// goldenWindows keeps the corpus cheap enough to regenerate in CI while
+// exercising warmup, refresh, and write-drain behaviour.
+func goldenWindows() RunConfig {
+	rc := DefaultRunConfig()
+	rc.FunctionalWarmupInstr = 50_000
+	rc.WarmupInstr = 2_000
+	rc.MeasureInstr = 10_000
+	rc.Seed = 1
+	return rc
+}
+
+// TestGoldenResults pins complete Result structs for a small
+// (config x workload) grid against checked-in JSON. Any change to simulated
+// timing, counters, or statistics shows up as a diff here — silent drift in
+// any Result field fails the suite until the corpus is deliberately
+// regenerated with -update.
+func TestGoldenResults(t *testing.T) {
+	configs := []func() Config{Baseline, Coaxial4x, CoaxialPooled}
+	workloads := []string{"stream-copy", "gcc"}
+	rc := goldenWindows()
+
+	for _, mk := range configs {
+		cfg := mk()
+		for _, wname := range workloads {
+			t.Run(cfg.Name+"/"+wname, func(t *testing.T) {
+				w, err := WorkloadByName(wname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(cfg, w, rc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, '\n')
+
+				path := filepath.Join("testdata", "golden", fmt.Sprintf("%s_%s.json", cfg.Name, wname))
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run `go test -run TestGoldenResults -update .`): %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("result drifted from %s\ngot:\n%s\nwant:\n%s\nIf the change is intentional, regenerate with -update.",
+						path, got, want)
+				}
+			})
+		}
+	}
+}

@@ -406,6 +406,32 @@ func (c *Channel) ResetCounters() {
 // Stats returns link activity counters.
 func (c *Channel) LinkStats() Stats { return c.stats }
 
+// DDR exposes the device's DDR channels (validation taps and tests).
+func (c *Channel) DDR() []*dram.Channel { return c.ddr }
+
+// Outstanding reports requests admitted but not yet accepted by a device
+// DDR controller (the CXL controller's message-queue population).
+func (c *Channel) Outstanding() int { return c.outstanding }
+
+// IngressDepth reports the configured admission bound on Outstanding.
+func (c *Channel) IngressDepth() int { return c.cfg.IngressDepth }
+
+// ForEachPending visits every request currently inside the channel or its
+// device: awaiting the TX link, in flight to the device, stalled on DDR
+// backpressure, queued in a device DDR controller, or traversing back on
+// the response path. For validation walks; fn must not mutate the channel.
+func (c *Channel) ForEachPending(fn func(*memreq.Request)) {
+	c.ingress.ForEach(fn)
+	c.deviceQ.ForEach(fn)
+	for i := range c.stalled {
+		fn(c.stalled[i].req)
+	}
+	c.responses.ForEach(fn)
+	for _, d := range c.ddr {
+		d.ForEachPending(fn)
+	}
+}
+
 // Idle reports whether the channel and its device have fully drained.
 func (c *Channel) Idle() bool {
 	if c.outstanding != 0 || c.ingress.Len() != 0 || c.deviceQ.Len() != 0 ||

@@ -165,3 +165,11 @@ func (c *Channel) Idle() bool {
 // SubChannels exposes the underlying sub-channels (for CXL type-3 devices
 // and tests).
 func (c *Channel) SubChannels() []*SubChannel { return c.subs }
+
+// ForEachPending visits every request any sub-channel currently owns (for
+// validation walks).
+func (c *Channel) ForEachPending(fn func(*memreq.Request)) {
+	for _, s := range c.subs {
+		s.ForEachPending(fn)
+	}
+}

@@ -107,6 +107,10 @@ type SubChannel struct {
 	// analysis hook; nil in normal operation).
 	cmdTrace func(Command)
 
+	// observers receive every issued command after cmdTrace (validation
+	// taps; empty in normal operation).
+	observers []CommandObserver
+
 	// now tracks the last ticked cycle for monotonicity.
 	now int64
 }
@@ -154,10 +158,51 @@ type Command struct {
 // verification: the observer must not mutate the sub-channel.
 func (s *SubChannel) SetCommandTrace(fn func(Command)) { s.cmdTrace = fn }
 
+// CommandObserver receives every command the scheduler puts on the command
+// bus, in issue order. Implementations must not mutate the sub-channel;
+// they are invoked synchronously from Tick, which under parallel phased
+// ticking runs on a per-backend goroutine — observers therefore must not
+// share mutable state across sub-channels.
+type CommandObserver interface {
+	OnCommand(Command)
+}
+
+// AttachObserver registers an additional command observer alongside any
+// SetCommandTrace hook. Observers cannot be detached; attach them before
+// the first tick.
+func (s *SubChannel) AttachObserver(o CommandObserver) {
+	s.observers = append(s.observers, o)
+}
+
 func (s *SubChannel) trace(kind CommandKind, bnk, grp int32, row uint64, now int64) {
-	if s.cmdTrace != nil {
-		s.cmdTrace(Command{Cycle: now, Kind: kind, Bank: bnk, Group: grp, Row: row})
+	if s.cmdTrace == nil && len(s.observers) == 0 {
+		return
 	}
+	c := Command{Cycle: now, Kind: kind, Bank: bnk, Group: grp, Row: row}
+	if s.cmdTrace != nil {
+		s.cmdTrace(c)
+	}
+	for _, o := range s.observers {
+		o.OnCommand(c)
+	}
+}
+
+// Config returns the sub-channel's configuration (validation oracles build
+// their independent timing model from it).
+func (s *SubChannel) Config() Config { return s.cfg }
+
+// ForEachPending visits every request the sub-channel currently owns:
+// queued in the scheduler, awaiting arrival, or awaiting completion
+// delivery. For validation walks; fn must not mutate the sub-channel.
+func (s *SubChannel) ForEachPending(fn func(*memreq.Request)) {
+	for i := range s.readQ {
+		fn(s.readQ[i].req)
+	}
+	for i := range s.writeQ {
+		fn(s.writeQ[i].req)
+	}
+	s.arrivals.ForEach(fn)
+	s.completions.ForEach(fn)
 }
 
 // NewSubChannel constructs a sub-channel. divisor is the total number of

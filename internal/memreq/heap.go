@@ -57,6 +57,15 @@ func (h *TimedHeap) PopDue(now int64) (*Request, bool) {
 	return r, true
 }
 
+// ForEach visits every queued request in internal heap order (not sorted
+// by timestamp). It exists for validation walks over the in-flight request
+// population; fn must not push or pop.
+func (h *TimedHeap) ForEach(fn func(*Request)) {
+	for i := range h.items {
+		fn(h.items[i].Req)
+	}
+}
+
 func (h *TimedHeap) less(i, j int) bool {
 	if h.items[i].At != h.items[j].At {
 		return h.items[i].At < h.items[j].At

@@ -131,6 +131,18 @@ func CoaxialAsym() Config {
 	return c
 }
 
+// CoaxialPooled returns a CXL-pooled rack configuration: 2 symmetric CXL
+// channels, each fronting a two-DDR-channel type-3 pool device with a
+// deeper ingress queue (the §VIII scalable-server direction, where several
+// hosts share pooled devices and each host's share of the pool looks like
+// fewer, fatter channels). LLC stays at 1 MB/core as in COAXIAL-4x.
+func CoaxialPooled() Config {
+	c := defaultSystem("coaxial-pooled", CXLAttached, 2, 1<<20, calm.Default())
+	c.CXL.DDRChannels = 2
+	c.CXL.IngressDepth = 128
+	return c
+}
+
 // defaultSystem builds the shared Table III parameters.
 func defaultSystem(name string, kind MemKind, channels int, llcPerCore int, cm calm.Config) Config {
 	ddr := dram.DefaultConfig()

@@ -29,6 +29,7 @@ func TestClockingEquivalence(t *testing.T) {
 		{Baseline(), []string{"pop2", "gcc"}, []uint64{1, 2}},
 		{Coaxial4x(), []string{"pop2", "gcc"}, []uint64{1, 2}},
 		{CoaxialAsym(), []string{"pop2", "bwaves"}, []uint64{1, 2}},
+		{CoaxialPooled(), []string{"pop2", "gcc"}, []uint64{1, 2}},
 		{sbr, []string{"raytrace"}, []uint64{1, 2}},
 		// Mostly-idle machine: one active core, the regime where the event
 		// loop skips the most and lazy per-component ticking matters.
@@ -73,6 +74,49 @@ func TestClockingEquivalence(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestClockingEquivalenceRackMix extends the clocking/parallelism
+// equivalence guard to multi-core mixed-MPKI runs on the CXL-pooled
+// configs: every core runs a different workload (the rack assignment), so
+// per-core generators, CALM state, and backend queues all differ — the
+// regime where a phase-ordering bug in the parallel tick loop would show.
+func TestClockingEquivalenceRackMix(t *testing.T) {
+	for _, cfg := range []Config{Coaxial4x(), CoaxialPooled()} {
+		for _, rack := range []int{0, 1} {
+			t.Run(fmt.Sprintf("%s/rack%d", cfg.Name, rack), func(t *testing.T) {
+				wl := trace.RackMix(rack, cfg.Cores)
+				rc := RunConfig{
+					FunctionalWarmupInstr: 50_000,
+					WarmupInstr:           2_000,
+					MeasureInstr:          10_000,
+					Seed:                  1,
+					Clocking:              EventDriven,
+				}
+				ref, err := RunMix(cfg, wl, rc)
+				if err != nil {
+					t.Fatalf("event-driven: %v", err)
+				}
+				for _, mode := range []Clocking{EventDriven, CycleByCycle} {
+					for _, par := range []int{1, 3} {
+						if mode == EventDriven && par == 1 {
+							continue // the reference itself
+						}
+						rc.Clocking = mode
+						rc.Parallelism = par
+						got, err := RunMix(cfg, wl, rc)
+						if err != nil {
+							t.Fatalf("mode %d par %d: %v", mode, par, err)
+						}
+						if !reflect.DeepEqual(ref, got) {
+							t.Errorf("mode %d par %d diverges from event-driven/sequential\nref: %+v\ngot: %+v",
+								mode, par, ref, got)
+						}
+					}
+				}
+			})
 		}
 	}
 }

@@ -42,6 +42,13 @@ type RunConfig struct {
 	// the cycle's synchronization points (see System.SetParallelism).
 	// Results are bit-identical for every value; <= 1 ticks sequentially.
 	Parallelism int
+	// Validate attaches the differential validation harness: an
+	// independent DDR5 timing oracle on every sub-channel plus the
+	// request-lifecycle invariant checker. A run whose harness observes
+	// any violation returns a *ValidationError alongside its (complete)
+	// Result. Observation-only: measurements are bit-identical with or
+	// without it.
+	Validate bool
 }
 
 // DefaultRunConfig returns the standard experiment windows. The paper
@@ -140,6 +147,9 @@ func RunMixCtx(ctx context.Context, cfg Config, workloads []trace.Workload, rc R
 	sys.SetParallelism(rc.Parallelism)
 	defer sys.Close()
 	sys.SetClocking(rc.Clocking)
+	if rc.Validate {
+		sys.EnableValidation()
+	}
 	if !rc.SkipFunctional {
 		hints := make([]trace.Params, len(workloads))
 		for i, w := range workloads {
@@ -180,7 +190,11 @@ func (s *System) timedPhases(ctx context.Context, workloads []trace.Workload, rc
 		}
 		return Result{}, err
 	}
-	return s.collect(workloads), nil
+	res := s.collect(workloads)
+	// End-of-window validation runs on the success path only: a cancelled
+	// run legitimately leaves requests in flight. The Result is complete
+	// either way.
+	return res, s.validationError()
 }
 
 // RunGenerators executes one experiment over caller-provided generators
@@ -200,6 +214,9 @@ func RunGenerators(cfg Config, gens []trace.Generator, hints []trace.Params, rc 
 	sys.SetParallelism(rc.Parallelism)
 	defer sys.Close()
 	sys.SetClocking(rc.Clocking)
+	if rc.Validate {
+		sys.EnableValidation()
+	}
 	if !rc.SkipFunctional {
 		if hints != nil {
 			sys.prefillLLC(hints, rc.Seed)

@@ -147,6 +147,12 @@ type System struct {
 	doneBuf    [][]completion
 	completers []*chanCompleter
 
+	// val, when non-nil, is the differential validation harness attached
+	// by EnableValidation (RunConfig.Validate): timing oracles on every
+	// DRAM sub-channel plus the request-lifecycle checker hooked into
+	// send/Complete.
+	val *validation
+
 	// par is the tick-phase worker count (<=1: sequential); pool holds the
 	// par-1 helper goroutines when parallel.
 	par  int
@@ -446,6 +452,9 @@ func (s *System) drainCompletions() {
 // processor (direct DDR: straight from the controller; CXL: after the
 // response path).
 func (s *System) Complete(r *memreq.Request, now int64) {
+	if s.val != nil {
+		s.val.lc.OnComplete(r, now)
+	}
 	if r.Kind == memreq.Write {
 		return
 	}
@@ -561,7 +570,13 @@ func (s *System) wakeBackend(ch int, at int64) {
 }
 
 // send enqueues a request, spilling to the retry queue on backpressure.
+// It runs only in the sequential drain phases (accessLLC, writeback,
+// Complete all execute at the cycle barrier), so the lifecycle hook needs
+// no locking.
 func (s *System) send(r *memreq.Request, ch int, at int64) {
+	if s.val != nil {
+		s.val.lc.OnIssue(r, at)
+	}
 	q := &s.spillR[ch]
 	if r.Kind == memreq.Write {
 		q = &s.spillW[ch]

@@ -121,6 +121,9 @@ func RunMixWarm(ctx context.Context, cfg Config, ws *WarmState, rc RunConfig) (R
 	sys.SetParallelism(rc.Parallelism)
 	defer sys.Close()
 	sys.SetClocking(rc.Clocking)
+	if rc.Validate {
+		sys.EnableValidation()
+	}
 	for i := range sys.l1 {
 		sys.l1[i] = ws.l1[i].Clone()
 		sys.l2[i] = ws.l2[i].Clone()

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Histogram
+		check func(t *testing.T, h *Histogram)
+	}{
+		{
+			name:  "empty-percentile",
+			build: func() *Histogram { return NewHistogram(1000, 10) },
+			check: func(t *testing.T, h *Histogram) {
+				if p := h.Percentile(50); p != 0 {
+					t.Errorf("p50 of empty histogram = %d, want 0", p)
+				}
+				if m := h.Mean(); m != 0 {
+					t.Errorf("mean of empty histogram = %v, want 0", m)
+				}
+			},
+		},
+		{
+			name: "overflow-reports-cap",
+			build: func() *Histogram {
+				h := NewHistogram(1000, 10)
+				h.Add(1_000_000)
+				return h
+			},
+			check: func(t *testing.T, h *Histogram) {
+				if p := h.Percentile(99); p != 1000 {
+					t.Errorf("overflow p99 = %d, want the 1000-cycle cap", p)
+				}
+				if h.Max() != 1_000_000 {
+					t.Errorf("max = %d, want the raw sample", h.Max())
+				}
+			},
+		},
+		{
+			name: "negative-clamps-to-zero",
+			build: func() *Histogram {
+				h := NewHistogram(1000, 10)
+				h.Add(-50)
+				return h
+			},
+			check: func(t *testing.T, h *Histogram) {
+				if h.Count() != 1 || h.Mean() != 0 {
+					t.Errorf("count %d mean %v, want 1 and 0", h.Count(), h.Mean())
+				}
+			},
+		},
+		{
+			name:  "degenerate-geometry-normalizes",
+			build: func() *Histogram { return NewHistogram(0, 0) },
+			check: func(t *testing.T, h *Histogram) {
+				h.Add(5) // single one-cycle bucket; must not panic
+				if h.Count() != 1 {
+					t.Errorf("count = %d, want 1", h.Count())
+				}
+			},
+		},
+		{
+			name: "percentile-out-of-range-p",
+			build: func() *Histogram {
+				h := NewHistogram(1000, 10)
+				h.Add(100)
+				return h
+			},
+			check: func(t *testing.T, h *Histogram) {
+				lo, hi := h.Percentile(-10), h.Percentile(200)
+				if lo != hi || lo != h.Percentile(50) {
+					t.Errorf("clamped percentiles differ: p<0 %d, p>100 %d, p50 %d", lo, hi, h.Percentile(50))
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { tc.check(t, tc.build()) })
+	}
+}
+
+func TestHistogramMergeGeometryMismatch(t *testing.T) {
+	base := NewHistogram(1000, 10)
+	cases := []struct {
+		name    string
+		other   *Histogram
+		wantErr bool
+	}{
+		{"nil-merge", nil, false},
+		{"same-geometry", NewHistogram(1000, 10), false},
+		{"width-mismatch", NewHistogram(1000, 20), true},
+		{"bucket-count-mismatch", NewHistogram(2000, 10), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := base.Merge(tc.other)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("Merge error = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGeomeanEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"contains-zero", []float64{2, 0, 8}, 0},
+		{"contains-negative", []float64{2, -1, 8}, 0},
+		{"two-values", []float64{2, 8}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Geomean(tc.in); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Geomean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	cases := []struct {
+		name string
+		in   []float64
+		q    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"below-zero", vals, -1, 1},
+		{"above-one", vals, 2, 3},
+		{"median", vals, 0.5, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Quantile(tc.in, tc.q); got != tc.want {
+				t.Errorf("Quantile(%v, %v) = %v, want %v", tc.in, tc.q, got, tc.want)
+			}
+		})
+	}
+}

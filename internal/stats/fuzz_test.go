@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzHistogramAdd: arbitrary sample streams into arbitrary histogram
+// geometries must never panic and must keep the histogram's structural
+// invariants: exact counts, clamped negatives, monotone percentiles capped
+// at the bucket range, and a mean bounded by the extremes.
+func FuzzHistogramAdd(f *testing.F) {
+	f.Add([]byte{}, int64(4096), int64(8))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, int64(1), int64(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1, 2}, int64(100), int64(7))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, int64(1<<20), int64(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, capLimit, width int64) {
+		// Keep geometries sane-but-adversarial: tiny, zero, and negative
+		// inputs all normalize inside NewHistogram; the upper bound keeps
+		// the bucket array (capLimit/width entries) small enough to fuzz.
+		if capLimit > 1<<22 || capLimit < -1<<40 {
+			t.Skip()
+		}
+		if width > 1<<40 || width < -1<<40 {
+			t.Skip()
+		}
+		h := NewHistogram(capLimit, width)
+
+		var n uint64
+		var maxSample int64
+		for len(data) >= 8 {
+			v := int64(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+			// Mirror Add's clamping so the reference bounds match.
+			if v < 0 {
+				v = 0
+			}
+			if v > 1<<50 {
+				v = 1 << 50 // keep the reference sum far from overflow
+			}
+			h.Add(v)
+			n++
+			if v > maxSample {
+				maxSample = v
+			}
+		}
+		if h.Count() != n {
+			t.Fatalf("count = %d, want %d", h.Count(), n)
+		}
+		if got := h.Max(); got != maxSample {
+			t.Fatalf("max = %d, want %d", got, maxSample)
+		}
+		if n == 0 {
+			if h.Mean() != 0 || h.Percentile(50) != 0 {
+				t.Fatalf("empty histogram reports mean %v p50 %d", h.Mean(), h.Percentile(50))
+			}
+			return
+		}
+		mean := h.Mean()
+		if mean < 0 || mean > float64(maxSample) {
+			t.Fatalf("mean %v outside [0, %d]", mean, maxSample)
+		}
+		// Percentiles are monotone in p and bounded by the bucket range
+		// (overflow samples report the cap, never beyond it).
+		prev := int64(0)
+		bound := h.capLimit
+		for _, p := range []float64{-5, 0, 1, 25, 50, 90, 99, 100, 150} {
+			v := h.Percentile(p)
+			if v < prev {
+				t.Fatalf("percentile %v = %d below previous %d", p, v, prev)
+			}
+			if v > bound {
+				t.Fatalf("percentile %v = %d beyond histogram cap %d", p, v, bound)
+			}
+			prev = v
+		}
+		// Merging into a same-geometry histogram doubles the population.
+		h2 := NewHistogram(capLimit, width)
+		if err := h2.Merge(h); err != nil {
+			t.Fatalf("same-geometry merge refused: %v", err)
+		}
+		if err := h2.Merge(h); err != nil {
+			t.Fatalf("second merge refused: %v", err)
+		}
+		if h2.Count() != 2*n {
+			t.Fatalf("merged count = %d, want %d", h2.Count(), 2*n)
+		}
+		h.Reset()
+		if h.Count() != 0 || h.Percentile(99) != 0 || h.Max() != 0 {
+			t.Fatal("reset histogram still reports samples")
+		}
+	})
+}

@@ -37,6 +37,58 @@ func FuzzReader(f *testing.F) {
 	})
 }
 
+// FuzzParseTrace: parse arbitrary byte streams as recorded traces, seeded
+// with real recordings of the workloads the examples replay (stream-copy,
+// gcc, PageRank) and targeted corruptions of them. Beyond "never panic",
+// it pins the degraded-mode contract: once a decode error sets Err, the
+// error sticks, Next keeps yielding well-formed no-op instructions, and
+// the trace name stays readable.
+func FuzzParseTrace(f *testing.F) {
+	for _, wname := range []string{"stream-copy", "gcc", "PageRank"} {
+		w, err := WorkloadByName(wname)
+		if err != nil {
+			f.Fatal(err)
+		}
+		gen := NewSynthetic(w.Params, 1<<40, 1)
+		var buf bytes.Buffer
+		if err := Record(&buf, gen, 300); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid)
+		f.Add(valid[:len(valid)-3]) // truncated mid-record
+		if len(valid) > 40 {
+			corrupt := append([]byte(nil), valid...)
+			corrupt[len(corrupt)/2] ^= 0xff // flipped payload byte
+			f.Add(corrupt)
+			f.Add(corrupt[:40]) // corrupted and truncated
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("CXTR"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected at the header: fine
+		}
+		_ = r.Name()
+		var ins Instr
+		var firstErr error
+		for i := 0; i < 1000; i++ {
+			r.Next(&ins)
+			if ins.ExecLat < 1 && !ins.IsMem {
+				t.Fatalf("step %d: invalid decoded instruction: %+v", i, ins)
+			}
+			if firstErr == nil {
+				firstErr = r.Err
+			} else if r.Err != firstErr {
+				t.Fatalf("step %d: Err changed after first failure: %v -> %v", i, firstErr, r.Err)
+			}
+		}
+	})
+}
+
 // FuzzRoundTrip: any instruction sequence encodes and decodes losslessly
 // (modulo dropped non-mem PC/Addr).
 func FuzzRoundTrip(f *testing.F) {

@@ -122,3 +122,41 @@ func Mix(idx, cores int) []Workload {
 	}
 	return out
 }
+
+// Rack-mix MPKI thresholds: workloads at or above rackHiMPKI are
+// bandwidth-hungry "noisy neighbours"; at or below rackLoMPKI they are
+// latency-sensitive foreground services.
+const (
+	rackHiMPKI = 25
+	rackLoMPKI = 12
+)
+
+// RackMix returns the per-core assignment for mixed-MPKI rack mix `idx`:
+// a deterministic model of a consolidated server where bandwidth-hungry
+// batch jobs (Table IV MPKI >= 25: STREAM kernels, the heavy Ligra
+// kernels, lbm, kmeans) and latency-sensitive services (MPKI <= 12) share
+// the machine. Even core slots draw from the high-MPKI pool and odd slots
+// from the low-MPKI pool, so every interleaving of channels and LLC slices
+// sees both classes. This is the representative rack workload the
+// validation harness and the CXL-pooled equivalence coverage run on.
+func RackMix(idx, cores int) []Workload {
+	var hi, lo []Workload
+	for _, w := range Workloads() {
+		switch {
+		case w.PaperMPKI >= rackHiMPKI:
+			hi = append(hi, w)
+		case w.PaperMPKI <= rackLoMPKI:
+			lo = append(lo, w)
+		}
+	}
+	r := newRNG(uint64(idx)*0x51_7CC1_B727_2205 + 0x4AC4_3B1D)
+	out := make([]Workload, cores)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = hi[r.next()%uint64(len(hi))]
+		} else {
+			out[i] = lo[r.next()%uint64(len(lo))]
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+// Metamorphic properties of the whole simulator, run through the public
+// API: relations that must hold between runs with systematically varied
+// inputs, regardless of the absolute numbers. They catch model-level bugs
+// (a latency knob wired backwards, a CALM policy outperforming its oracle)
+// that no single-run check can see.
+//
+// This lives in an external test package: internal/sim imports validate, so
+// validate's own package cannot import the simulator.
+package validate_test
+
+import (
+	"testing"
+
+	"coaxial"
+)
+
+func metaRC() coaxial.RunConfig {
+	rc := coaxial.DefaultRunConfig()
+	rc.FunctionalWarmupInstr = 50_000
+	rc.WarmupInstr = 2_000
+	rc.MeasureInstr = 10_000
+	rc.Seed = 1
+	return rc
+}
+
+// TestMetamorphicSlowerLinkNoFasterLoads: raising the CXL port traversal
+// latency (10 -> 50 -> 70 ns total premium) must never lower the mean
+// L2-miss load latency, and the link share of the breakdown must grow.
+func TestMetamorphicSlowerLinkNoFasterLoads(t *testing.T) {
+	w, err := coaxial.WorkloadByName("stream-copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := metaRC()
+	var prev coaxial.Result
+	for i, portNS := range []float64{2.5, 12.5, 17.5} {
+		cfg := coaxial.Coaxial4x().WithCXLPortNS(portNS)
+		res, err := coaxial.Run(cfg, w, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if res.TotalNS < prev.TotalNS {
+				t.Errorf("port %.1f ns: mean load latency %.1f ns dropped below %.1f ns at the faster link",
+					portNS, res.TotalNS, prev.TotalNS)
+			}
+			if res.CXLNS <= prev.CXLNS {
+				t.Errorf("port %.1f ns: CXL latency share %.1f ns did not grow (was %.1f ns)",
+					portNS, res.CXLNS, prev.CXLNS)
+			}
+		}
+		prev = res
+	}
+}
+
+// TestMetamorphicIdealCALMDominatesMAPI: the oracle CALM policy (perfect
+// LLC-outcome knowledge) must make no wrong decisions, and the realizable
+// MAP-I predictor cannot be more accurate than it.
+func TestMetamorphicIdealCALMDominatesMAPI(t *testing.T) {
+	w, err := coaxial.WorkloadByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := metaRC()
+	run := func(kind coaxial.CALMConfig) coaxial.Result {
+		t.Helper()
+		res, err := coaxial.Run(coaxial.Coaxial4x().WithCALM(kind), w, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CALM.L2Misses == 0 {
+			t.Fatal("no L2 misses observed; workload too small for a CALM comparison")
+		}
+		return res
+	}
+	ideal := run(coaxial.CALMConfig{Kind: coaxial.CALMIdeal})
+	mapi := run(coaxial.CALMConfig{Kind: coaxial.CALMMAPI})
+
+	if fp, fn := ideal.CALM.FPRate(), ideal.CALM.FNRate(); fp != 0 || fn != 0 {
+		t.Errorf("ideal CALM made wrong decisions: FP %.3f FN %.3f, want 0/0", fp, fn)
+	}
+	idealErr := ideal.CALM.FPRate() + ideal.CALM.FNRate()
+	mapiErr := mapi.CALM.FPRate() + mapi.CALM.FNRate()
+	if mapiErr < idealErr {
+		t.Errorf("MAP-I (error %.3f) outperformed the ideal oracle (error %.3f)", mapiErr, idealErr)
+	}
+}
+
+// TestMetamorphicMoreBanksNoMoreQueueing: at a fixed offered load, growing
+// the per-sub-channel bank count (2 -> 8 bank groups) gives the scheduler
+// strictly more parallelism to hide conflicts with, so the mean queue delay
+// must not rise (small tolerance for scheduling noise).
+func TestMetamorphicMoreBanksNoMoreQueueing(t *testing.T) {
+	w, err := coaxial.WorkloadByName("stream-copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := metaRC()
+	run := func(groups int) coaxial.Result {
+		t.Helper()
+		cfg := coaxial.Baseline()
+		cfg.DDR.BankGroups = groups
+		cfg.Name = cfg.Name + "-banks"
+		res, err := coaxial.Run(cfg, w, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	few := run(2)  // 8 banks
+	many := run(8) // 32 banks
+	const eps = 0.02
+	if many.QueueNS > few.QueueNS*(1+eps) {
+		t.Errorf("32 banks queue %.1f ns exceeds 8 banks queue %.1f ns", many.QueueNS, few.QueueNS)
+	}
+}

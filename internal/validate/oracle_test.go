@@ -1,0 +1,279 @@
+package validate
+
+import (
+	"math/rand"
+	"testing"
+
+	"coaxial/internal/dram"
+	"coaxial/internal/memreq"
+)
+
+// sink absorbs completions; the oracle watches the command bus, not the
+// request plumbing.
+type sink struct{ done int }
+
+func (s *sink) Complete(r *memreq.Request, now int64) { s.done++ }
+
+// driveRandom runs one sub-channel under mixed random traffic for `cycles`
+// cycles with an oracle attached, then drains it. schedCfg configures the
+// scheduler under test; oracleCfg configures the oracle's reference timing
+// (they differ only in mutation tests).
+func driveRandom(t *testing.T, schedCfg, oracleCfg dram.Config, cycles int64, seed int64) (*Oracle, int64) {
+	t.Helper()
+	s := dram.NewSubChannel(schedCfg, 1)
+	o := NewOracle(oracleCfg, "test/sub0")
+	s.AttachObserver(o)
+	snk := &sink{}
+	rng := rand.New(rand.NewSource(seed))
+	var last uint64
+	var now int64
+	for now = 1; now <= cycles; now++ {
+		// Offered load around one request per three cycles: enough bank
+		// conflicts, turnarounds, and write drains to exercise every rule.
+		if rng.Intn(3) == 0 {
+			addr := uint64(rng.Intn(1<<22)) << 6
+			if rng.Intn(2) == 0 {
+				addr = last + memreq.LineSize // row locality: back-to-back CAS
+			}
+			last = addr
+			kind := memreq.Read
+			if rng.Intn(4) == 0 {
+				kind = memreq.Write
+			}
+			// Enqueue may refuse under backpressure; dropping is fine here.
+			s.Enqueue(&memreq.Request{Addr: addr, Kind: kind, Issue: now, Ret: snk}, now)
+		}
+		s.Tick(now)
+	}
+	for !s.Idle() {
+		now++
+		s.Tick(now)
+		if now > cycles+2_000_000 {
+			t.Fatal("sub-channel failed to drain")
+		}
+	}
+	return o, now
+}
+
+func assertClean(t *testing.T, o *Oracle) {
+	t.Helper()
+	if o.ViolationCount() == 0 {
+		return
+	}
+	t.Errorf("oracle flagged %d violations on a correct scheduler", o.ViolationCount())
+	for _, v := range o.Violations() {
+		t.Logf("%s", v)
+	}
+}
+
+func TestOracleCleanAllBankRefresh(t *testing.T) {
+	cfg := dram.DefaultConfig()
+	// Long enough to cross several tREFI intervals.
+	o, end := driveRandom(t, cfg, cfg, 4*cfg.Timing.REFI, 1)
+	o.Quiesce(end)
+	assertClean(t, o)
+	if o.Commands() < 1000 {
+		t.Errorf("oracle observed only %d commands; traffic generator too weak", o.Commands())
+	}
+}
+
+func TestOracleCleanSameBankRefresh(t *testing.T) {
+	cfg := dram.DefaultConfig()
+	cfg.SameBankRefresh = true
+	o, end := driveRandom(t, cfg, cfg, 4*cfg.Timing.REFI, 2)
+	o.Quiesce(end)
+	assertClean(t, o)
+}
+
+func TestOracleCleanNoBankPermutation(t *testing.T) {
+	cfg := dram.DefaultConfig()
+	cfg.DisableBankPermutation = true
+	o, end := driveRandom(t, cfg, cfg, 2*cfg.Timing.REFI, 3)
+	o.Quiesce(end)
+	assertClean(t, o)
+}
+
+// TestOracleCatchesInjectedTimingBugs is the harness's mutation test: the
+// scheduler runs with one deliberately weakened timing parameter while the
+// oracle checks the true DDR5-4800 constraints. Every weakening must
+// surface as a violation of the matching rule — proving the oracle is not
+// vacuously agreeing with the scheduler it watches.
+func TestOracleCatchesInjectedTimingBugs(t *testing.T) {
+	ref := dram.DefaultConfig()
+	cases := []struct {
+		name   string
+		mutate func(*dram.Timing)
+		rule   string
+	}{
+		{"weak-tRCD", func(tm *dram.Timing) { tm.RCD = 1 }, "tRCD"},
+		{"weak-tRP", func(tm *dram.Timing) { tm.RP = 1 }, "tRP"},
+		{"weak-tRAS", func(tm *dram.Timing) { tm.RAS = 1; tm.RC = 40 }, "tRAS"},
+		{"weak-tRRD", func(tm *dram.Timing) { tm.RRDL, tm.RRDS = 1, 1 }, "tRRD"},
+		{"weak-tFAW", func(tm *dram.Timing) { tm.RRDL, tm.RRDS, tm.FAW = 1, 1, 4 }, "tFAW"},
+		{"weak-tCCD", func(tm *dram.Timing) { tm.CCDL, tm.CCDS = 1, 1 }, "tCCD"},
+		{"weak-tWTR", func(tm *dram.Timing) { tm.WTRL, tm.WTRS = 0, 0 }, "tWTR"},
+		{"weak-tWR", func(tm *dram.Timing) { tm.WR = 1 }, "tWR"},
+		{"stalled-refresh", func(tm *dram.Timing) { tm.REFI = 1 << 30 }, "refresh-stalled"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ref
+			tc.mutate(&cfg.Timing)
+			o, end := driveRandom(t, cfg, ref, 3*ref.Timing.REFI, 7)
+			o.Quiesce(end)
+			rules := make(map[string]int)
+			for _, v := range o.Violations() {
+				rules[v.Rule]++
+			}
+			if rules[tc.rule] == 0 {
+				t.Errorf("oracle missed the injected %s bug; %d violations, rules seen: %v",
+					tc.rule, o.ViolationCount(), rules)
+			}
+		})
+	}
+}
+
+// TestOracleStateChecks feeds hand-built command streams straight into the
+// oracle and checks the protocol/state rules that random scheduler traffic
+// cannot produce.
+func TestOracleStateChecks(t *testing.T) {
+	cfg := dram.DefaultConfig()
+	tm := cfg.Timing
+	cmd := func(cycle int64, k dram.CommandKind, bank int32, row uint64) dram.Command {
+		g := int32(-1)
+		if bank >= 0 {
+			g = bank / int32(cfg.BanksPerGroup)
+		}
+		return dram.Command{Cycle: cycle, Kind: k, Bank: bank, Group: g, Row: row}
+	}
+	cases := []struct {
+		name     string
+		sameBank bool
+		feed     []dram.Command
+		rule     string
+	}{
+		{
+			name: "double-command-per-cycle",
+			feed: []dram.Command{
+				cmd(10, dram.CmdACT, 0, 1),
+				cmd(10, dram.CmdACT, 8, 1),
+			},
+			rule: "command-bus",
+		},
+		{
+			name: "time-goes-backwards",
+			feed: []dram.Command{
+				cmd(10, dram.CmdACT, 0, 1),
+				cmd(9, dram.CmdPRE, 0, 1),
+			},
+			rule: "command-order",
+		},
+		{
+			name: "cas-to-closed-bank",
+			feed: []dram.Command{cmd(10, dram.CmdRD, 0, 1)},
+			rule: "bank-state",
+		},
+		{
+			name: "act-to-open-bank",
+			feed: []dram.Command{
+				cmd(10, dram.CmdACT, 0, 1),
+				cmd(10+tm.RC, dram.CmdACT, 0, 2),
+			},
+			rule: "bank-state",
+		},
+		{
+			name: "row-mismatch",
+			feed: []dram.Command{
+				cmd(10, dram.CmdACT, 0, 1),
+				cmd(10+tm.RCD, dram.CmdRD, 0, 2),
+			},
+			rule: "row-match",
+		},
+		{
+			name: "group-decode-mismatch",
+			feed: []dram.Command{
+				{Cycle: 10, Kind: dram.CmdACT, Bank: 0, Group: 3, Row: 1},
+			},
+			rule: "decode",
+		},
+		{
+			name: "bank-out-of-range",
+			feed: []dram.Command{
+				{Cycle: 10, Kind: dram.CmdACT, Bank: int32(cfg.Banks()), Group: 0, Row: 1},
+			},
+			rule: "decode",
+		},
+		{
+			name: "refsb-in-allbank-mode",
+			feed: []dram.Command{cmd(10, dram.CmdREF, 0, 0)},
+			rule: "refresh-mode",
+		},
+		{
+			name:     "allbank-ref-in-sb-mode",
+			sameBank: true,
+			feed:     []dram.Command{cmd(10, dram.CmdREF, -1, 0)},
+			rule:     "refresh-mode",
+		},
+		{
+			name: "ref-with-open-bank",
+			feed: []dram.Command{
+				cmd(10, dram.CmdACT, 0, 1),
+				cmd(10+tm.RAS, dram.CmdREF, -1, 0),
+			},
+			rule: "refresh-quiesce",
+		},
+		{
+			name: "command-inside-trfc",
+			feed: []dram.Command{
+				cmd(10, dram.CmdREF, -1, 0),
+				cmd(10+tm.RFC-1, dram.CmdACT, 0, 1),
+			},
+			rule: "tRFC",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := cfg
+			c.SameBankRefresh = tc.sameBank
+			o := NewOracle(c, "synthetic")
+			for _, f := range tc.feed {
+				o.OnCommand(f)
+			}
+			found := false
+			for _, v := range o.Violations() {
+				if v.Rule == tc.rule {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("expected a %s violation, got %d violations: %v", tc.rule, o.ViolationCount(), o.Violations())
+			}
+		})
+	}
+}
+
+// TestOracleViolationReportCarriesHistory checks that a violation report
+// includes the recent command history needed to debug it.
+func TestOracleViolationReportCarriesHistory(t *testing.T) {
+	cfg := dram.DefaultConfig()
+	o := NewOracle(cfg, "hist")
+	for i := int64(0); i < 8; i++ {
+		o.OnCommand(dram.Command{Cycle: 10 + i*cfg.Timing.RC, Kind: dram.CmdACT, Bank: int32(i), Group: int32(i) / int32(cfg.BanksPerGroup), Row: 5})
+	}
+	// Ninth command breaks tRCD against bank 7's ACT.
+	last := 10 + 7*cfg.Timing.RC
+	o.OnCommand(dram.Command{Cycle: last + 1, Kind: dram.CmdRD, Bank: 7, Group: 1, Row: 5})
+	if o.ViolationCount() != 1 {
+		t.Fatalf("want exactly 1 violation, got %d: %v", o.ViolationCount(), o.Violations())
+	}
+	v := o.Violations()[0]
+	if v.Rule != "tRCD" {
+		t.Errorf("rule = %q, want tRCD", v.Rule)
+	}
+	if len(v.History) != 9 {
+		t.Errorf("history length = %d, want 9 (8 ACTs + the offending RD)", len(v.History))
+	}
+	if got := v.String(); len(got) == 0 {
+		t.Error("violation formats to an empty string")
+	}
+}

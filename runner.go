@@ -80,6 +80,19 @@ func WithWindows(functionalWarmup, warmup, measure uint64) RunnerOption {
 	}
 }
 
+// WithValidation enables the differential validation harness for every
+// run: an independent DDR5 timing oracle on each sub-channel re-checks
+// every DRAM command against JEDEC-style constraints, and a request-
+// lifecycle checker verifies issue/complete pairing, timestamp
+// monotonicity, latency-breakdown consistency, and MSHR/queue-occupancy
+// bounds. A run whose harness observes any violation returns a
+// *ValidationError (with the full report) alongside its complete Result.
+// The harness is observation-only: measurements are bit-identical with or
+// without it. See DESIGN.md "Validation".
+func WithValidation() RunnerOption {
+	return func(r *Runner) { r.rc.Validate = true }
+}
+
 // WithRunConfig replaces the whole run configuration (escape hatch for
 // fields without a dedicated option, e.g. SkipFunctional). Options applied
 // after it override individual fields.

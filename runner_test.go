@@ -114,3 +114,59 @@ func TestRunnerSuiteCancellation(t *testing.T) {
 		t.Fatalf("want context.Canceled in joined error, got %v", err)
 	}
 }
+
+// TestRunnerWithValidation runs the differential validation harness through
+// the Runner's warm-cached path (cold capture on the first run, warm reuse
+// on the second): zero violations on correct code, and bit-identical
+// results to an unvalidated Runner.
+func TestRunnerWithValidation(t *testing.T) {
+	w, err := coaxial.WorkloadByName("stream-copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := func() coaxial.RunnerOption { return coaxial.WithWindows(40_000, 1_000, 6_000) }
+	plainRunner := coaxial.NewRunner(windows())
+	plain, err := plainRunner.Run(context.Background(), coaxial.Coaxial4x(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := coaxial.NewRunner(windows(), coaxial.WithValidation())
+	for i := 0; i < 2; i++ {
+		got, err := r.Run(context.Background(), coaxial.Coaxial4x(), w)
+		if err != nil {
+			t.Fatalf("run %d: validated run failed: %v", i, err)
+		}
+		if !reflect.DeepEqual(plain, got) {
+			t.Errorf("run %d: validation perturbed the result\nplain:   %+v\nchecked: %+v", i, plain, got)
+		}
+	}
+	// The rack workload goes through the same harness.
+	if _, err := r.RunMix(context.Background(), coaxial.CoaxialPooled(), coaxial.RackMixWorkloads(0, 12)); err != nil {
+		t.Fatalf("validated rack-mix run failed: %v", err)
+	}
+}
+
+// TestRackMixWorkloads pins the rack generator's contract: a deterministic
+// per-core assignment alternating bandwidth-hungry (high-MPKI) and
+// latency-sensitive (low-MPKI) jobs.
+func TestRackMixWorkloads(t *testing.T) {
+	const cores = 12
+	wl := coaxial.RackMixWorkloads(3, cores)
+	if len(wl) != cores {
+		t.Fatalf("got %d workloads, want %d", len(wl), cores)
+	}
+	for i, w := range wl {
+		if i%2 == 0 && w.PaperMPKI < 25 {
+			t.Errorf("slot %d: %s MPKI %.1f, want a high-MPKI (>= 25) batch job", i, w.Params.Name, w.PaperMPKI)
+		}
+		if i%2 == 1 && w.PaperMPKI > 12 {
+			t.Errorf("slot %d: %s MPKI %.1f, want a low-MPKI (<= 12) service", i, w.Params.Name, w.PaperMPKI)
+		}
+	}
+	if !reflect.DeepEqual(wl, coaxial.RackMixWorkloads(3, cores)) {
+		t.Error("rack mix is not deterministic for a fixed index")
+	}
+	if reflect.DeepEqual(wl, coaxial.RackMixWorkloads(4, cores)) {
+		t.Error("distinct rack indices produced identical assignments")
+	}
+}
