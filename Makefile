@@ -1,0 +1,37 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); `make check` is the full pre-push gate.
+
+GO ?= go
+
+.PHONY: build test race lint lint-baseline vet golden check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs coaxlint (internal/lint): determinism, phase-isolation,
+# counter-hygiene, and observer-purity invariants (DESIGN.md §6). Findings
+# listed in .coaxlint.baseline (if present) are pre-existing and accepted;
+# only new violations fail.
+lint:
+	$(GO) run ./cmd/coaxial-lint ./...
+
+# lint-baseline regenerates the accepted-findings baseline. Run it only
+# after deliberately accepting current findings, and review the diff.
+lint-baseline:
+	$(GO) run ./cmd/coaxial-lint -write-baseline ./...
+
+# golden regenerates the golden result corpus after an intentional change
+# to simulated numbers. Review the testdata/golden diff like code.
+golden:
+	$(GO) test -run TestGoldenResults -update .
+
+check: vet lint build test

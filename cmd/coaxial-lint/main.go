@@ -1,0 +1,189 @@
+// Command coaxial-lint runs the coaxlint analyzer suite (internal/lint):
+// static enforcement of the simulator's determinism, phase-isolation,
+// counter-hygiene, and observer-purity invariants (DESIGN.md §6).
+//
+// Standalone over package patterns (the usual way):
+//
+//	go run ./cmd/coaxial-lint ./...
+//
+// As a go vet tool (per-package, driven by the build system):
+//
+//	go build -o coaxial-lint ./cmd/coaxial-lint
+//	go vet -vettool=$PWD/coaxial-lint ./...
+//
+// In vettool mode the analyzers that need cross-package purity facts
+// (phaseiso, observers) run in a degraded mode — go vet type-checks one
+// package at a time from export data, so facts about other packages'
+// function bodies are unavailable and calls whose purity is unknown are
+// allowed rather than flagged. The standalone mode, which CI runs, loads
+// the whole module from source and applies the full rules.
+//
+// A baseline file (-baseline, default .coaxlint.baseline when present)
+// records pre-existing findings so CI fails only on new violations;
+// regenerate it with -write-baseline after deliberate changes.
+package main
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coaxial/internal/lint"
+	"coaxial/internal/lint/analysis"
+	"coaxial/internal/lint/loader"
+)
+
+func main() {
+	// go vet probes its tool with -V=full before handing it a .cfg file;
+	// answer the protocol before normal flag parsing.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" {
+			printVersion()
+			return
+		}
+		if arg == "-flags" || arg == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(vettoolMode(os.Args[1]))
+	}
+
+	var (
+		baselinePath  = flag.String("baseline", "", "baseline file of accepted findings (default .coaxlint.baseline when it exists)")
+		writeBaseline = flag.Bool("write-baseline", false, "rewrite the baseline with the current findings and exit")
+		listChecks    = flag.Bool("checks", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	suite := lint.Suite()
+	if *listChecks {
+		for _, a := range suite {
+			if a.FactsOnly {
+				continue
+			}
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.Target && len(pkg.TypeErrors) > 0 {
+			fatal(fmt.Errorf("%s: type errors (does the package build?): %v", pkg.ImportPath, pkg.TypeErrors[0]))
+		}
+	}
+
+	diags, err := lint.Run(prog, suite)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *baselinePath == "" {
+		if _, err := os.Stat(".coaxlint.baseline"); err == nil {
+			*baselinePath = ".coaxlint.baseline"
+		}
+	}
+	if *writeBaseline {
+		path := *baselinePath
+		if path == "" {
+			path = ".coaxlint.baseline"
+		}
+		if err := writeBaselineFile(path, diags); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("coaxial-lint: wrote %d finding(s) to %s\n", len(diags), path)
+		return
+	}
+
+	baseline := map[string]bool{}
+	if *baselinePath != "" {
+		baseline, err = readBaselineFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fresh := 0
+	for _, d := range diags {
+		if baseline[baselineKey(d)] {
+			continue
+		}
+		fresh++
+		fmt.Println(d)
+	}
+	if fresh > 0 {
+		fmt.Fprintf(os.Stderr, "coaxial-lint: %d finding(s)\n", fresh)
+		os.Exit(1)
+	}
+}
+
+// printVersion answers `-V=full` in the form cmd/go's toolID parser accepts:
+// "name version devel buildID=<hash>". Hashing the executable itself keys go
+// vet's result cache on the tool's actual contents, so editing an analyzer
+// invalidates cached vet results.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))
+		}
+	}
+	fmt.Printf("coaxial-lint version devel buildID=%s\n", id)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coaxial-lint:", err)
+	os.Exit(2)
+}
+
+// baselineKey identifies a finding stably across unrelated edits: the line
+// number is deliberately excluded so code motion above a baselined site
+// does not resurrect it.
+func baselineKey(d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s|%s|%s", d.Analyzer, d.Pos.Filename, d.Message)
+}
+
+func writeBaselineFile(path string, diags []analysis.Diagnostic) error {
+	var b strings.Builder
+	b.WriteString("# coaxial-lint baseline: accepted pre-existing findings, one per line.\n")
+	b.WriteString("# Format: analyzer|file|message. Regenerate with -write-baseline.\n")
+	for _, d := range diags {
+		b.WriteString(baselineKey(d))
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func readBaselineFile(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out[line] = true
+	}
+	return out, sc.Err()
+}

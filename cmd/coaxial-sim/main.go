@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 
 	"coaxial"
@@ -52,7 +53,12 @@ func main() {
 
 	if *list {
 		fmt.Println("configurations:")
+		names := make([]string, 0, len(configs))
 		for name := range configs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
 			fmt.Printf("  %s\n", name)
 		}
 		fmt.Println("workloads:")

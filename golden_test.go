@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -76,6 +78,119 @@ func TestGoldenResults(t *testing.T) {
 						path, got, want)
 				}
 			})
+		}
+	}
+}
+
+// TestGoldenCoversResultFields is the runtime twin of the static
+// counters/encoder-visibility check: every exported numeric field of Result
+// (recursively, including slice elements) must survive a JSON round trip
+// with its value intact. A field hidden from the encoder — json:"-", an
+// accidental MarshalJSON, any future encoding quirk — comes back zeroed and
+// fails here, which means drift in that metric could no longer be caught by
+// the golden corpus.
+func TestGoldenCoversResultFields(t *testing.T) {
+	var res Result
+	sentinel := 3.0
+	fillNumeric(reflect.ValueOf(&res).Elem(), &sentinel)
+
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	compareNumeric(t, "Result", reflect.ValueOf(res), reflect.ValueOf(back))
+
+	// Tags that would *silently* thin the corpus are rejected outright:
+	// omitempty drops zero values (drift to zero goes undetected), "-"
+	// hides the field entirely.
+	checkJSONTags(t, "Result", reflect.TypeOf(res))
+}
+
+// fillNumeric sets every settable numeric field reachable from v to a
+// distinct nonzero sentinel (slices get one filled element).
+func fillNumeric(v reflect.Value, next *float64) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if f := v.Field(i); f.CanSet() {
+				fillNumeric(f, next)
+			}
+		}
+	case reflect.Slice:
+		v.Set(reflect.MakeSlice(v.Type(), 1, 1))
+		fillNumeric(v.Index(0), next)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(int64(*next))
+		*next++
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(uint64(*next))
+		*next++
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(*next)
+		*next++
+	}
+}
+
+// compareNumeric walks two values in lockstep and reports any numeric field
+// whose round-tripped value differs from the original.
+func compareNumeric(t *testing.T, path string, a, b reflect.Value) {
+	t.Helper()
+	switch a.Kind() {
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			if !a.Type().Field(i).IsExported() {
+				continue
+			}
+			compareNumeric(t, path+"."+a.Type().Field(i).Name, a.Field(i), b.Field(i))
+		}
+	case reflect.Slice:
+		if b.Len() != a.Len() {
+			t.Errorf("%s: length %d became %d after JSON round trip", path, a.Len(), b.Len())
+			return
+		}
+		for i := 0; i < a.Len(); i++ {
+			compareNumeric(t, fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i))
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if a.Int() != b.Int() {
+			t.Errorf("%s: %d became %d after JSON round trip — field invisible to the golden corpus encoder", path, a.Int(), b.Int())
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if a.Uint() != b.Uint() {
+			t.Errorf("%s: %d became %d after JSON round trip — field invisible to the golden corpus encoder", path, a.Uint(), b.Uint())
+		}
+	case reflect.Float32, reflect.Float64:
+		if a.Float() != b.Float() {
+			t.Errorf("%s: %v became %v after JSON round trip — field invisible to the golden corpus encoder", path, a.Float(), b.Float())
+		}
+	}
+}
+
+// checkJSONTags rejects json tags that hide Result fields from the corpus.
+func checkJSONTags(t *testing.T, path string, typ reflect.Type) {
+	t.Helper()
+	if typ.Kind() != reflect.Struct {
+		return
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag := f.Tag.Get("json")
+		if tag == "-" || strings.Contains(tag, ",omitempty") {
+			t.Errorf("%s.%s: json tag %q hides the field (or its zero values) from the golden corpus", path, f.Name, tag)
+		}
+		ft := f.Type
+		if ft.Kind() == reflect.Slice {
+			ft = ft.Elem()
+		}
+		if ft.Kind() == reflect.Struct {
+			checkJSONTags(t, path+"."+f.Name, ft)
 		}
 	}
 }

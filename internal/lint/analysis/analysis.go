@@ -1,0 +1,220 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: just enough Analyzer / Pass /
+// Diagnostic structure for the coaxlint suite to be written in the standard
+// shape (and ported to the real framework wholesale if x/tools ever becomes
+// a dependency). It adds the two pieces coaxlint needs that the stdlib does
+// not provide: line-anchored //lint: suppression directives with mandatory
+// justifications, and a cross-package object fact store filled in
+// dependency order by the driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, baselines, and
+	// //lint:ignore directives.
+	Name string
+	// Doc is the one-paragraph description shown by the driver's -help.
+	Doc string
+	// Directives lists extra suppression directive names honoured for this
+	// analyzer beside the generic "ignore" form; e.g. the determinism
+	// analyzer accepts //lint:deterministic <why>.
+	Directives []string
+	// FactsOnly marks analyzers that never report: they only compute facts
+	// consumed by later analyzers (the driver still runs them everywhere).
+	FactsOnly bool
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one reported finding, position-resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way gc and go vet do.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ModulePath is the import-path prefix of packages whose source the
+	// driver loaded (facts exist only for those); empty means every
+	// analyzed package is module-local (the fixture loader).
+	ModulePath string
+	// Facts is shared across all passes of a run; the driver processes
+	// packages in dependency order, so facts for imports are already
+	// present when a package is analyzed.
+	Facts *FactStore
+	// FactsPartial marks runs that could not compute facts for the whole
+	// module (go vet hands the tool one package at a time, with imports as
+	// export data only). Fact-consuming analyzers then give
+	// out-of-package functions the benefit of the doubt instead of
+	// flagging every unknown call.
+	FactsPartial bool
+
+	report     func(Diagnostic)
+	directives map[string][]directive // filename -> directives, line-keyed
+}
+
+// NewPass assembles a pass; report receives every non-suppressed
+// diagnostic.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, modulePath string, facts *FactStore, report func(Diagnostic)) *Pass {
+	p := &Pass{
+		Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info,
+		ModulePath: modulePath, Facts: facts, report: report,
+		directives: map[string][]directive{},
+	}
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		p.directives[fname] = collectDirectives(fset, f)
+	}
+	return p
+}
+
+// directive is one parsed //lint:<name> <args...> comment.
+type directive struct {
+	line       int
+	standalone bool // on a line of its own (not trailing code)
+	name       string
+	args       string // remainder after the name, space-trimmed
+}
+
+// collectDirectives scans a file's comments for //lint: markers. A
+// directive trailing code covers that line; a standalone directive covers
+// the line below it.
+func collectDirectives(fset *token.FileSet, f *ast.File) []directive {
+	codeLines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if n.Pos().IsValid() {
+			codeLines[fset.Position(n.Pos()).Line] = true
+		}
+		return true
+	})
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			name, args, _ := strings.Cut(text, " ")
+			line := fset.Position(c.Pos()).Line
+			out = append(out, directive{
+				line:       line,
+				standalone: !codeLines[line],
+				name:       strings.TrimSpace(name),
+				args:       strings.TrimSpace(args),
+			})
+		}
+	}
+	return out
+}
+
+// InModule reports whether pkg belongs to the analyzed module (and was
+// therefore source-loaded, so facts exist for its objects).
+func (p *Pass) InModule(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == p.ModulePath || p.ModulePath == "" ||
+		strings.HasPrefix(path, p.ModulePath+"/")
+}
+
+// Reportf reports a diagnostic at pos unless a suppression directive covers
+// that line. A directive suppresses when it sits on the diagnostic's line
+// (trailing the code) or standalone on the line directly above, names this
+// analyzer (//lint:ignore <name> or one of the analyzer's dedicated
+// directives), and carries a non-empty justification; a matching directive
+// without a justification is itself reported, keeping annotations honest.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, d := range p.directives[position.Filename] {
+		if d.line != position.Line && !(d.standalone && d.line == position.Line-1) {
+			continue
+		}
+		matched := false
+		if d.name == "ignore" {
+			rest, ok := strings.CutPrefix(d.args+" ", p.Analyzer.Name+" ")
+			if ok {
+				matched = true
+				d.args = strings.TrimSpace(rest)
+			}
+		}
+		for _, dd := range p.Analyzer.Directives {
+			if d.name == dd {
+				matched = true
+			}
+		}
+		if !matched {
+			continue
+		}
+		if d.args == "" {
+			p.report(Diagnostic{
+				Pos:      position,
+				Analyzer: p.Analyzer.Name,
+				Message:  fmt.Sprintf("suppression directive //lint:%s needs a justification", d.name),
+			})
+		}
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FactStore holds per-object facts shared across a run. Keys are
+// types.Object identities, which the loader keeps stable by type-checking
+// every module package exactly once against shared dependency packages.
+type FactStore struct {
+	m map[types.Object]map[string]any
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: map[types.Object]map[string]any{}} }
+
+// Set records a fact about obj under key.
+func (s *FactStore) Set(obj types.Object, key string, v any) {
+	facts, ok := s.m[obj]
+	if !ok {
+		facts = map[string]any{}
+		s.m[obj] = facts
+	}
+	facts[key] = v
+}
+
+// Get retrieves the fact recorded about obj under key.
+func (s *FactStore) Get(obj types.Object, key string) (any, bool) {
+	v, ok := s.m[obj][key]
+	return v, ok
+}
+
+// Bool retrieves a boolean fact; absent facts are false.
+func (s *FactStore) Bool(obj types.Object, key string) bool {
+	v, ok := s.Get(obj, key)
+	b, isBool := v.(bool)
+	return ok && isBool && b
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+func a() {
+	_ = 1 // line 4: no directive
+	_ = 2 //lint:mycheck benign because reasons
+	//lint:mycheck also benign
+	_ = 3
+	_ = 4 //lint:mycheck
+	_ = 5 //lint:ignore testcheck justified via the generic form
+	_ = 6 //lint:ignore othercheck wrong analyzer
+}
+`
+
+// reportAt builds a pass over directiveSrc for an analyzer honouring the
+// "mycheck" directive and reports at the start of the given line.
+func reportAt(t *testing.T, line int) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	a := &Analyzer{Name: "testcheck", Directives: []string{"mycheck"}}
+	pass := NewPass(a, fset, []*ast.File{f}, types.NewPackage("p", "p"), nil, "", NewFactStore(),
+		func(d Diagnostic) { diags = append(diags, d) })
+	// Position of the first statement on the requested line.
+	tf := fset.File(f.Pos())
+	pass.Reportf(tf.LineStart(line), "finding on line %d", line)
+	return diags
+}
+
+func TestReportfSuppression(t *testing.T) {
+	cases := []struct {
+		line int
+		want string // "" means suppressed
+	}{
+		{4, "finding on line 4"},     // no directive: reported
+		{5, ""},                      // same-line justified directive
+		{7, ""},                      // directive on the line above
+		{8, "needs a justification"}, // bare directive: flagged itself
+		{9, ""},                      // generic //lint:ignore <analyzer> form
+		{10, "finding on line 10"},   // directive names another analyzer
+	}
+	for _, c := range cases {
+		diags := reportAt(t, c.line)
+		if c.want == "" {
+			if len(diags) != 0 {
+				t.Errorf("line %d: want suppression, got %v", c.line, diags)
+			}
+			continue
+		}
+		if len(diags) != 1 || !strings.Contains(diags[0].Message, c.want) {
+			t.Errorf("line %d: want message containing %q, got %v", c.line, c.want, diags)
+		}
+	}
+}
+
+func TestFactStore(t *testing.T) {
+	s := NewFactStore()
+	obj := types.NewVar(token.NoPos, nil, "x", types.Typ[types.Int])
+	if s.Bool(obj, "writeFree") {
+		t.Error("absent fact should read false")
+	}
+	s.Set(obj, "writeFree", true)
+	if !s.Bool(obj, "writeFree") {
+		t.Error("set fact should read true")
+	}
+	s.Set(obj, "writeFree", false)
+	if s.Bool(obj, "writeFree") {
+		t.Error("demoted fact should read false")
+	}
+	other := types.NewVar(token.NoPos, nil, "y", types.Typ[types.Int])
+	if s.Bool(other, "writeFree") {
+		t.Error("facts must not leak across objects")
+	}
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"coaxial/internal/lint"
+	"coaxial/internal/lint/analysis"
+	"coaxial/internal/lint/analysistest"
+)
+
+func TestCounters(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{
+		lint.NewCounters(lint.CounterConfig{
+			CounterTypes: []string{"stats.Histogram"},
+			ResultType:   "counterfix.Result",
+		}),
+	}, "counterfix")
+}

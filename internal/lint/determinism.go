@@ -1,0 +1,467 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"coaxial/internal/lint/analysis"
+)
+
+// NewDeterminism returns the analyzer enforcing the simulator's
+// reproducibility substrate: no wall-clock reads, no global math/rand, and
+// no order-sensitive iteration over maps. scope lists the package path
+// prefixes the check applies to (nil: every analyzed package).
+//
+// A `range` over a map is accepted when its body is provably commutative —
+// order-independent by construction — which covers the idioms the codebase
+// actually uses:
+//
+//   - writes only to per-key targets (every assignment indexes by the loop
+//     key, so iteration order cannot matter);
+//   - pure integer reductions (+=, ++, |=, &=, ^= on integer types — all
+//     associative and commutative; float accumulation is NOT accepted, its
+//     rounding is order-dependent);
+//   - guarded reductions (if statements whose conditions are call-free)
+//     and min/max tracking (`if v > best { best = v }`);
+//   - collecting keys into a slice that the same function later passes to
+//     sort or slices (the canonical sorted-iteration idiom);
+//   - delete(m, k) of the key being ranged.
+//
+// Anything else needs restructuring — or, where nondeterminism is genuinely
+// benign, an explicit `//lint:deterministic <why>` annotation on the range
+// statement's line (or the line above).
+func NewDeterminism(scope []string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name:       "determinism",
+		Doc:        "forbids wall-clock reads, global math/rand, and order-sensitive map iteration in simulator packages",
+		Directives: []string{"deterministic"},
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !pathPrefixes(pass.Pkg.Path(), scope) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			runDeterminismFile(pass, file)
+		}
+		return nil
+	}
+	return a
+}
+
+// wallClockFuncs are the time package functions that read the host clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand[/v2] package-level functions that are
+// fine to call: they build explicitly seeded generators rather than using
+// the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func runDeterminismFile(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkDeterministicCall(pass, x)
+		case *ast.RangeStmt:
+			checkMapRange(pass, file, x)
+		}
+		return true
+	})
+}
+
+func checkDeterministicCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the host clock: simulated time must come from the cycle counter", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"%s.%s uses the global process-wide RNG: draw from a seeded *rand.Rand (or the simulator's xorshift) instead",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags a range over a map unless its body is commutative.
+func checkMapRange(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	c := newCommuteChecker(pass, rs)
+	if reason := c.check(); reason != "" {
+		pass.Reportf(rs.Pos(),
+			"map iteration order is nondeterministic and the loop body is not order-independent (%s); sort the keys, restructure, or annotate with //lint:deterministic <why>",
+			reason)
+		return
+	}
+	// Key-collection slices must actually be sorted afterwards.
+	for obj, use := range c.needSort {
+		if !sortedAfter(pass, file, rs, obj) {
+			pass.Reportf(use,
+				"keys collected from a map range into %q are never sorted in this function; iteration order leaks into the slice", obj.Name())
+		}
+	}
+}
+
+// commuteChecker decides whether a map-range body is order-independent.
+type commuteChecker struct {
+	pass *analysis.Pass
+	rs   *ast.RangeStmt
+	// loopVars holds the key/value objects (and nested loop variables).
+	loopVars map[types.Object]bool
+	// needSort maps key-collection slices to the position of their append.
+	needSort map[types.Object]token.Pos
+}
+
+func newCommuteChecker(pass *analysis.Pass, rs *ast.RangeStmt) *commuteChecker {
+	c := &commuteChecker{
+		pass:     pass,
+		rs:       rs,
+		loopVars: map[types.Object]bool{},
+		needSort: map[types.Object]token.Pos{},
+	}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				c.loopVars[obj] = true
+			}
+		}
+	}
+	return c
+}
+
+// check returns "" when the body is commutative, else a short reason.
+func (c *commuteChecker) check() string {
+	for _, stmt := range c.rs.Body.List {
+		if reason := c.stmtOK(stmt); reason != "" {
+			return reason
+		}
+	}
+	return ""
+}
+
+// stmtOK returns "" when stmt is order-independent.
+func (c *commuteChecker) stmtOK(stmt ast.Stmt) string {
+	info := c.pass.TypesInfo
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	case *ast.IncDecStmt:
+		if isIntegerType(info.TypeOf(s.X)) {
+			return "" // integer ++/--: commutative reduction
+		}
+		return fmt.Sprintf("%s on non-integer type", s.Tok)
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return "non-call expression statement"
+		}
+		if builtinName(info, call) == "delete" && len(call.Args) == 2 &&
+			usesAny(info, call.Args[1], c.loopVars) {
+			return "" // delete(m, k): per-key effect
+		}
+		return "call with order-dependent effects"
+	case *ast.IfStmt:
+		return c.ifOK(s)
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if reason := c.stmtOK(inner); reason != "" {
+				return reason
+			}
+		}
+		return ""
+	case *ast.DeclStmt:
+		return "" // local declaration
+	case *ast.RangeStmt:
+		return c.nestedRangeOK(s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			if reason := c.stmtOK(s.Init); reason != "" {
+				return reason
+			}
+		}
+		if s.Post != nil {
+			if reason := c.stmtOK(s.Post); reason != "" {
+				return reason
+			}
+		}
+		return c.stmtOK(s.Body)
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE {
+			return ""
+		}
+		return "early exit makes the result depend on iteration order"
+	default:
+		return "statement form the analyzer cannot prove order-independent"
+	}
+}
+
+// assignOK classifies one assignment inside the loop body.
+func (c *commuteChecker) assignOK(s *ast.AssignStmt) string {
+	info := c.pass.TypesInfo
+	switch s.Tok {
+	case token.DEFINE:
+		// New locals; note them so per-key indexing through them counts.
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil && usesAnyRHS(info, s.Rhs, c.loopVars) {
+					c.loopVars[obj] = true
+				}
+			}
+		}
+		return ""
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		for _, lhs := range s.Lhs {
+			if !isIntegerType(info.TypeOf(lhs)) {
+				return fmt.Sprintf("%s reduction on non-integer type (rounding is order-dependent)", s.Tok)
+			}
+		}
+		return ""
+	case token.ASSIGN:
+		for i, lhs := range s.Lhs {
+			if reason := c.plainAssignOK(lhs, s, i); reason != "" {
+				return reason
+			}
+		}
+		return ""
+	default:
+		return fmt.Sprintf("%s assignment", s.Tok)
+	}
+}
+
+// plainAssignOK judges one `=` target.
+func (c *commuteChecker) plainAssignOK(lhs ast.Expr, s *ast.AssignStmt, i int) string {
+	info := c.pass.TypesInfo
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if id.Name == "_" {
+			return ""
+		}
+		obj := objOf(info, id)
+		if declaredWithin(obj, c.rs.Body) {
+			return "" // loop-local temporary
+		}
+		// keys = append(keys, k): the collect-then-sort idiom; record the
+		// slice so the caller can verify the sort exists.
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && builtinName(info, call) == "append" {
+				if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && objOf(info, base) == obj {
+					argsOK := true
+					for _, arg := range call.Args[1:] {
+						if !usesOnly(info, arg, c.loopVars) {
+							argsOK = false
+						}
+					}
+					if argsOK {
+						c.needSort[obj] = s.Pos()
+						return ""
+					}
+				}
+			}
+		}
+		return fmt.Sprintf("last-writer-wins assignment to %q", id.Name)
+	}
+	if indexedByLoopVar(info, lhs, c.loopVars) {
+		return "" // per-key target: m2[k] = ...
+	}
+	return "assignment to a target not indexed by the loop key"
+}
+
+// ifOK accepts guarded commutative bodies and min/max tracking.
+func (c *commuteChecker) ifOK(s *ast.IfStmt) string {
+	info := c.pass.TypesInfo
+	if s.Init != nil {
+		if reason := c.stmtOK(s.Init); reason != "" {
+			return reason
+		}
+	}
+	if hasCalls(info, s.Cond) {
+		return "if condition calls a function (effects may be order-dependent)"
+	}
+	// Min/max tracking: `if a OP b { b = a }` with a comparison operator.
+	if bin, ok := s.Cond.(*ast.BinaryExpr); ok && len(s.Body.List) == 1 && s.Else == nil {
+		switch bin.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			if asg, ok := s.Body.List[0].(*ast.AssignStmt); ok && asg.Tok == token.ASSIGN &&
+				len(asg.Lhs) == 1 && len(asg.Rhs) == 1 {
+				if (sameExpr(asg.Lhs[0], bin.X) && sameExpr(asg.Rhs[0], bin.Y)) ||
+					(sameExpr(asg.Lhs[0], bin.Y) && sameExpr(asg.Rhs[0], bin.X)) {
+					return ""
+				}
+			}
+		}
+	}
+	for _, inner := range s.Body.List {
+		if reason := c.stmtOK(inner); reason != "" {
+			return reason
+		}
+	}
+	switch e := s.Else.(type) {
+	case nil:
+		return ""
+	case *ast.BlockStmt:
+		for _, inner := range e.List {
+			if reason := c.stmtOK(inner); reason != "" {
+				return reason
+			}
+		}
+		return ""
+	case *ast.IfStmt:
+		return c.ifOK(e)
+	default:
+		return "else branch the analyzer cannot prove order-independent"
+	}
+}
+
+// nestedRangeOK handles loops nested inside the map range.
+func (c *commuteChecker) nestedRangeOK(s *ast.RangeStmt) string {
+	t := c.pass.TypesInfo.TypeOf(s.X)
+	if t != nil {
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			return "nested map range"
+		}
+	}
+	// The nested loop's variables act like per-key values.
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				c.loopVars[obj] = true
+			}
+		}
+	}
+	for _, inner := range s.Body.List {
+		if reason := c.stmtOK(inner); reason != "" {
+			return reason
+		}
+	}
+	return ""
+}
+
+// --- small predicates -----------------------------------------------------
+
+func isIntegerType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// indexedByLoopVar reports whether the expression path contains an index
+// whose expression mentions a loop variable (per-key addressing).
+func indexedByLoopVar(info *types.Info, e ast.Expr, loopVars map[types.Object]bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			if usesAny(info, x.Index, loopVars) {
+				return true
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// hasCalls reports whether expr contains any non-builtin call.
+func hasCalls(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch builtinName(info, call) {
+			case "len", "cap", "min", "max":
+			default:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// usesAnyRHS reports whether any RHS expression mentions a tracked object.
+func usesAnyRHS(info *types.Info, rhs []ast.Expr, objs map[types.Object]bool) bool {
+	for _, e := range rhs {
+		if usesAny(info, e, objs) {
+			return true
+		}
+	}
+	return false
+}
+
+// usesOnly reports whether every identifier in expr that refers to a
+// variable refers to a tracked loop variable (constants and functions are
+// fine).
+func usesOnly(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	ok := true
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, isIdent := n.(*ast.Ident); isIdent {
+			if v, isVar := objOf(info, id).(*types.Var); isVar && !objs[v] {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// sameExpr compares two expressions structurally for the min/max idiom
+// (identifiers and selector chains only).
+func sameExpr(a, b ast.Expr) bool {
+	switch x := ast.Unparen(a).(type) {
+	case *ast.Ident:
+		y, ok := ast.Unparen(b).(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := ast.Unparen(b).(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && sameExpr(x.X, y.X)
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after the
+// range statement within the same function.
+func sortedAfter(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+	body := findEnclosingFuncBody(file, rs.Pos())
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return !found
+		}
+		fn := calleeOf(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return !found
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return !found
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil && objOf(pass.TypesInfo, id) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

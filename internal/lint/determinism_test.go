@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"coaxial/internal/lint"
+	"coaxial/internal/lint/analysis"
+	"coaxial/internal/lint/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{
+		lint.NewDeterminism(nil), // nil scope: every fixture package
+	}, "determfix")
+}
+
+// TestDeterminismScope checks that out-of-scope packages are untouched: the
+// same bad fixture produces nothing when the scope excludes it.
+func TestDeterminismScope(t *testing.T) {
+	got := 0
+	a := lint.NewDeterminism([]string{"some/other/pkg"})
+	orig := a.Run
+	a.Run = func(p *analysis.Pass) error { got++; return orig(p) }
+	analysistest.RunExpectingNone(t, "testdata", []*analysis.Analyzer{a}, "determfix")
+	if got == 0 {
+		t.Fatal("analyzer never ran")
+	}
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"sort"
+
+	"coaxial/internal/lint/analysis"
+	"coaxial/internal/lint/loader"
+)
+
+// HotPathPackages are the packages the determinism and phase-isolation
+// analyzers guard: everything a simulated cycle executes. Reporting and CLI
+// code may read the wall clock; these packages may not.
+var HotPathPackages = []string{
+	"coaxial/internal/sim",
+	"coaxial/internal/cpu",
+	"coaxial/internal/cache",
+	"coaxial/internal/dram",
+	"coaxial/internal/cxl",
+	"coaxial/internal/calm",
+	"coaxial/internal/noc",
+	"coaxial/internal/memreq",
+	"coaxial/internal/clock",
+	// The validation harness is not ticked per cycle, but its reports are
+	// part of a run's reproducible output, so it obeys the same rules.
+	"coaxial/internal/validate",
+}
+
+// StatePackages hold mutable simulator state observers must never write.
+var StatePackages = []string{
+	"coaxial/internal/sim",
+	"coaxial/internal/cpu",
+	"coaxial/internal/cache",
+	"coaxial/internal/dram",
+	"coaxial/internal/cxl",
+	"coaxial/internal/calm",
+	"coaxial/internal/noc",
+	"coaxial/internal/memreq",
+}
+
+// Suite returns the coaxlint analyzers configured for this repository, in
+// run order (facts-only passes first).
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		NewPurity(),
+		NewDeterminism(HotPathPackages),
+		NewPhaseIsolation(HotPathPackages, []string{
+			"coaxial/internal/sim.workerPool.run",
+		}),
+		NewCounters(CounterConfig{
+			CounterTypes: []string{
+				"coaxial/internal/stats.Histogram",
+				"coaxial/internal/stats.Breakdown",
+				"coaxial/internal/stats.Bandwidth",
+				"coaxial/internal/stats.Welford",
+				"coaxial/internal/dram.Counters",
+				"coaxial/internal/cache.Stats",
+				"coaxial/internal/cpu.Stats",
+				"coaxial/internal/calm.Decisions",
+			},
+			ResultType: "coaxial/internal/sim.Result",
+		}),
+		NewObservers(ObserverConfig{
+			Interfaces:    []string{"coaxial/internal/dram.CommandObserver"},
+			HookTypes:     []string{"coaxial/internal/validate.Lifecycle"},
+			StatePackages: StatePackages,
+		}),
+	}
+}
+
+// Run executes the analyzers over a loaded program in dependency order,
+// sharing one fact store, and returns the diagnostics of target packages
+// sorted by position.
+func Run(prog *loader.Program, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	facts := analysis.NewFactStore()
+	var diags []analysis.Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, a := range analyzers {
+			report := func(d analysis.Diagnostic) {
+				if pkg.Target && !a.FactsOnly {
+					diags = append(diags, d)
+				}
+			}
+			pass := analysis.NewPass(a, prog.Fset, pkg.Files, pkg.Types, pkg.Info,
+				prog.ModulePath, facts, report)
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(diags []analysis.Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool { return diagLess(diags[i], diags[j]) })
+}
+
+func diagLess(a, b analysis.Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

@@ -1,0 +1,195 @@
+// Package loader turns `go list` package patterns into type-checked
+// packages for the coaxlint analyzers without depending on
+// golang.org/x/tools: module packages are parsed and type-checked from
+// source in dependency order (so analyzers can attach facts to their
+// objects and find them again from importing packages), while standard
+// library dependencies are imported from the toolchain's export data — the
+// same data the compiler uses — which needs no network and no source
+// type-checking.
+package loader
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	// Target reports whether the package matched the load patterns itself
+	// (false: pulled in only as a dependency).
+	Target bool
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+	// TypeErrors collects type-checker complaints; the package is still
+	// returned with as much type information as could be computed.
+	TypeErrors []error
+}
+
+// Program is the result of one Load.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	// Packages holds the module packages in dependency order (imports
+	// before importers).
+	Packages []*Package
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (a directory inside the module) and
+// type-checks every module package in the dependency closure.
+func Load(dir string, patterns ...string) (*Program, error) {
+	modulePath, err := goOutput(dir, "list", "-m", "-f", "{{.Path}}")
+	if err != nil {
+		return nil, fmt.Errorf("loader: resolving module: %w", err)
+	}
+	modulePath = strings.TrimSpace(modulePath)
+
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	out, err := goOutput(dir, args...)
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list: %w", err)
+	}
+
+	var listed []*listPackage
+	dec := json.NewDecoder(strings.NewReader(out))
+	for {
+		lp := &listPackage{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	prog := &Program{Fset: token.NewFileSet(), ModulePath: modulePath}
+	exports := map[string]string{} // import path -> export data file
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	gcImporter := importer.ForCompiler(prog.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	inModule := func(path string) bool {
+		return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+	}
+	srcPkgs := map[string]*Package{}
+
+	// `go list -deps` emits dependencies before their importers, so a
+	// single pass type-checks each module package after everything it
+	// imports.
+	for _, lp := range listed {
+		if !inModule(lp.ImportPath) {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typeCheck(prog, lp, srcPkgs, gcImporter)
+		if err != nil {
+			return nil, err
+		}
+		srcPkgs[lp.ImportPath] = pkg
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// typeCheck parses and checks one module package from source.
+func typeCheck(prog *Program, lp *listPackage, srcPkgs map[string]*Package,
+	gcImporter types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %s: %w", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Target:     !lp.DepOnly,
+		Files:      files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+	}
+
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if p, ok := srcPkgs[path]; ok {
+			return p.Types, nil
+		}
+		return gcImporter.Import(path)
+	})
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(lp.ImportPath, prog.Fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// goOutput runs the go command in dir and returns its stdout.
+func goOutput(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return string(out), nil
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"coaxial/internal/lint"
+	"coaxial/internal/lint/analysis"
+	"coaxial/internal/lint/analysistest"
+)
+
+func TestObservers(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{
+		lint.NewPurity(), // supplies write-free facts for Pending/peek
+		lint.NewObservers(lint.ObserverConfig{
+			Interfaces:    []string{"dram.CommandObserver"},
+			HookTypes:     []string{"obsfix.hook"},
+			StatePackages: []string{"dram"},
+		}),
+	}, "obsfix")
+}

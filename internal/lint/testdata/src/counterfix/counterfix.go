@@ -1,0 +1,52 @@
+// Counter-hygiene fixtures: stat counters accumulate via += / their own
+// methods; plain assignment outside Reset/New-style functions is a
+// mid-window reset.
+package counterfix
+
+import "stats"
+
+type engine struct {
+	hist  stats.Histogram
+	reads uint64
+}
+
+// record accumulates: always fine.
+func (e *engine) record(v float64) {
+	e.hist.Add(v)
+	e.hist.N += 1
+}
+
+// midWindow mutates measurement state destructively.
+func (e *engine) midWindow() {
+	e.hist = stats.Histogram{} // want `counter stats\.Histogram reset/reassigned outside a Reset/New function`
+	e.hist.N = 0               // want `counter stats\.Histogram\.N reset/reassigned outside a Reset/New function`
+	e.hist.Sum *= 0.5          // want `counter stats\.Histogram\.Sum mutated with \*=`
+	e.hist.N--                 // want `counter stats\.Histogram\.N decremented`
+}
+
+// sneaky aliases the counter through a local pointer; still flagged.
+func (e *engine) sneaky() {
+	h := &e.hist
+	h.N = 0 // want `counter stats\.Histogram\.N reset/reassigned outside a Reset/New function`
+}
+
+// resetWindow is a sanctioned reset (name prefix).
+func (e *engine) resetWindow() {
+	e.hist = stats.Histogram{}
+}
+
+// newEngine is a sanctioned constructor (name prefix).
+func newEngine() *engine {
+	e := &engine{}
+	e.hist = stats.Histogram{}
+	return e
+}
+
+// collect assembles a snapshot in a local value: not live measurement
+// state, so plain assignment is fine.
+func collect(e *engine) stats.Histogram {
+	var snap stats.Histogram
+	snap = e.hist
+	snap.N = e.reads
+	return snap
+}

@@ -1,0 +1,18 @@
+package counterfix
+
+// Result mimics sim.Result: every field must stay visible to the golden
+// corpus's JSON encoder, recursively through module-declared structs.
+type Result struct {
+	IPC     float64
+	Cycles  uint64
+	hidden  uint64                         // want `Result\.hidden is unexported`
+	Skipped uint64 `json:"-"`              // want `Result\.Skipped is tagged json`
+	Sparse  uint64 `json:"sparse,omitempty"` // want `Result\.Sparse is tagged omitempty`
+	Sub     SubResult
+}
+
+// SubResult is reached through Result.Sub.
+type SubResult struct {
+	Hits   uint64
+	misses uint64 // want `Result\.Sub\.misses is unexported`
+}

@@ -1,0 +1,51 @@
+// Deliberately-bad determinism fixtures: every line below provokes the
+// diagnostic its want comment names.
+package determfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()   // want `time\.Now reads the host clock`
+	_ = time.Since(t) // want `time\.Since reads the host clock`
+	return 0
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `rand\.Intn uses the global process-wide RNG`
+}
+
+func lastWriterWins(m map[string]int64) int64 {
+	var last int64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		last = v
+	}
+	return last
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+func earlyExit(m map[string]int64) bool {
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func unsortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // want `never sorted in this function`
+	}
+	return keys
+}

@@ -1,0 +1,61 @@
+// Clean fixtures: each function below uses one of the commutative map-range
+// idioms the analyzer must accept without diagnostics.
+package determfix
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func countEntries(m map[string]int) (n int) {
+	for range m {
+		n++
+	}
+	return
+}
+
+func perKeyWrites(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+func intReductions(m map[string]int) (sum, mask int) {
+	for _, v := range m {
+		sum += v
+		mask |= v
+	}
+	return
+}
+
+func maxTracking(m map[string]int64) int64 {
+	var best int64
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func pruneNegative(m map[string]int) {
+	for k, v := range m {
+		if v < 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func seededDraws() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(8)
+}

@@ -1,0 +1,29 @@
+// Suppression-directive fixtures: a justified //lint:deterministic (or
+// //lint:ignore determinism) silences the finding; an unjustified one is
+// itself a finding.
+package determfix
+
+import "time"
+
+func suppressedJustified(m map[string]int64) int64 {
+	var last int64
+	//lint:deterministic any surviving entry is an acceptable witness
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+func suppressedBare(m map[string]int64) int64 {
+	var last int64
+	//lint:deterministic
+	for _, v := range m { // want `needs a justification`
+		last = v
+	}
+	return last
+}
+
+func ignoredSameLine() int64 {
+	_ = time.Now() //lint:ignore determinism startup banner timestamp only
+	return 0
+}

@@ -1,0 +1,26 @@
+// Package dram is a fixture stub of a simulator state package: it declares
+// the observation interface and a mutable state type, and is listed as a
+// state package in the observer-purity tests.
+package dram
+
+type Command struct {
+	Kind int
+	Addr uint64
+}
+
+// CommandObserver receives every command the subchannel issues.
+type CommandObserver interface {
+	OnCommand(Command)
+}
+
+// SubChannel is mutable simulator state an observer must never touch.
+type SubChannel struct {
+	Busy   int64
+	issued uint64
+}
+
+// Push mutates the subchannel (not write-free).
+func (s *SubChannel) Push(c Command) { s.issued++ }
+
+// Pending is a pure getter (write-free).
+func (s *SubChannel) Pending() int { return int(s.issued) }

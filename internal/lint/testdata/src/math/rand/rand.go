@@ -1,0 +1,17 @@
+// Package rand is a fixture stub for math/rand: package-level draws use
+// the (forbidden) global generator; constructors and methods are fine.
+package rand
+
+type Source struct{ seed int64 }
+
+type Rand struct{ src *Source }
+
+func NewSource(seed int64) *Source { return &Source{seed: seed} }
+func New(src *Source) *Rand        { return &Rand{src: src} }
+
+func Intn(n int) int    { return 0 }
+func Float64() float64  { return 0 }
+func Uint64() uint64    { return 0 }
+
+func (r *Rand) Intn(n int) int   { return 0 }
+func (r *Rand) Float64() float64 { return 0 }

@@ -1,0 +1,59 @@
+// Observer-purity fixtures: implementations of dram.CommandObserver (and
+// configured hook types) may accumulate into their own state but must not
+// mutate the simulation they watch.
+package obsfix
+
+import "dram"
+
+var totalCommands uint64
+
+// goodOracle accumulates into receiver-rooted state only.
+type goodOracle struct {
+	commands uint64
+	last     dram.Command
+	perBank  map[uint64]uint64
+}
+
+func (o *goodOracle) OnCommand(c dram.Command) {
+	o.commands++
+	o.last = c
+	o.perBank[c.Addr]++
+}
+
+// prune mutates the oracle's own map: fine (all methods of an observer
+// type are checked, not just the interface method).
+func (o *goodOracle) prune(addr uint64) {
+	delete(o.perBank, addr)
+}
+
+// badOracle mutates the simulation it watches.
+type badOracle struct {
+	sc *dram.SubChannel
+}
+
+func (o *badOracle) OnCommand(c dram.Command) {
+	totalCommands++    // want `observer mutates package-level state "totalCommands"`
+	o.sc.Busy = 1      // want `observer writes simulator state through o\.sc`
+	o.sc.Push(c)       // want `observer calls SubChannel\.Push, which may mutate simulator state`
+	_ = o.sc.Pending() // write-free getter: fine
+}
+
+// peek is write-free; drain is not.
+func peek(sc *dram.SubChannel) int64  { return sc.Busy }
+func drain(sc *dram.SubChannel) int64 { sc.Busy = 0; return 0 }
+
+// hook is checked via the HookTypes configuration (no interface names it).
+type hook struct {
+	seen int
+	sc   *dram.SubChannel
+}
+
+func (h *hook) OnTick() {
+	h.seen++
+	h.sc.Busy++ // want `observer writes simulator state through h\.sc`
+}
+
+func (h *hook) OnEnd() {
+	_ = peek(h.sc) // write-free: fine
+	_ = drain(h.sc) // want `observer passes simulator state to drain, which is not write-free`
+}

@@ -1,0 +1,12 @@
+// Package pool is a fixture stand-in for sim.workerPool: Run hands each
+// worker function its worker index, and is configured as a phase-isolation
+// spawner ("pool.Pool.Run") in the analyzer tests.
+package pool
+
+type Pool struct{}
+
+func (p *Pool) Run(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

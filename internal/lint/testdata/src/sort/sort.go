@@ -1,0 +1,7 @@
+// Package sort is a fixture stub: the determinism analyzer recognizes the
+// collect-then-sort idiom by the callee's import path.
+package sort
+
+func Strings(x []string)                       {}
+func Ints(x []int)                             {}
+func Slice(x any, less func(i, j int) bool)    {}

@@ -1,0 +1,21 @@
+// Package stats is a fixture stub of a stat-counter type: its own methods
+// may maintain internal state freely; everyone else must only accumulate.
+package stats
+
+type Histogram struct {
+	N   uint64
+	Sum float64
+	max float64
+}
+
+func (h *Histogram) Add(v float64) {
+	h.N++
+	h.Sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+func (h *Histogram) Max() float64 { return h.max }

@@ -2,6 +2,7 @@ package validate
 
 import (
 	"fmt"
+	"sort"
 
 	"coaxial/internal/memreq"
 )
@@ -189,11 +190,23 @@ func (l *Lifecycle) CheckEnd(walk func(func(*memreq.Request)), mshrHeld int) {
 		}
 		seenR[r] = struct{}{}
 	})
+	// Collect leaks and report in a fixed order: the failure strings are part
+	// of a run's reproducible output and must not depend on map iteration.
+	var leaked []*memreq.Request
 	for r := range l.reads {
 		if _, ok := seenR[r]; !ok {
-			l.fail("read %#x (core %d) leaked: tracked in flight but absent from every memory-system queue",
-				r.Addr, r.Core)
+			leaked = append(leaked, r)
 		}
+	}
+	sort.Slice(leaked, func(i, j int) bool {
+		if leaked[i].Addr != leaked[j].Addr {
+			return leaked[i].Addr < leaked[j].Addr
+		}
+		return leaked[i].Core < leaked[j].Core
+	})
+	for _, r := range leaked {
+		l.fail("read %#x (core %d) leaked: tracked in flight but absent from every memory-system queue",
+			r.Addr, r.Core)
 	}
 	// Writes complete silently once the DRAM write CAS retires; prune
 	// tracked entries that have physically drained.
