@@ -18,9 +18,10 @@ vet:
 	$(GO) vet ./...
 
 # lint runs coaxlint (internal/lint): determinism, phase-isolation,
-# counter-hygiene, and observer-purity invariants (DESIGN.md §6). Findings
+# counter-hygiene, and observer-purity invariants, plus unitcheck's
+# flow-sensitive clock-domain/dimension analysis (DESIGN.md §6). Findings
 # listed in .coaxlint.baseline (if present) are pre-existing and accepted;
-# only new violations fail.
+# only new violations fail. Add -json for machine-readable output.
 lint:
 	$(GO) run ./cmd/coaxial-lint ./...
 

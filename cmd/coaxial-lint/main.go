@@ -26,8 +26,10 @@ package main
 import (
 	"bufio"
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -57,6 +59,7 @@ func main() {
 		baselinePath  = flag.String("baseline", "", "baseline file of accepted findings (default .coaxlint.baseline when it exists)")
 		writeBaseline = flag.Bool("write-baseline", false, "rewrite the baseline with the current findings and exit")
 		listChecks    = flag.Bool("checks", false, "list the analyzers and exit")
+		jsonOut       = flag.Bool("json", false, "emit findings as a JSON array (stable order: file, line, column, analyzer)")
 	)
 	flag.Parse()
 
@@ -119,18 +122,54 @@ func main() {
 		}
 	}
 
-	fresh := 0
+	var fresh []analysis.Diagnostic
 	for _, d := range diags {
 		if baseline[baselineKey(d)] {
 			continue
 		}
-		fresh++
-		fmt.Println(d)
+		fresh = append(fresh, d)
 	}
-	if fresh > 0 {
-		fmt.Fprintf(os.Stderr, "coaxial-lint: %d finding(s)\n", fresh)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, fresh); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range fresh {
+			fmt.Println(d)
+		}
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "coaxial-lint: %d finding(s)\n", len(fresh))
 		os.Exit(1)
 	}
+}
+
+// jsonDiagnostic is the -json wire form of one finding. Diagnostics arrive
+// already sorted (file, line, column, analyzer), so the output is stable
+// across runs for diffing and for the CI problem matcher.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the findings as one indented JSON array ([] when clean).
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // printVersion answers `-V=full` in the form cmd/go's toolID parser accepts:

@@ -106,8 +106,10 @@ func vettoolMode(cfgPath string) int {
 	}
 
 	facts := analysis.NewFactStore()
-	var diags []analysis.Diagnostic
-	for _, a := range lint.Suite() {
+	suite := lint.Suite()
+	known, names := lint.DirectiveNames(suite)
+	diags := analysis.CheckDirectives(fset, files, known, names)
+	for _, a := range suite {
 		run := a // bind for the closure below
 		report := func(d analysis.Diagnostic) {
 			if !run.FactsOnly {

@@ -1,6 +1,9 @@
 package calm
 
-import "coaxial/internal/memreq"
+import (
+	"coaxial/internal/clock"
+	"coaxial/internal/memreq"
+)
 
 // regulated implements CALM_R (§IV-C). Each L2 controller estimates its
 // memory bandwidth demand with and without the LLC acting as a filter
@@ -14,10 +17,10 @@ type regulated struct {
 	d Decisions
 
 	r            float64
-	epoch        int64
-	peakBytesCyc float64 // peak bytes per cycle
+	epoch        int64 //lint:unit cycles
+	peakBytesCyc float64 //lint:unit bytes/cycle
 
-	epochStart int64
+	epochStart int64 //lint:unit cycles
 	l2Misses   uint64 // this epoch
 	llcMisses  uint64 // this epoch
 
@@ -32,7 +35,7 @@ func newRegulated(r float64, epoch int64, peakGBs float64) *regulated {
 	return &regulated{
 		r:            r,
 		epoch:        epoch,
-		peakBytesCyc: peakGBs / 2.4, // GB/s -> bytes/cycle at 2.4 GHz
+		peakBytesCyc: clock.BytesPerCycle(peakGBs),
 		rng:          0x1234_5678_9ABC_DEF1,
 	}
 }

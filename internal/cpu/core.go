@@ -91,10 +91,10 @@ type Core struct {
 	// event-driven loop skips inert cycles; see NextEvent).
 	ipcCap         float64
 	tokenBase      float64
-	tokenBaseCycle int64
+	tokenBaseCycle int64 //lint:unit cycles
 	// tokenReadyAt memoizes the first cycle the accrual banks a full token
 	// (a pure function of the rebase state above); -1 = recompute.
-	tokenReadyAt int64
+	tokenReadyAt int64 //lint:unit cycles
 
 	rob          [robSize]robEntry
 	headSeq      uint64 // oldest un-retired sequence number

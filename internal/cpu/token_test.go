@@ -1,0 +1,65 @@
+package cpu
+
+import "testing"
+
+// TestComputeTokenReadyClosedForm pins the closed-form next-full-token
+// computation against a naive cycle-at-a-time scan of tokensAt over a grid
+// of rebase states. The two must agree exactly: nextDispatchCycle feeds
+// NextEvent, and TestClockingEquivalence depends on event-driven and
+// cycle-driven clocking dispatching on the same cycles.
+func TestComputeTokenReadyClosedForm(t *testing.T) {
+	ipcCaps := []float64{0.1, 0.25, 1.0 / 3.0, 0.5, 0.7, 0.9, 1.0, 1.3, 1.7, 2.0, 3.0, 4.0}
+	bases := []float64{-7.25, -3.5, -1.0, -0.6, -1.0 / 3.0, 0, 0.2, 0.5, 0.999, 1.0, 1.5, 3.9, 4.0}
+	baseCycles := []int64{0, 1, 17, 1_000_003}
+
+	for _, cap := range ipcCaps {
+		for _, base := range bases {
+			for _, bc := range baseCycles {
+				c := &Core{ipcCap: cap, tokenBase: base, tokenBaseCycle: bc}
+
+				// Naive reference: step cycle by cycle from the rebase
+				// point until the accrual banks a full token.
+				naive := bc
+				for c.tokensAt(naive) < 1 {
+					naive++
+					if naive-bc > 1_000 {
+						t.Fatalf("ipcCap=%v base=%v: no full token within 1000 cycles", cap, base)
+					}
+				}
+
+				got := c.computeTokenReady()
+				if got != naive {
+					t.Errorf("ipcCap=%v base=%v baseCycle=%d: computeTokenReady=%d, naive scan=%d",
+						cap, base, bc, got, naive)
+				}
+			}
+		}
+	}
+}
+
+// TestNextDispatchCycleMemo pins nextDispatchCycle's contract: it memoizes
+// computeTokenReady under the -1 sentinel and never returns a cycle at or
+// before now.
+func TestNextDispatchCycleMemo(t *testing.T) {
+	c := &Core{ipcCap: 0.25, tokenBase: 0, tokenBaseCycle: 100, tokenReadyAt: -1}
+	ready := c.computeTokenReady() // 104: four quarter-tokens
+	if ready != 104 {
+		t.Fatalf("computeTokenReady = %d, want 104", ready)
+	}
+	if got := c.nextDispatchCycle(100); got != ready {
+		t.Fatalf("nextDispatchCycle(100) = %d, want %d", got, ready)
+	}
+	if c.tokenReadyAt != ready {
+		t.Fatalf("memo not populated: tokenReadyAt = %d", c.tokenReadyAt)
+	}
+	// Once the threshold passes, the next candidate is always now+1.
+	if got := c.nextDispatchCycle(ready); got != ready+1 {
+		t.Fatalf("nextDispatchCycle(%d) = %d, want %d", ready, got, ready+1)
+	}
+	// A stale memo must not be recomputed while valid: poke it and observe
+	// the poked value flows through.
+	c.tokenReadyAt = 200
+	if got := c.nextDispatchCycle(100); got != 200 {
+		t.Fatalf("memoized value ignored: got %d, want 200", got)
+	}
+}

@@ -118,20 +118,21 @@ type Stats struct {
 // waiting is a request stalled at the device ingress on DDR backpressure.
 type waiting struct {
 	req   *memreq.Request
-	since int64
+	since int64 //lint:unit cycles
 }
 
 // Channel implements memreq.Backend for a CXL-attached memory channel.
 type Channel struct {
-	cfg                  ChannelConfig
-	port                 int64
-	rxSer, txData, txReq int64
+	cfg ChannelConfig
+	// Link traversal and serialization latencies, pre-converted to cycles.
+	port                 int64 //lint:unit cycles
+	rxSer, txData, txReq int64 //lint:unit cycles
 
 	ddr []*dram.Channel
 
 	// Link occupancy cursors.
-	txFree int64
-	rxFree int64
+	txFree int64 //lint:unit cycles
+	rxFree int64 //lint:unit cycles
 
 	// ingress: requests accepted from the cache hierarchy, ordered by
 	// their on-chip arrival cycle, awaiting TX link allocation.
@@ -149,7 +150,7 @@ type Channel struct {
 	outstanding int
 
 	stats Stats
-	now   int64
+	now   int64 //lint:unit cycles
 }
 
 // NewChannel builds a CXL channel. systemSubChannels densifies the DDR

@@ -27,6 +27,11 @@ type Analyzer struct {
 	// analyzer beside the generic "ignore" form; e.g. the determinism
 	// analyzer accepts //lint:deterministic <why>.
 	Directives []string
+	// Annotations lists directive names the analyzer reads as declarations
+	// rather than suppressions (e.g. unitcheck's //lint:unit <dim>). They
+	// never silence a diagnostic; listing them here only tells the
+	// directive validator the name is legitimate.
+	Annotations []string
 	// FactsOnly marks analyzers that never report: they only compute facts
 	// consumed by later analyzers (the driver still runs them everywhere).
 	FactsOnly bool
@@ -96,36 +101,112 @@ type directive struct {
 	args       string // remainder after the name, space-trimmed
 }
 
-// collectDirectives scans a file's comments for //lint: markers. A
-// directive trailing code covers that line; a standalone directive covers
-// the line below it.
-func collectDirectives(fset *token.FileSet, f *ast.File) []directive {
-	codeLines := map[int]bool{}
+// ParseDirective parses one comment's text as a //lint: directive. ok is
+// false when the comment is not a lint directive at all (ordinary comment,
+// or a different marker). When it is one, the name must be a non-empty run
+// of lowercase letters terminated by end-of-comment or a space; anything
+// else — `//lint:`, `//lint: ignore` (space before the name), `//lint:Unit`
+// — returns a non-nil error so drivers can diagnose the malformed marker
+// instead of silently treating it as prose.
+func ParseDirective(text string) (name, args string, ok bool, err error) {
+	rest, isDirective := strings.CutPrefix(text, "//lint:")
+	if !isDirective {
+		return "", "", false, nil
+	}
+	i := 0
+	for i < len(rest) && rest[i] >= 'a' && rest[i] <= 'z' {
+		i++
+	}
+	name = rest[:i]
+	if name == "" {
+		return "", "", true, fmt.Errorf("malformed //lint: directive: missing name")
+	}
+	if i < len(rest) && rest[i] != ' ' {
+		return name, "", true, fmt.Errorf("malformed //lint: directive: name must be lowercase letters followed by a space, got %q", rest)
+	}
+	return name, strings.TrimSpace(rest[i:]), true, nil
+}
+
+// codeLines records which lines of a file hold code (non-comment nodes), so
+// a directive can be classified as trailing code or standalone.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n.(type) {
 		case nil, *ast.Comment, *ast.CommentGroup:
 			return false
 		}
 		if n.Pos().IsValid() {
-			codeLines[fset.Position(n.Pos()).Line] = true
+			lines[fset.Position(n.Pos()).Line] = true
 		}
 		return true
 	})
+	return lines
+}
+
+// collectDirectives scans a file's comments for well-formed //lint:
+// markers. A directive trailing code covers that line; a standalone
+// directive covers the line below it. Malformed directives are dropped
+// here; CheckDirectives reports them.
+func collectDirectives(fset *token.FileSet, f *ast.File) []directive {
+	code := codeLines(fset, f)
 	var out []directive
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, "//lint:")
-			if !ok {
+			name, args, ok, err := ParseDirective(c.Text)
+			if !ok || err != nil {
 				continue
 			}
-			name, args, _ := strings.Cut(text, " ")
 			line := fset.Position(c.Pos()).Line
 			out = append(out, directive{
 				line:       line,
-				standalone: !codeLines[line],
-				name:       strings.TrimSpace(name),
-				args:       strings.TrimSpace(args),
+				standalone: !code[line],
+				name:       name,
+				args:       args,
 			})
+		}
+	}
+	return out
+}
+
+// CheckDirectives validates every //lint: comment in the files: a parse
+// error, an unknown directive name, or an ignore directive that names no
+// known analyzer each produce a diagnostic (analyzer "directive"). known
+// holds the legitimate directive names ("ignore" plus every analyzer's
+// Directives and Annotations); analyzers holds the valid //lint:ignore
+// targets. Malformed markers must never be silently accepted — a typo in a
+// suppression would otherwise reintroduce the finding it meant to justify.
+func CheckDirectives(fset *token.FileSet, files []*ast.File, known, analyzers map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: "directive",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, args, ok, err := ParseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				if err != nil {
+					report(c.Pos(), "%v", err)
+					continue
+				}
+				if !known[name] {
+					report(c.Pos(), "unknown directive //lint:%s", name)
+					continue
+				}
+				if name == "ignore" {
+					target, _, _ := strings.Cut(args, " ")
+					if !analyzers[target] {
+						report(c.Pos(), "//lint:ignore must name an analyzer (got %q)", target)
+					}
+				}
+			}
 		}
 	}
 	return out
@@ -140,6 +221,23 @@ func (p *Pass) InModule(pkg *types.Package) bool {
 	path := pkg.Path()
 	return path == p.ModulePath || p.ModulePath == "" ||
 		strings.HasPrefix(path, p.ModulePath+"/")
+}
+
+// DirectiveOn returns the arguments of a //lint:<name> directive covering
+// pos's line — trailing the code on that line, or standalone on the line
+// directly above — if one exists. Annotation-style directives (such as
+// //lint:unit) are read through this; they do not suppress anything.
+func (p *Pass) DirectiveOn(pos token.Pos, name string) (args string, ok bool) {
+	position := p.Fset.Position(pos)
+	for _, d := range p.directives[position.Filename] {
+		if d.name != name {
+			continue
+		}
+		if d.line == position.Line || (d.standalone && d.line == position.Line-1) {
+			return d.args, true
+		}
+	}
+	return "", false
 }
 
 // Reportf reports a diagnostic at pos unless a suppression directive covers

@@ -1,0 +1,386 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block of a function's control-flow graph. Nodes holds
+// the block's AST nodes in evaluation order: statements, plus the condition
+// expressions that the builder lowers out of if/for/switch statements so
+// that short-circuit operators (&&, ||) get distinct blocks per operand —
+// `if a && b { .. }` evaluates b only when a is true, and a flow-sensitive
+// client must see that path structure to join states correctly.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable, creation order).
+	Index int
+	// Kind names what created the block ("entry", "if.then", "for.head",
+	// ...) for debugging and tests.
+	Kind string
+	// Nodes are the statements and lowered condition expressions executed
+	// when control passes through the block.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry starts the
+// body; Exit is the single synthetic sink every return (and the fall-off
+// end of the body) flows to.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// BuildCFG constructs the control-flow graph of a function body. It lowers
+// structured control flow (if/else, for, range, switch, type switch,
+// select, labeled break/continue, goto, fallthrough) into blocks and edges;
+// short-circuit && and || in conditions are expanded so each operand sits
+// in its own block. Statements after an unconditional transfer (return,
+// break, ...) land in a predecessor-less block the interpreter never
+// reaches, matching the semantics of unreachable code.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*labelInfo{}}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.current = b.cfg.Entry
+	b.stmt(body)
+	b.edge(b.current, b.cfg.Exit)
+	return b.cfg
+}
+
+// labelInfo tracks the blocks a label can transfer to.
+type labelInfo struct {
+	target *Block // goto target / labeled statement start
+	brk    *Block // break target when the label names a loop/switch
+	cont   *Block // continue target when the label names a loop
+}
+
+// loopCtx is one enclosing breakable/continuable construct.
+type loopCtx struct {
+	brk   *Block
+	cont  *Block // nil for switch/select (not continuable)
+	label string
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	current *Block
+	loops   []loopCtx // innermost last
+	labels  map[string]*labelInfo
+	// pendingLabel is consumed by the next loop/switch statement so that
+	// `L: for ...` registers L's break/continue targets.
+	pendingLabel string
+	// fallthroughTo is the next case body during switch construction.
+	fallthroughTo *Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// jump ends the current block with an edge to next and makes next current.
+func (b *cfgBuilder) jump(next *Block) {
+	b.edge(b.current, next)
+	b.current = next
+}
+
+// add appends a node to the current block.
+func (b *cfgBuilder) add(n ast.Node) { b.current.Nodes = append(b.current.Nodes, n) }
+
+// label returns (creating on demand) the info record for a label, so
+// forward gotos resolve.
+func (b *cfgBuilder) label(name string) *labelInfo {
+	li, ok := b.labels[name]
+	if !ok {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+// cond lowers a boolean expression into the CFG: control reaches t when the
+// expression is true and f when it is false, with && and || expanded into
+// per-operand blocks (the right operand of `a && b` evaluates only on a's
+// true edge).
+func (b *cfgBuilder) cond(e ast.Expr, t, f *Block) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(x.X, t, f)
+		return
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(x.X, mid, f)
+			b.current = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(x.X, t, mid)
+			b.current = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	}
+	b.add(e)
+	b.edge(b.current, t)
+	b.edge(b.current, f)
+}
+
+// takeLabel consumes the pending label (set by a LabeledStmt wrapping a
+// loop or switch) and binds its break/continue targets.
+func (b *cfgBuilder) takeLabel(brk, cont *Block) string {
+	name := b.pendingLabel
+	b.pendingLabel = ""
+	if name != "" {
+		li := b.label(name)
+		li.brk = brk
+		li.cont = cont
+	}
+	return name
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+		return
+	case *ast.BlockStmt:
+		for _, inner := range x.List {
+			b.stmt(inner)
+		}
+	case *ast.IfStmt:
+		b.stmt(x.Init)
+		then := b.newBlock("if.then")
+		join := b.newBlock("if.join")
+		if x.Else != nil {
+			els := b.newBlock("if.else")
+			b.cond(x.Cond, then, els)
+			b.current = then
+			b.stmt(x.Body)
+			b.edge(b.current, join)
+			b.current = els
+			b.stmt(x.Else)
+			b.edge(b.current, join)
+		} else {
+			b.cond(x.Cond, then, join)
+			b.current = then
+			b.stmt(x.Body)
+			b.edge(b.current, join)
+		}
+		b.current = join
+	case *ast.ForStmt:
+		b.stmt(x.Init)
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		exit := b.newBlock("for.exit")
+		cont := head
+		var post *Block
+		if x.Post != nil {
+			post = b.newBlock("for.post")
+			cont = post
+		}
+		label := b.takeLabel(exit, cont)
+		b.jump(head)
+		if x.Cond != nil {
+			b.cond(x.Cond, body, exit)
+		} else {
+			b.edge(b.current, body)
+		}
+		b.loops = append(b.loops, loopCtx{brk: exit, cont: cont, label: label})
+		b.current = body
+		b.stmt(x.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		if post != nil {
+			b.jump(post)
+			b.stmt(x.Post)
+		}
+		b.edge(b.current, head)
+		b.current = exit
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		exit := b.newBlock("range.exit")
+		label := b.takeLabel(exit, head)
+		b.jump(head)
+		// The RangeStmt node itself carries the ranged expression and the
+		// key/value bindings; clients transfer it as one step.
+		b.add(x)
+		b.edge(b.current, body)
+		b.edge(b.current, exit)
+		b.loops = append(b.loops, loopCtx{brk: exit, cont: head, label: label})
+		b.current = body
+		b.stmt(x.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.current, head)
+		b.current = exit
+	case *ast.SwitchStmt:
+		b.stmt(x.Init)
+		if x.Tag != nil {
+			b.add(x.Tag)
+		}
+		b.switchClauses(x.Body, func(cc *ast.CaseClause, blk *Block) {
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+		})
+	case *ast.TypeSwitchStmt:
+		b.stmt(x.Init)
+		// The implicit binding (`v := y.(type)`) and the tag expression
+		// travel with the statement node.
+		b.add(x.Assign)
+		b.switchClauses(x.Body, func(cc *ast.CaseClause, blk *Block) {})
+	case *ast.SelectStmt:
+		exit := b.newBlock("select.exit")
+		label := b.takeLabel(exit, nil)
+		b.loops = append(b.loops, loopCtx{brk: exit, label: label})
+		from := b.current
+		for _, cl := range x.Body.List {
+			comm := cl.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			b.edge(from, blk)
+			b.current = blk
+			b.stmt(comm.Comm)
+			for _, inner := range comm.Body {
+				b.stmt(inner)
+			}
+			b.edge(b.current, exit)
+		}
+		if len(x.Body.List) == 0 {
+			b.edge(from, exit)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.current = exit
+	case *ast.LabeledStmt:
+		target := b.newBlock("label." + x.Label.Name)
+		b.jump(target)
+		b.label(x.Label.Name).target = target
+		b.pendingLabel = x.Label.Name
+		b.stmt(x.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		b.branch(x)
+	case *ast.ReturnStmt:
+		b.add(x)
+		b.edge(b.current, b.cfg.Exit)
+		b.current = b.newBlock("unreachable")
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Straight-line statements: assignments, declarations, expression
+		// statements, sends, defers, go statements, inc/dec.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the clause blocks of a switch/type-switch body.
+// caseNodes appends a clause's guard expressions to its block.
+func (b *cfgBuilder) switchClauses(body *ast.BlockStmt, caseNodes func(*ast.CaseClause, *Block)) {
+	exit := b.newBlock("switch.exit")
+	label := b.takeLabel(exit, nil)
+	from := b.current
+
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	blocks := make([]*Block, 0, len(body.List))
+	hasDefault := false
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		blk := b.newBlock("switch.case")
+		b.edge(from, blk)
+		caseNodes(cc, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clauses = append(clauses, cc)
+		blocks = append(blocks, blk)
+	}
+	if !hasDefault {
+		b.edge(from, exit)
+	}
+	b.loops = append(b.loops, loopCtx{brk: exit, label: label})
+	for i, cc := range clauses {
+		b.current = blocks[i]
+		if i+1 < len(blocks) {
+			b.fallthroughTo = blocks[i+1]
+		} else {
+			b.fallthroughTo = exit
+		}
+		for _, inner := range cc.Body {
+			b.stmt(inner)
+		}
+		b.edge(b.current, exit)
+	}
+	b.fallthroughTo = nil
+	b.loops = b.loops[:len(b.loops)-1]
+	b.current = exit
+}
+
+// branch wires break/continue/goto/fallthrough edges.
+func (b *cfgBuilder) branch(x *ast.BranchStmt) {
+	dead := func() { b.current = b.newBlock("unreachable") }
+	switch x.Tok {
+	case token.BREAK:
+		if x.Label != nil {
+			if li := b.label(x.Label.Name); li.brk != nil {
+				b.edge(b.current, li.brk)
+			}
+			dead()
+			return
+		}
+		if n := len(b.loops); n > 0 {
+			b.edge(b.current, b.loops[n-1].brk)
+		}
+		dead()
+	case token.CONTINUE:
+		if x.Label != nil {
+			if li := b.label(x.Label.Name); li.cont != nil {
+				b.edge(b.current, li.cont)
+			}
+			dead()
+			return
+		}
+		// The innermost *continuable* context (switches in between are
+		// skipped, as the language does).
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			if b.loops[i].cont != nil {
+				b.edge(b.current, b.loops[i].cont)
+				break
+			}
+		}
+		dead()
+	case token.GOTO:
+		if x.Label != nil {
+			li := b.label(x.Label.Name)
+			if li.target == nil {
+				// Forward goto: create the target now; the LabeledStmt
+				// will jump into it when reached.
+				li.target = b.newBlock("label." + x.Label.Name)
+			}
+			b.edge(b.current, li.target)
+		}
+		dead()
+	case token.FALLTHROUGH:
+		if b.fallthroughTo != nil {
+			b.edge(b.current, b.fallthroughTo)
+		}
+		dead()
+	}
+}

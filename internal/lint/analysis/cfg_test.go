@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFor parses src as the body of one function and builds its CFG.
+func buildFor(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f(a, b, c int, cond, cond2 bool, xs []int, m map[int]int, ch chan int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// reachable returns the set of block indices reachable from the entry.
+func reachable(g *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// summarize renders the reachable CFG structurally for shape assertions.
+func summarize(g *CFG) string {
+	seen := reachable(g)
+	var b strings.Builder
+	for _, blk := range g.Blocks {
+		if !seen[blk.Index] {
+			continue
+		}
+		fmt.Fprintf(&b, "%d:%s(%d)->[", blk.Index, blk.Kind, len(blk.Nodes))
+		for i, s := range blk.Succs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", s.Index)
+		}
+		b.WriteString("] ")
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildFor(t, "a = 1\nb = 2")
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry should hold both statements, got %d: %s", len(g.Entry.Nodes), summarize(g))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("entry should flow straight to exit: %s", summarize(g))
+	}
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	g := buildFor(t, "if cond {\n a = 1\n} else {\n a = 2\n}\na = 3")
+	// The join block must have both the then and else blocks as
+	// predecessors and carry the trailing statement.
+	var join *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "if.join" {
+			join = blk
+		}
+	}
+	if join == nil {
+		t.Fatalf("no join block: %s", summarize(g))
+	}
+	preds := 0
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if s == join {
+				preds++
+			}
+		}
+	}
+	if preds != 2 {
+		t.Fatalf("join should have 2 predecessors, got %d: %s", preds, summarize(g))
+	}
+	if len(join.Nodes) != 1 {
+		t.Fatalf("join should carry the trailing statement: %s", summarize(g))
+	}
+}
+
+func TestCFGShortCircuitCond(t *testing.T) {
+	// `if cond && cond2` must place cond2 in its own block reached only on
+	// cond's true edge.
+	g := buildFor(t, "if cond && cond2 {\n a = 1\n}")
+	var and *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "cond.and" {
+			and = blk
+		}
+	}
+	if and == nil {
+		t.Fatalf("no cond.and block: %s", summarize(g))
+	}
+	if len(and.Nodes) != 1 {
+		t.Fatalf("cond.and should hold the right operand only: %s", summarize(g))
+	}
+	// Entry (holding cond) branches to cond.and on true and if.join on
+	// false — never straight into the then block.
+	foundEdge := false
+	for _, s := range g.Entry.Succs {
+		if s == and {
+			foundEdge = true
+		}
+		if s.Kind == "if.then" {
+			t.Fatalf("left operand must not reach then directly: %s", summarize(g))
+		}
+	}
+	if !foundEdge {
+		t.Fatalf("entry should branch into cond.and: %s", summarize(g))
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	g := buildFor(t, "for a = 0; a < b; a = a + 1 {\n c = c + 1\n}\nb = 9")
+	var head, post, exit *Block
+	for _, blk := range g.Blocks {
+		switch blk.Kind {
+		case "for.head":
+			head = blk
+		case "for.post":
+			post = blk
+		case "for.exit":
+			exit = blk
+		}
+	}
+	if head == nil || post == nil || exit == nil {
+		t.Fatalf("missing loop blocks: %s", summarize(g))
+	}
+	// The post block must loop back to the head.
+	back := false
+	for _, s := range post.Succs {
+		if s == head {
+			back = true
+		}
+	}
+	if !back {
+		t.Fatalf("post should edge back to head: %s", summarize(g))
+	}
+	if len(exit.Nodes) != 1 {
+		t.Fatalf("exit should carry the statement after the loop: %s", summarize(g))
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g := buildFor(t, "for i := range xs {\n a = i\n}")
+	var head *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "range.head" {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatalf("no range.head: %s", summarize(g))
+	}
+	if len(head.Nodes) != 1 {
+		t.Fatalf("range.head should carry the RangeStmt: %s", summarize(g))
+	}
+	if _, ok := head.Nodes[0].(*ast.RangeStmt); !ok {
+		t.Fatalf("range.head node should be the RangeStmt, got %T", head.Nodes[0])
+	}
+	// Head branches to both body and exit (zero-iteration path).
+	if len(head.Succs) != 2 {
+		t.Fatalf("range.head should have body and exit successors: %s", summarize(g))
+	}
+}
+
+func TestCFGSwitchDefault(t *testing.T) {
+	// With a default clause the dispatch block must NOT edge to the exit
+	// directly; without one it must.
+	withDefault := buildFor(t, "switch a {\ncase 1:\n b = 1\ndefault:\n b = 2\n}")
+	without := buildFor(t, "switch a {\ncase 1:\n b = 1\n}")
+	exitDirect := func(g *CFG) bool {
+		for _, s := range g.Entry.Succs {
+			if s.Kind == "switch.exit" {
+				return true
+			}
+		}
+		return false
+	}
+	if exitDirect(withDefault) {
+		t.Fatalf("default-bearing switch should not fall to exit from dispatch: %s", summarize(withDefault))
+	}
+	if !exitDirect(without) {
+		t.Fatalf("defaultless switch must fall to exit from dispatch: %s", summarize(without))
+	}
+}
+
+func TestCFGFallthrough(t *testing.T) {
+	g := buildFor(t, "switch a {\ncase 1:\n b = 1\n fallthrough\ncase 2:\n b = 2\n}")
+	var cases []*Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "switch.case" {
+			cases = append(cases, blk)
+		}
+	}
+	if len(cases) != 2 {
+		t.Fatalf("want 2 case blocks: %s", summarize(g))
+	}
+	linked := false
+	for _, s := range cases[0].Succs {
+		if s == cases[1] {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatalf("fallthrough should edge case 1 into case 2: %s", summarize(g))
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	g := buildFor(t, "for cond {\n if cond2 {\n  break\n }\n if a < b {\n  continue\n }\n c = 1\n}")
+	var head, exit *Block
+	for _, blk := range g.Blocks {
+		switch blk.Kind {
+		case "for.head":
+			head = blk
+		case "for.exit":
+			exit = blk
+		}
+	}
+	headPreds, exitPreds := 0, 0
+	for _, blk := range reachableBlocks(g) {
+		for _, s := range blk.Succs {
+			if s == head {
+				headPreds++
+			}
+			if s == exit {
+				exitPreds++
+			}
+		}
+	}
+	// head: entry jump, continue, loop-tail back edge. exit: cond false,
+	// break.
+	if headPreds < 3 {
+		t.Fatalf("continue should add a head predecessor (got %d): %s", headPreds, summarize(g))
+	}
+	if exitPreds < 2 {
+		t.Fatalf("break should add an exit predecessor (got %d): %s", exitPreds, summarize(g))
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildFor(t, "L:\nfor cond {\n for cond2 {\n  break L\n }\n}\na = 1")
+	// The inner loop's break L must edge to the OUTER loop's exit.
+	var outerExit *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "for.exit" && len(blk.Nodes) == 1 {
+			outerExit = blk // the outer exit carries the trailing statement
+		}
+	}
+	if outerExit == nil {
+		t.Fatalf("no outer exit carrying trailing stmt: %s", summarize(g))
+	}
+	// Find the block holding the inner cond; its body block must reach
+	// outerExit without passing the outer head.
+	found := false
+	for _, blk := range reachableBlocks(g) {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.BranchStmt); ok {
+				t.Fatalf("branch statements should not appear as nodes")
+			}
+		}
+		for _, s := range blk.Succs {
+			if s == outerExit && blk.Kind == "for.body" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("break L should edge the inner body to the outer exit: %s", summarize(g))
+	}
+}
+
+func TestCFGReturnUnreachable(t *testing.T) {
+	g := buildFor(t, "return\na = 1")
+	seen := reachable(g)
+	for _, blk := range g.Blocks {
+		if blk.Kind == "unreachable" && seen[blk.Index] {
+			t.Fatalf("unreachable block is reachable: %s", summarize(g))
+		}
+		if blk.Kind == "unreachable" && len(blk.Nodes) != 1 {
+			t.Fatalf("statement after return should land in the dead block: %s", summarize(g))
+		}
+	}
+	if !seen[g.Exit.Index] {
+		t.Fatalf("return should reach exit: %s", summarize(g))
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := buildFor(t, "select {\ncase v := <-ch:\n a = v\ncase ch <- a:\n b = 1\n}")
+	cases := 0
+	for _, blk := range reachableBlocks(g) {
+		if blk.Kind == "select.case" {
+			cases++
+		}
+	}
+	if cases != 2 {
+		t.Fatalf("want 2 select case blocks: %s", summarize(g))
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	g := buildFor(t, "if cond {\n goto done\n}\na = 1\ndone:\nb = 2")
+	seen := reachable(g)
+	var target *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "label.done" {
+			target = blk
+		}
+	}
+	if target == nil || !seen[target.Index] {
+		t.Fatalf("goto target should exist and be reachable: %s", summarize(g))
+	}
+}
+
+func reachableBlocks(g *CFG) []*Block {
+	seen := reachable(g)
+	var out []*Block
+	for _, blk := range g.Blocks {
+		if seen[blk.Index] {
+			out = append(out, blk)
+		}
+	}
+	return out
+}

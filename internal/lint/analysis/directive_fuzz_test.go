@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDirective pins the directive grammar: anything starting with
+// "//lint:" is claimed as a directive (ok=true) and must either parse into a
+// lowercase name, or come back with an explicit error — never a silent
+// acceptance of a malformed marker, and never a panic.
+func FuzzParseDirective(f *testing.F) {
+	f.Add("//lint:ignore unitcheck adapter boundary")
+	f.Add("//lint:unit cycles")
+	f.Add("//lint:unit cycles latched at tick")
+	f.Add("//lint:deterministic")
+	f.Add("//lint:")
+	f.Add("//lint: ignore")
+	f.Add("//lint:Unit x")
+	f.Add("//lint:unit\tcycles")
+	f.Add("//lint:ignore")
+	f.Add("// just a comment")
+	f.Add("//lint:unit-cycles")
+	f.Add("//lint:úñit x")
+	f.Add("//lint:ignore unitcheck \x00")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		name, args, ok, err := ParseDirective(text)
+
+		if !strings.HasPrefix(text, "//lint:") {
+			if ok || err != nil || name != "" || args != "" {
+				t.Fatalf("non-directive %q claimed: name=%q args=%q ok=%v err=%v", text, name, args, ok, err)
+			}
+			return
+		}
+
+		// Everything carrying the marker is claimed, parsed or not — that is
+		// what lets CheckDirectives report the malformed ones.
+		if !ok {
+			t.Fatalf("directive-prefixed %q not claimed", text)
+		}
+
+		rest := strings.TrimPrefix(text, "//lint:")
+		wellFormed := false
+		if i := strings.IndexFunc(rest, func(r rune) bool { return r < 'a' || r > 'z' }); i != 0 {
+			if i < 0 {
+				wellFormed = rest != ""
+			} else {
+				wellFormed = rest[i] == ' '
+			}
+		}
+
+		if wellFormed {
+			if err != nil {
+				t.Fatalf("well-formed %q rejected: %v", text, err)
+			}
+			if name == "" {
+				t.Fatalf("well-formed %q parsed to empty name", text)
+			}
+			for _, r := range name {
+				if r < 'a' || r > 'z' {
+					t.Fatalf("name %q from %q contains non-lowercase rune", name, text)
+				}
+			}
+			if args != strings.TrimSpace(args) {
+				t.Fatalf("args %q from %q not trimmed", args, text)
+			}
+		} else if err == nil {
+			t.Fatalf("malformed %q silently accepted: name=%q args=%q", text, name, args)
+		}
+	})
+}

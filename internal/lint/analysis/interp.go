@@ -1,0 +1,82 @@
+package analysis
+
+import "go/ast"
+
+// FlowState is one lattice element of a forward dataflow analysis. The
+// engine owns when states are copied and merged; implementations only
+// define the two structural operations.
+type FlowState interface {
+	// Clone returns an independent copy; the engine mutates clones freely.
+	Clone() FlowState
+	// Join merges other into the receiver (least upper bound) and reports
+	// whether the receiver changed. A fixpoint is reached when no join
+	// changes any block's entry state.
+	Join(other FlowState) bool
+}
+
+// Forward runs a forward abstract interpretation over the CFG: entry seeds
+// the entry block, transfer is applied to each node of a block in order,
+// and out-states propagate to successors with Join at merge points. Loops
+// iterate to a fixpoint (the worklist re-queues a successor whenever its
+// entry state grows). The returned slice holds each block's entry state,
+// indexed by Block.Index; nil marks unreachable blocks.
+//
+// transfer must mutate the given state in place and must be deterministic;
+// it runs multiple times per node on loops, so clients that report
+// diagnostics should converge first and replay reachable blocks once (see
+// ReplayBlocks).
+func Forward(g *CFG, entry FlowState, transfer func(ast.Node, FlowState)) []FlowState {
+	in := make([]FlowState, len(g.Blocks))
+	in[g.Entry.Index] = entry
+
+	work := []int{g.Entry.Index}
+	queued := make([]bool, len(g.Blocks))
+	queued[g.Entry.Index] = true
+
+	// Safety valve: a monotone lattice of finite height converges long
+	// before this; the cap only guards against a buggy Join oscillating.
+	maxSteps := 64*len(g.Blocks) + 256
+
+	for steps := 0; len(work) > 0 && steps < maxSteps; steps++ {
+		idx := work[0]
+		work = work[1:]
+		queued[idx] = false
+
+		out := in[idx].Clone()
+		for _, n := range g.Blocks[idx].Nodes {
+			transfer(n, out)
+		}
+		for _, succ := range g.Blocks[idx].Succs {
+			si := succ.Index
+			changed := false
+			if in[si] == nil {
+				in[si] = out.Clone()
+				changed = true
+			} else if in[si].Join(out) {
+				changed = true
+			}
+			if changed && !queued[si] {
+				work = append(work, si)
+				queued[si] = true
+			}
+		}
+	}
+	return in
+}
+
+// ReplayBlocks applies transfer once to every reachable block, in block
+// order, starting from the converged entry states produced by Forward.
+// This is the reporting pass: each node is visited exactly once with its
+// fixpoint entry state, so diagnostics fire once regardless of how many
+// fixpoint iterations a loop needed.
+func ReplayBlocks(g *CFG, in []FlowState, transfer func(ast.Node, FlowState)) {
+	for _, blk := range g.Blocks {
+		if in[blk.Index] == nil {
+			continue
+		}
+		s := in[blk.Index].Clone()
+		for _, n := range blk.Nodes {
+			transfer(n, s)
+		}
+	}
+}

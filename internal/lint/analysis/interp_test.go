@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// constState is a toy constant-propagation lattice for exercising the
+// engine: variable name -> literal value, with -9 as the "conflicting
+// values" top element.
+const constTop = -9
+
+type constState struct {
+	vars map[string]int64
+}
+
+func (s *constState) Clone() FlowState {
+	m := make(map[string]int64, len(s.vars))
+	for k, v := range s.vars {
+		m[k] = v
+	}
+	return &constState{vars: m}
+}
+
+func (s *constState) Join(other FlowState) bool {
+	o := other.(*constState)
+	changed := false
+	for k, v := range o.vars {
+		cur, ok := s.vars[k]
+		if !ok {
+			s.vars[k] = v
+			changed = true
+			continue
+		}
+		if cur != v && cur != constTop {
+			s.vars[k] = constTop
+			changed = true
+		}
+	}
+	return changed
+}
+
+// constTransfer interprets `x = <int literal>` assignments.
+func constTransfer(n ast.Node, s FlowState) {
+	st := s.(*constState)
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	lit, ok := as.Rhs[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		st.vars[id.Name] = constTop
+		return
+	}
+	v, err := strconv.ParseInt(lit.Value, 0, 64)
+	if err != nil {
+		st.vars[id.Name] = constTop
+		return
+	}
+	st.vars[id.Name] = v
+}
+
+// runConst builds the CFG for body, runs the engine, and returns the CFG
+// plus each block's converged entry state.
+func runConst(t *testing.T, body string) (*CFG, []FlowState) {
+	t.Helper()
+	g := buildFor(t, body)
+	in := Forward(g, &constState{vars: map[string]int64{}}, constTransfer)
+	return g, in
+}
+
+// entryOf returns the converged entry state of the first block of the given
+// kind.
+func entryOf(t *testing.T, g *CFG, in []FlowState, kind string) *constState {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		if blk.Kind == kind {
+			if in[blk.Index] == nil {
+				t.Fatalf("block %s unreachable", kind)
+			}
+			return in[blk.Index].(*constState)
+		}
+	}
+	t.Fatalf("no block of kind %s: %s", kind, summarize(g))
+	return nil
+}
+
+func TestForwardBranchJoinAgreeing(t *testing.T) {
+	g, in := runConst(t, "if cond {\n a = 1\n} else {\n a = 1\n}\nb = 2")
+	join := entryOf(t, g, in, "if.join")
+	if join.vars["a"] != 1 {
+		t.Fatalf("agreeing branches should keep the value, got %d", join.vars["a"])
+	}
+}
+
+func TestForwardBranchJoinConflicting(t *testing.T) {
+	g, in := runConst(t, "if cond {\n a = 1\n} else {\n a = 2\n}\nb = 2")
+	join := entryOf(t, g, in, "if.join")
+	if join.vars["a"] != constTop {
+		t.Fatalf("conflicting branches should join to top, got %d", join.vars["a"])
+	}
+}
+
+func TestForwardOneArmedIf(t *testing.T) {
+	// A variable assigned before the if and reassigned in only one arm must
+	// join to top; one assigned identically stays.
+	g, in := runConst(t, "a = 1\nb = 7\nif cond {\n a = 2\n}\nc = 3")
+	join := entryOf(t, g, in, "if.join")
+	if join.vars["a"] != constTop {
+		t.Fatalf("one-armed reassignment should join to top, got %d", join.vars["a"])
+	}
+	if join.vars["b"] != 7 {
+		t.Fatalf("untouched variable should survive the join, got %d", join.vars["b"])
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	// The loop body reassigns a; the head's fixpoint must reflect both the
+	// initial value and the body's, i.e. top — and the engine must
+	// terminate despite the back edge.
+	g, in := runConst(t, "a = 1\nfor cond {\n a = 2\n}\nb = 3")
+	head := entryOf(t, g, in, "for.head")
+	if head.vars["a"] != constTop {
+		t.Fatalf("loop head should see joined value, got %d", head.vars["a"])
+	}
+	exit := entryOf(t, g, in, "for.exit")
+	if exit.vars["a"] != constTop {
+		t.Fatalf("loop exit should see joined value, got %d", exit.vars["a"])
+	}
+}
+
+func TestForwardLoopInvariant(t *testing.T) {
+	g, in := runConst(t, "a = 1\nfor cond {\n b = 2\n}\nc = 3")
+	exit := entryOf(t, g, in, "for.exit")
+	if exit.vars["a"] != 1 {
+		t.Fatalf("loop-invariant value should survive, got %d", exit.vars["a"])
+	}
+}
+
+func TestForwardShortCircuitPaths(t *testing.T) {
+	// cond2's block runs only on cond's true path; an assignment there
+	// must weaken the join but not erase the straight-line path's value.
+	g, in := runConst(t, "a = 1\nif cond && cond2 {\n a = 2\n}\nb = 3")
+	join := entryOf(t, g, in, "if.join")
+	if join.vars["a"] != constTop {
+		t.Fatalf("then-path reassignment should reach the join as top, got %d", join.vars["a"])
+	}
+}
+
+func TestForwardSwitchJoin(t *testing.T) {
+	g, in := runConst(t, "switch a {\ncase 1:\n b = 1\ncase 2:\n b = 1\ndefault:\n b = 1\n}\nc = 2")
+	exit := entryOf(t, g, in, "switch.exit")
+	if exit.vars["b"] != 1 {
+		t.Fatalf("agreeing cases should keep the value, got %d", exit.vars["b"])
+	}
+}
+
+func TestForwardUnreachableNil(t *testing.T) {
+	g, in := runConst(t, "return\na = 1")
+	for _, blk := range g.Blocks {
+		if blk.Kind == "unreachable" && in[blk.Index] != nil {
+			t.Fatalf("unreachable block should have nil entry state")
+		}
+	}
+	if in[g.Exit.Index] == nil {
+		t.Fatalf("exit should be reachable")
+	}
+}
+
+func TestReplayBlocksVisitsOnce(t *testing.T) {
+	// Forward revisits loop nodes while iterating; ReplayBlocks must apply
+	// the transfer exactly once per reachable node.
+	g := buildFor(t, "a = 1\nfor cond {\n a = 2\n}\nb = 3")
+	in := Forward(g, &constState{vars: map[string]int64{}}, constTransfer)
+	visits := map[ast.Node]int{}
+	ReplayBlocks(g, in, func(n ast.Node, s FlowState) {
+		visits[n]++
+		constTransfer(n, s)
+	})
+	for n, c := range visits {
+		if c != 1 {
+			t.Fatalf("node %T visited %d times in replay", n, c)
+		}
+	}
+	// Every reachable node was visited: 2 straight-line assignments, the
+	// loop condition, the body assignment.
+	if len(visits) != 4 {
+		t.Fatalf("want 4 replayed nodes, got %d", len(visits))
+	}
+}

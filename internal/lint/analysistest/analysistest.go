@@ -100,8 +100,20 @@ func analyze(t *testing.T, dir string, analyzers []*analysis.Analyzer, pkgPath s
 		t.Fatalf("loading fixture %s: %v", pkgPath, err)
 	}
 	facts := analysis.NewFactStore()
+	known := map[string]bool{"ignore": true}
+	names := map[string]bool{}
+	for _, a := range analyzers {
+		names[a.Name] = true
+		for _, d := range a.Directives {
+			known[d] = true
+		}
+		for _, d := range a.Annotations {
+			known[d] = true
+		}
+	}
 	var diags []analysis.Diagnostic
 	for _, pkg := range l.order {
+		diags = append(diags, analysis.CheckDirectives(l.fset, pkg.files, known, names)...)
 		for _, a := range analyzers {
 			capture := a // diagnostics of facts-only passes are not expected
 			report := func(d analysis.Diagnostic) {

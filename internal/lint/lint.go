@@ -64,7 +64,27 @@ func Suite() []*analysis.Analyzer {
 			HookTypes:     []string{"coaxial/internal/validate.Lifecycle"},
 			StatePackages: StatePackages,
 		}),
+		NewUnitCheck(DefaultUnitConfig()),
 	}
+}
+
+// DirectiveNames collects the legitimate //lint: directive vocabulary of an
+// analyzer set: the generic "ignore" suppression plus every analyzer's
+// dedicated directives and annotations. The second map holds the valid
+// //lint:ignore targets (analyzer names).
+func DirectiveNames(analyzers []*analysis.Analyzer) (known, names map[string]bool) {
+	known = map[string]bool{"ignore": true}
+	names = map[string]bool{}
+	for _, a := range analyzers {
+		names[a.Name] = true
+		for _, d := range a.Directives {
+			known[d] = true
+		}
+		for _, d := range a.Annotations {
+			known[d] = true
+		}
+	}
+	return known, names
 }
 
 // Run executes the analyzers over a loaded program in dependency order,
@@ -72,8 +92,12 @@ func Suite() []*analysis.Analyzer {
 // sorted by position.
 func Run(prog *loader.Program, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
 	facts := analysis.NewFactStore()
+	known, names := DirectiveNames(analyzers)
 	var diags []analysis.Diagnostic
 	for _, pkg := range prog.Packages {
+		if pkg.Target {
+			diags = append(diags, analysis.CheckDirectives(prog.Fset, pkg.Files, known, names)...)
+		}
 		for _, a := range analyzers {
 			report := func(d analysis.Diagnostic) {
 				if pkg.Target && !a.FactsOnly {

@@ -64,6 +64,17 @@ type listPackage struct {
 // Load lists patterns in dir (a directory inside the module) and
 // type-checks every module package in the dependency closure.
 func Load(dir string, patterns ...string) (*Program, error) {
+	return LoadOverlay(dir, nil, patterns...)
+}
+
+// LoadOverlay is Load with file substitution: files whose absolute path
+// appears in overlay are parsed from the given contents instead of disk.
+// The package set and build metadata still come from `go list` over the
+// on-disk tree, so an overlay can change file contents (the mutation suite
+// plants dimension bugs this way) but not add or remove files. Overlay
+// contents may add imports freely as long as the imported packages are
+// already in the dependency closure of the listed patterns.
+func LoadOverlay(dir string, overlay map[string][]byte, patterns ...string) (*Program, error) {
 	modulePath, err := goOutput(dir, "list", "-m", "-f", "{{.Path}}")
 	if err != nil {
 		return nil, fmt.Errorf("loader: resolving module: %w", err)
@@ -118,7 +129,7 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		if lp.Error != nil {
 			return nil, fmt.Errorf("loader: %s: %s", lp.ImportPath, lp.Error.Err)
 		}
-		pkg, err := typeCheck(prog, lp, srcPkgs, gcImporter)
+		pkg, err := typeCheck(prog, lp, srcPkgs, gcImporter, overlay)
 		if err != nil {
 			return nil, err
 		}
@@ -130,11 +141,15 @@ func Load(dir string, patterns ...string) (*Program, error) {
 
 // typeCheck parses and checks one module package from source.
 func typeCheck(prog *Program, lp *listPackage, srcPkgs map[string]*Package,
-	gcImporter types.Importer) (*Package, error) {
+	gcImporter types.Importer, overlay map[string][]byte) (*Package, error) {
 	var files []*ast.File
 	for _, name := range lp.GoFiles {
 		path := filepath.Join(lp.Dir, name)
-		f, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		var src any
+		if content, ok := overlay[path]; ok {
+			src = content
+		}
+		f, err := parser.ParseFile(prog.Fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("loader: %s: %w", lp.ImportPath, err)
 		}

@@ -1,0 +1,59 @@
+// Clean fixtures: dimensionally sound code unitcheck must stay silent on —
+// blessed conversions, dimensionless scale factors, joins that genuinely
+// lose information, and cycle-aligned remainders.
+package unitfix
+
+func properAdd(now int64, l Link) int64 {
+	return now + toCycles(l.PortNS)
+}
+
+func properCompare(now int64, t Timing) bool {
+	return now >= t.RCD
+}
+
+func scaleFactor(t Timing) int64 {
+	return 4 * t.RCD // dimensionless literals scale freely
+}
+
+func remAlign(now int64, t Timing) int64 {
+	return now % t.RCD // refresh-style cycle alignment keeps the dimension
+}
+
+func ghzAlgebra(l Link) int64 {
+	return int64(l.PortNS*FreqGHz + 0.5) // ns * GHz = cycles: the conversion itself
+}
+
+// branchJoin loses v's dimension at the merge (cycles on one path, ns on
+// the other): joined-to-unknown must not report downstream.
+func branchJoin(now int64, l Link, cond bool) int64 {
+	v := now
+	if cond {
+		v = int64(l.PortNS)
+	}
+	return v + now
+}
+
+// shortCircuit: the right operand of && only evaluates on the left's true
+// path; its comparison is same-dimension and clean.
+func shortCircuit(now int64, t Timing) bool {
+	return now > 0 && now < t.RCD
+}
+
+// rangeClean: ranging over a slice of cycle stamps yields scalar indices
+// and cycle-valued elements.
+func rangeClean(stamps []int64, t Timing) int64 {
+	var last int64
+	for i, s := range stamps {
+		last = s + int64(i)*t.RCD
+	}
+	return last
+}
+
+// sentinelReturn: dimensionless sentinels (0, -1) are compatible with any
+// declared result dimension.
+func earliest(ready bool, l Link) int64 {
+	if !ready {
+		return -1
+	}
+	return l.readyAt
+}

@@ -1,0 +1,15 @@
+// Suppression fixtures: a justified //lint:ignore unitcheck silences a
+// finding at an intentional reinterpretation boundary; an unjustified one
+// is itself reported. The //lint:unit directive is an annotation, never a
+// suppression — it declares a dimension, it cannot silence a finding.
+package unitfix
+
+func suppressedAdd(now int64, l Link) int64 {
+	//lint:ignore unitcheck adapter boundary reinterprets the port latency deliberately
+	return now + int64(l.PortNS)
+}
+
+func unjustifiedSuppression(now int64, l Link) int64 {
+	//lint:ignore unitcheck
+	return now + int64(l.PortNS) // want `suppression directive //lint:ignore needs a justification`
+}

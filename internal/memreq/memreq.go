@@ -54,25 +54,25 @@ type Request struct {
 	CALM bool
 
 	// Issue is the cycle the request left the L2 miss register.
-	Issue int64
+	Issue int64 //lint:unit cycles
 	// ArriveMC is the cycle the request entered the DDR controller queue
 	// (on the type-3 device for CXL configurations).
-	ArriveMC int64
+	ArriveMC int64 //lint:unit cycles
 	// StartSvc is the cycle the first DRAM command for this request
 	// issued; ArriveMC..StartSvc is the controller queuing delay.
-	StartSvc int64
+	StartSvc int64 //lint:unit cycles
 	// DataDone is the cycle the DRAM data burst finished.
-	DataDone int64
+	DataDone int64 //lint:unit cycles
 	// CXLTime accumulates cycles spent in CXL ports, serialization, and
 	// link arbitration across both directions; 0 for direct DDR.
-	CXLTime int64
+	CXLTime int64 //lint:unit cycles
 	// Spill accumulates cycles spent blocked outside the backend when its
 	// ingress queue was full (counted as queuing delay in breakdowns).
-	Spill int64
+	Spill int64 //lint:unit cycles
 	// AckAt is the earliest cycle the requester allows completion to be
 	// observed (e.g. a CALM access must wait for the LLC's response even
 	// if memory answers first).
-	AckAt int64
+	AckAt int64 //lint:unit cycles
 	// Discard marks a CALM request whose LLC lookup hit: the memory
 	// response is dropped on arrival (wasted bandwidth, a false positive).
 	Discard bool

@@ -1,6 +1,9 @@
 package power
 
-import "coaxial/internal/dram"
+import (
+	"coaxial/internal/clock"
+	"coaxial/internal/dram"
+)
 
 // Counter-based DRAM energy integration, DRAMSim3-style: each command
 // class carries an energy cost derived from DDR5 IDD current specs, plus
@@ -47,12 +50,12 @@ func (e DRAMEnergy) TotalPJ() float64 {
 }
 
 // AveragePowerW converts the integrated energy over windowCycles of the
-// 2.4 GHz clock into average watts.
+// core clock (clock.FreqGHz) into average watts.
 func (e DRAMEnergy) AveragePowerW(windowCycles int64) float64 {
 	if windowCycles <= 0 {
 		return 0
 	}
-	seconds := float64(windowCycles) / 2.4e9
+	seconds := float64(windowCycles) / (clock.FreqGHz * 1e9)
 	return e.TotalPJ() * 1e-12 / seconds
 }
 
@@ -66,7 +69,7 @@ func IntegrateDRAM(c dram.Counters, windowCycles int64, banks int) DRAMEnergy {
 	e.WritePJ = float64(c.WR) * EnergyWRpJ
 	e.RefreshPJ = float64(c.REF) * EnergyREFpJ
 	if windowCycles > 0 && banks > 0 {
-		nsPerCycle := 1.0 / 2.4
+		nsPerCycle := 1.0 / clock.FreqGHz
 		activeBankNS := float64(c.ActiveBankCycles) * nsPerCycle
 		totalBankNS := float64(windowCycles) * float64(banks) * nsPerCycle
 		idleBankNS := totalBankNS - activeBankNS

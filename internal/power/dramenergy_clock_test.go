@@ -1,0 +1,48 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"coaxial/internal/clock"
+	"coaxial/internal/dram"
+)
+
+// TestDRAMEnergyTracksClock pins the wall-time conversions in the energy
+// model to the single clock constant: every expected value below is
+// expressed through clock.FreqGHz, so a frequency change (or a reintroduced
+// hardcoded 2.4) shows up as a mismatch here rather than as a silently
+// skewed power number.
+func TestDRAMEnergyTracksClock(t *testing.T) {
+	const windowCycles = int64(1_000_000)
+
+	// Average power: E/t with t derived from the clock.
+	e := DRAMEnergy{ReadPJ: 3e6}
+	seconds := float64(windowCycles) / (clock.FreqGHz * 1e9)
+	wantW := 3e6 * 1e-12 / seconds
+	if got := e.AveragePowerW(windowCycles); math.Abs(got-wantW) > 1e-15 {
+		t.Errorf("AveragePowerW = %v, want %v (from clock.FreqGHz=%v)", got, wantW, clock.FreqGHz)
+	}
+
+	// Background energy: bank-cycles convert to ns through the same
+	// constant. One bank, half the window active.
+	c := dram.Counters{ActiveBankCycles: uint64(windowCycles / 2)}
+	nsPerCycle := 1.0 / clock.FreqGHz
+	activeNS := float64(windowCycles/2) * nsPerCycle
+	idleNS := float64(windowCycles)*nsPerCycle - activeNS
+	wantBG := activeNS*PowerActStandbyMW + idleNS*PowerPreStandbyMW
+	got := IntegrateDRAM(c, windowCycles, 1)
+	if math.Abs(got.BackgroundPJ-wantBG) > 1e-6 {
+		t.Errorf("BackgroundPJ = %v, want %v (from clock.FreqGHz=%v)", got.BackgroundPJ, wantBG, clock.FreqGHz)
+	}
+
+	// Cross-check the composition: a rank that is active the whole window
+	// must draw exactly the active-standby power regardless of frequency,
+	// because the ns terms cancel in E/t. This catches a conversion applied
+	// on one side but not the other.
+	full := IntegrateDRAM(dram.Counters{ActiveBankCycles: uint64(windowCycles)}, windowCycles, 1)
+	wantFull := PowerActStandbyMW * 1e-3
+	if gotW := full.AveragePowerW(windowCycles); math.Abs(gotW-wantFull) > 1e-12 {
+		t.Errorf("fully-active bank power = %v W, want %v W", gotW, wantFull)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"coaxial/internal/clock"
 )
 
 // Histogram is a fixed-bucket streaming histogram for latency samples
@@ -203,7 +205,7 @@ func GBs(bytes uint64, cycles int64) float64 {
 	if cycles <= 0 {
 		return 0
 	}
-	seconds := float64(cycles) / 2.4e9
+	seconds := float64(cycles) / (clock.FreqGHz * 1e9)
 	return float64(bytes) / 1e9 / seconds
 }
 
