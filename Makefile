@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-baseline vet golden check
+.PHONY: build test race lint lint-baseline vet golden check bench perf-smoke
 
 build:
 	$(GO) build ./...
@@ -34,5 +34,29 @@ lint-baseline:
 # to simulated numbers. Review the testdata/golden diff like code.
 golden:
 	$(GO) test -run TestGoldenResults -update .
+
+# bench regenerates the performance snapshot (BENCH_OUT) in the
+# BENCH_pr<N>.json schema via cmd/coaxial-bench: per-step benchmarks at a
+# fixed iteration count, experiment-window benchmarks repeated so the
+# fastest (least noise-polluted) run is recorded. Override BENCH_PR /
+# BENCH_NOTE / BENCH_OUT when cutting a new snapshot; keep the note honest
+# about what changed and how the numbers were taken.
+BENCH_PR   ?= 6
+BENCH_OUT  ?= BENCH_pr6.json
+BENCH_BASE ?= BENCH_pr2.json
+BENCH_NOTE ?= regenerated locally; see the checked-in snapshot for the PR-cut note
+bench:
+	@( $(GO) test -run '^$$' -bench 'BenchmarkSystemStep(Idle|Loaded)$$' -benchtime 2000000x . ; \
+	   $(GO) test -run '^$$' -bench 'BenchmarkRunWindow$$|BenchmarkRunWindowLoaded$$|BenchmarkRunWindowLoadedSampled$$|BenchmarkRunWindowPooled$$' -benchtime 15x -count 2 . ) \
+	 | tee /dev/stderr \
+	 | $(GO) run ./cmd/coaxial-bench -pr $(BENCH_PR) -baseline $(BENCH_BASE) -note '$(BENCH_NOTE)' > $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)
+
+# perf-smoke is CI's hot-path regression tripwire: the loaded-window
+# benchmark at reduced iterations must stay within 2x of the checked-in
+# snapshot. Deliberately loose so scheduler noise does not flake the build.
+perf-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunWindowLoaded$$' -benchtime 3x -count 2 . \
+	 | $(GO) run ./cmd/coaxial-bench -check $(BENCH_OUT) -factor 2
 
 check: vet lint build test

@@ -1,0 +1,38 @@
+package coaxial
+
+import (
+	"context"
+	"testing"
+)
+
+// TestLoadedWindowAllocBudget pins the steady-state allocation count of a
+// warm loaded experiment window (the BenchmarkRunWindowLoaded configuration:
+// 12 cores, COAXIAL-4x, mix 3). With the request arena recycling memory
+// requests and the SoA hot state reused across windows, a warm window
+// allocates on the order of 1k objects (system construction and cache
+// cloning); the budget below is an order-of-magnitude tripwire for
+// reintroduced per-request or per-cycle allocation, not a tight bound.
+func TestLoadedWindowAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window run in -short mode")
+	}
+	cfg := Coaxial4x()
+	wl := MixWorkloads(3, 12)
+	r := NewRunner(WithSeed(1), WithWindows(100_000, 5_000, 60_000))
+	ctx := context.Background()
+	// Prime the warm snapshot so the measured runs hit the sweep steady
+	// state (see benchRunWindowWarm).
+	if _, err := r.RunMix(ctx, cfg, wl); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := r.RunMix(ctx, cfg, wl); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 10_000
+	if allocs > budget {
+		t.Errorf("warm loaded window allocated %.0f objects, budget %d", allocs, budget)
+	}
+	t.Logf("warm loaded window: %.0f allocs (budget %d)", allocs, budget)
+}

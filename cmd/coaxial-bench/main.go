@@ -1,0 +1,167 @@
+// Command coaxial-bench turns `go test -bench` output into the repo's
+// BENCH_pr<N>.json snapshot format, and checks fresh benchmark output
+// against a checked-in snapshot for CI's perf-smoke gate.
+//
+// Emit a snapshot (benchmarks repeated via -count keep their fastest run):
+//
+//	go test -run '^$' -bench . -benchtime 5x -count 2 . |
+//	    coaxial-bench -pr 6 -baseline BENCH_pr2.json -note "..." > BENCH_pr6.json
+//
+// Gate on regression (fails when any benchmark present in both the fresh
+// output and the snapshot is more than -factor times slower):
+//
+//	go test -run '^$' -bench 'BenchmarkRunWindowLoaded$' -benchtime 3x . |
+//	    coaxial-bench -check BENCH_pr6.json -factor 2
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// benchLine matches a testing benchmark result row:
+// BenchmarkName/sub-8  5  248123456 ns/op  [...]
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench reads `go test -bench` output, returning ns/op per benchmark
+// name (GOMAXPROCS suffix stripped). Repeated names (-count > 1) keep the
+// minimum: the fastest run is the least noise-polluted estimate.
+func parseBench(f *os.File) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || v < prev {
+			out[m[1]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark results on stdin")
+	}
+	return out, nil
+}
+
+// snapshot is the subset of the BENCH_pr<N>.json schema both modes need.
+type snapshot struct {
+	PR         int                `json:"pr"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+func readSnapshot(path string) (snapshot, error) {
+	var s snapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func main() {
+	var (
+		pr       = flag.Int("pr", 0, "PR number for the emitted snapshot")
+		note     = flag.String("note", "", "free-form note recorded in the snapshot")
+		baseline = flag.String("baseline", "", "prior BENCH_pr<N>.json to record baselines and speedups against")
+		check    = flag.String("check", "", "check mode: snapshot to compare stdin against instead of emitting")
+		factor   = flag.Float64("factor", 2.0, "check mode: maximum allowed slowdown vs the snapshot")
+	)
+	flag.Parse()
+
+	cur, err := parseBench(os.Stdin)
+	if err != nil {
+		fail(err)
+	}
+
+	if *check != "" {
+		snap, err := readSnapshot(*check)
+		if err != nil {
+			fail(err)
+		}
+		compared, failed := 0, 0
+		for name, ref := range snap.Benchmarks {
+			got, ok := cur[name]
+			if !ok {
+				continue
+			}
+			compared++
+			ratio := got / ref
+			status := "ok"
+			if ratio > *factor {
+				status = "REGRESSION"
+				failed++
+			}
+			fmt.Printf("%-50s %12.0f -> %12.0f ns/op (%.2fx) %s\n", name, ref, got, ratio, status)
+		}
+		if compared == 0 {
+			fail(fmt.Errorf("no benchmark in stdin matches any name in %s (renamed benchmarks silently skip the gate)", *check))
+		}
+		if failed > 0 {
+			fail(fmt.Errorf("%d of %d benchmarks regressed more than %.1fx vs %s", failed, compared, *factor, *check))
+		}
+		fmt.Printf("%d benchmarks within %.1fx of %s\n", compared, *factor, *check)
+		return
+	}
+
+	doc := map[string]any{
+		"pr":         *pr,
+		"date":       time.Now().Format("2006-01-02"),
+		"go":         "make bench (go test -run '^$' -bench <name> .)",
+		"note":       *note,
+		"benchmarks": round(cur),
+	}
+	if *baseline != "" {
+		snap, err := readSnapshot(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		base := make(map[string]float64)
+		speed := make(map[string]float64)
+		for name, ref := range snap.Benchmarks {
+			if got, ok := cur[name]; ok && got > 0 {
+				base[name] = ref
+				speed[name] = math.Round(100*ref/got) / 100
+			}
+		}
+		doc[fmt.Sprintf("baselines_pr%d", snap.PR)] = base
+		doc[fmt.Sprintf("speedups_vs_pr%d", snap.PR)] = speed
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fail(err)
+	}
+}
+
+// round trims ns/op to two decimals (the precision the per-step
+// nanosecond benchmarks report); window-scale values round to whole ns.
+func round(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = math.Round(v*100) / 100
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "coaxial-bench: %v\n", err)
+	os.Exit(1)
+}

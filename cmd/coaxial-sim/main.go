@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"coaxial"
+	"coaxial/internal/profiling"
 )
 
 var configs = map[string]func() coaxial.Config{
@@ -47,9 +48,19 @@ func main() {
 		par      = flag.Int("parallelism", 0, "tick-phase goroutines (<=1 = sequential; results identical)")
 		clocking = flag.String("clocking", "event", "clock advance: event (skip dead cycles) or cycle (reference loop); results are identical")
 		validate = flag.Bool("validate", false, "run the differential validation harness (DDR timing oracle + lifecycle invariants); observation-only")
+		sampleD  = flag.Uint64("sample-detail", 0, "sampled simulation: detailed-window instructions per core (with -sample-ff)")
+		sampleF  = flag.Uint64("sample-ff", 0, "sampled simulation: fast-forward gap instructions per core (with -sample-detail)")
 		list     = flag.Bool("list", false, "list configurations and workloads")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, profErr := profiling.Start(*cpuProf, *memProf)
+	if profErr != nil {
+		fatalf("%v", profErr)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println("configurations:")
@@ -107,6 +118,12 @@ func main() {
 	}
 	if *validate {
 		opts = append(opts, coaxial.WithValidation())
+	}
+	if *sampleD > 0 || *sampleF > 0 {
+		if *sampleD == 0 || *sampleF == 0 {
+			fatalf("-sample-detail and -sample-ff must both be set")
+		}
+		opts = append(opts, coaxial.WithSampling(*sampleD, *sampleF))
 	}
 	runner := coaxial.NewRunner(opts...)
 

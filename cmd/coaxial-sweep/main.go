@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"coaxial"
+	"coaxial/internal/profiling"
 )
 
 var allConfigs = []struct {
@@ -47,8 +48,16 @@ func main() {
 		workList = flag.String("workloads", "", "comma-separated workload subset (default: all 36)")
 		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		par      = flag.Int("parallelism", 0, "tick-phase goroutines per simulation (<=1 = sequential; results identical)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
 
 	// SIGINT stops the sweep cleanly: in-flight simulations halt at their
 	// next cycle-window boundary and the run exits with the cancellation

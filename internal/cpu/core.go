@@ -41,19 +41,17 @@ type robEntry struct {
 	ready  bool // completion time known
 }
 
-// missEntry tracks one in-flight memory line (an MSHR).
-type missEntry struct {
-	waiters []uint64 // ROB sequence numbers of loads waiting on the fill
-	dirty   bool     // a store merged into this miss: fill dirty (RFO)
-}
-
-// missSlot is one occupied MSHR: the line address and its entry. The MSHR
+// missSlot is one occupied MSHR, stored flat (no per-miss heap entry): the
+// line address, the dirty flag (a store merged into the miss: fill dirty,
+// RFO), and the ROB sequence numbers of loads waiting on the fill. The MSHR
 // file is a flat array scanned linearly — at most `mshrs` (typically 16)
 // slots, which beats a map on every hot query (dispatch's budget check,
-// merge lookups, fills).
+// merge lookups, fills) — and the flat layout keeps those scans on one
+// cache line instead of chasing a pointer per slot.
 type missSlot struct {
-	line uint64
-	m    *missEntry
+	line    uint64
+	dirty   bool
+	waiters []uint64
 }
 
 // deferred is a dependent load whose issue waits on a producer load.
@@ -108,15 +106,20 @@ type Core struct {
 	haveDep    bool
 
 	pending []missSlot // occupied MSHRs (unordered; len <= mshrs)
-	// freeMiss recycles missEntry allocations (and their waiter slices):
-	// every beyond-L2 access parks in an MSHR until the cycle barrier
-	// resolves it, so entry churn is per-access, not per-miss.
-	freeMiss []*missEntry
-	defq     []deferred
+	// freeWaiters recycles waiter-slice backing arrays: every beyond-L2
+	// access parks in an MSHR until the cycle barrier resolves it, so
+	// slice churn would otherwise be per-access, not per-miss.
+	freeWaiters [][]uint64
+	defq        []deferred
 
 	// One fetched-but-undispatched instruction (held across stalls).
 	held    trace.Instr
 	hasHeld bool
+
+	// frozen parks the core for sampled fast-forward: Tick only advances
+	// the clock and NextEvent reports no events, so the memory system can
+	// drain in-flight work without the core dispatching or retiring.
+	frozen bool
 
 	// Event-driven clocking state: lastTick is the last cycle Tick ran;
 	// the skip* fields, latched by NextEvent, describe the per-cycle
@@ -220,6 +223,10 @@ func (c *Core) Tick(now int64) {
 	if now <= c.lastTick {
 		return
 	}
+	if c.frozen {
+		c.lastTick = now
+		return
+	}
 	if now-c.lastTick > 1 {
 		c.catchUp(now)
 	}
@@ -264,6 +271,9 @@ func (c *Core) NextEvent(now int64) int64 {
 	next := int64(math.MaxInt64)
 	c.skipStallDefer = 0
 	c.skipDispatchStallFrom = math.MaxInt64
+	if c.frozen {
+		return next
+	}
 
 	// Retirement: the ROB head's completion unblocks retire (and, the same
 	// cycle, dispatch if the ROB is full). A head already complete means
@@ -291,7 +301,7 @@ func (c *Core) NextEvent(now int64) int64 {
 		d := &c.defq[i]
 		if c.producerDone(d.producer, now) {
 			line := memreq.LineAddr(d.addr)
-			if c.findMiss(line) != nil || len(c.pending) < c.mshrs {
+			if c.findMiss(line) >= 0 || len(c.pending) < c.mshrs {
 				if now+1 < next {
 					next = now + 1
 				}
@@ -329,7 +339,7 @@ func (c *Core) NextEvent(now int64) int64 {
 			// (a state change) instead of stalling; only a
 			// straight-line MSHR miss blocks dispatch outright.
 			defers := c.held.Dependent && have && !c.producerDone(producer, t)
-			if c.findMiss(line) == nil && len(c.pending) >= c.mshrs && !defers {
+			if c.findMiss(line) < 0 && len(c.pending) >= c.mshrs && !defers {
 				blocked = true
 				c.skipDispatchStallFrom = t
 			}
@@ -420,25 +430,29 @@ func (c *Core) retire(now int64) {
 }
 
 func (c *Core) dispatch(now int64) {
-	tokens := c.tokensAt(now)
+	tokens, spent := c.dispatchLoop(now, c.tokensAt(now))
+	// Rebase the closed form only when tokens were consumed: the accrual
+	// expression then stays anchored at the same (base, cycle) pair in
+	// both clocking modes, so float rounding cannot diverge between them.
+	if spent {
+		c.tokenBase = tokens
+		c.tokenBaseCycle = now
+		c.tokenReadyAt = -1
+	}
+}
+
+// dispatchLoop processes up to `width` instructions and returns the
+// remaining token balance plus whether any were consumed. Split from
+// dispatch so the early returns (ILP limit, ROB full, structural stall)
+// need no deferred rebase closure on the per-cycle path.
+func (c *Core) dispatchLoop(now int64, tokens float64) (float64, bool) {
 	spent := false
-	defer func() {
-		// Rebase the closed form only when tokens were consumed: the
-		// accrual expression then stays anchored at the same
-		// (base, cycle) pair in both clocking modes, so float rounding
-		// cannot diverge between them.
-		if spent {
-			c.tokenBase = tokens
-			c.tokenBaseCycle = now
-			c.tokenReadyAt = -1
-		}
-	}()
 	for i := 0; i < width; i++ {
 		if tokens < 1 {
-			return // ILP limit this cycle
+			return tokens, spent // ILP limit this cycle
 		}
 		if c.tailSeq-c.headSeq >= robSize {
-			return // ROB full
+			return tokens, spent // ROB full
 		}
 		if !c.hasHeld {
 			c.gen.Next(&c.held)
@@ -500,9 +514,9 @@ func (c *Core) dispatch(now int64) {
 
 		// Check the MSHR budget before committing to the access; merges
 		// into an in-flight line are always allowed.
-		if c.findMiss(line) == nil && len(c.pending) >= c.mshrs {
+		if c.findMiss(line) < 0 && len(c.pending) >= c.mshrs {
 			c.stats.StallMSHR++
-			return // structural stall: retry next cycle
+			return tokens, spent // structural stall: retry next cycle
 		}
 
 		seq := c.alloc()
@@ -525,6 +539,7 @@ func (c *Core) dispatch(now int64) {
 		spent = true
 		c.hasHeld = false
 	}
+	return tokens, spent
 }
 
 // alloc reserves the next ROB slot.
@@ -542,15 +557,16 @@ func (c *Core) alloc() uint64 {
 func (c *Core) startMem(seq uint64, addr, pc uint64, store bool, now int64) {
 	line := memreq.LineAddr(addr)
 
-	if m := c.findMiss(line); m != nil {
+	if i := c.findMiss(line); i >= 0 {
 		// Merge into the in-flight miss.
+		s := &c.pending[i]
 		if store {
-			m.dirty = true
+			s.dirty = true
 		} else {
 			e := c.robAt(seq)
 			e.ready = false
 			e.doneAt = math.MaxInt64
-			m.waiters = append(m.waiters, seq)
+			s.waiters = append(s.waiters, seq)
 		}
 		return
 	}
@@ -565,29 +581,25 @@ func (c *Core) startMem(seq uint64, addr, pc uint64, store bool, now int64) {
 		return
 	}
 
-	var m *missEntry
-	if n := len(c.freeMiss); n > 0 {
-		m = c.freeMiss[n-1]
-		c.freeMiss = c.freeMiss[:n-1]
-		m.dirty = store
-		m.waiters = m.waiters[:0]
-	} else {
-		m = &missEntry{dirty: store}
-	}
+	var w []uint64
 	if !store {
 		e := c.robAt(seq)
 		e.ready = false
 		e.doneAt = math.MaxInt64
-		m.waiters = append(m.waiters, seq)
+		if n := len(c.freeWaiters); n > 0 {
+			w = c.freeWaiters[n-1]
+			c.freeWaiters = c.freeWaiters[:n-1]
+		}
+		w = append(w, seq)
 	}
-	c.pending = append(c.pending, missSlot{line: line, m: m})
+	c.pending = append(c.pending, missSlot{line: line, dirty: store, waiters: w})
 }
 
 // tryIssueMem issues a deferred access, honoring the MSHR budget. It
 // returns false on a structural stall.
 func (c *Core) tryIssueMem(seq uint64, addr, pc uint64, store bool, now int64) bool {
 	line := memreq.LineAddr(addr)
-	if c.findMiss(line) == nil && len(c.pending) >= c.mshrs {
+	if c.findMiss(line) < 0 && len(c.pending) >= c.mshrs {
 		return false
 	}
 	c.startMem(seq, addr, pc, store, now)
@@ -598,22 +610,16 @@ func (c *Core) tryIssueMem(seq uint64, addr, pc uint64, store bool, now int64) b
 // `when` is the cycle data reaches the core. It returns whether the fill
 // must install dirty (a store merged into the miss) and releases the MSHR.
 func (c *Core) ResolveMiss(line uint64, when int64) (dirty bool) {
-	idx := -1
-	for i := range c.pending {
-		if c.pending[i].line == line {
-			idx = i
-			break
-		}
-	}
+	idx := c.findMiss(line)
 	if idx < 0 {
 		return false
 	}
-	m := c.pending[idx].m
+	s := c.pending[idx]
 	last := len(c.pending) - 1
 	c.pending[idx] = c.pending[last]
 	c.pending[last] = missSlot{}
 	c.pending = c.pending[:last]
-	for _, seq := range m.waiters {
+	for _, seq := range s.waiters {
 		if seq < c.headSeq {
 			continue // already retired (shouldn't happen; defensive)
 		}
@@ -621,19 +627,21 @@ func (c *Core) ResolveMiss(line uint64, when int64) (dirty bool) {
 		e.ready = true
 		e.doneAt = when
 	}
-	c.freeMiss = append(c.freeMiss, m)
-	return m.dirty
+	if s.waiters != nil {
+		c.freeWaiters = append(c.freeWaiters, s.waiters[:0])
+	}
+	return s.dirty
 }
 
-// findMiss returns the in-flight miss for line, or nil. The MSHR set is
+// findMiss returns the MSHR index holding line, or -1. The MSHR set is
 // tiny (≤16 entries), so a linear scan beats a map lookup on the hot path.
-func (c *Core) findMiss(line uint64) *missEntry {
+func (c *Core) findMiss(line uint64) int {
 	for i := range c.pending {
 		if c.pending[i].line == line {
-			return c.pending[i].m
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
 // OutstandingMisses reports the in-flight miss count (tests).
@@ -641,6 +649,25 @@ func (c *Core) OutstandingMisses() int { return len(c.pending) }
 
 // MeasureStart returns the cycle of the last stats reset.
 func (c *Core) MeasureStart() int64 { return c.measureStart }
+
+// RetiredAtFinish returns the retired-count snapshot taken the cycle the
+// retirement target was reached (meaningful only once Done reports true).
+func (c *Core) RetiredAtFinish() uint64 { return c.retiredAtFinish }
+
+// SetFrozen parks or resumes the core for sampled fast-forward. While
+// frozen, Tick only advances the core's clock (no dispatch, retirement, or
+// stall accounting) and NextEvent reports no upcoming events, letting the
+// event-driven loop jump the clock while the memory system drains in-flight
+// work. ResolveMiss still lands fills normally, so outstanding misses
+// complete during the freeze and the core resumes from a quiesced window
+// boundary. Both transitions clear the latched skip-stall accounting:
+// frozen cycles are architecturally inert by construction and must not be
+// retro-counted as stalls when the core thaws.
+func (c *Core) SetFrozen(on bool) {
+	c.frozen = on
+	c.skipStallDefer = 0
+	c.skipDispatchStallFrom = math.MaxInt64
+}
 
 // Gen exposes the instruction generator (for functional cache warmup).
 func (c *Core) Gen() trace.Generator { return c.gen }

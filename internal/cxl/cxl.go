@@ -149,6 +149,14 @@ type Channel struct {
 	// controller (the CXL controller's message queue population).
 	outstanding int
 
+	// retired buffers writes that died inside the channel this backend
+	// phase (committed on the device with no requester completer). Only
+	// collected when collectRetired is set — the simulator drains the
+	// buffer at the cycle barrier to recycle arena requests; raw channel
+	// users leave it off and such requests simply become unreferenced.
+	collectRetired bool
+	retired        []*memreq.Request
+
 	stats Stats
 	now   int64 //lint:unit cycles
 }
@@ -199,8 +207,12 @@ func (c *Channel) Complete(r *memreq.Request, now int64) {
 	if r.Kind == memreq.Write {
 		// Write data was already transferred; no response modeled (CXL
 		// write completions are small NDR messages off the critical path).
+		// A write with no requester completer dies here — buffer it for
+		// the retired drain when collection is on.
 		if r.Inner != nil {
 			r.Inner.Complete(r, now)
+		} else if c.collectRetired {
+			c.retired = append(c.retired, r)
 		}
 		return
 	}
@@ -409,6 +421,24 @@ func (c *Channel) LinkStats() Stats { return c.stats }
 
 // DDR exposes the device's DDR channels (validation taps and tests).
 func (c *Channel) DDR() []*dram.Channel { return c.ddr }
+
+// SetCollectRetired enables buffering of writes that die inside the channel
+// (committed on the device with no requester completer), for the
+// simulator's retired drain. Off by default.
+func (c *Channel) SetCollectRetired(on bool) { c.collectRetired = on }
+
+// DrainRetired hands every buffered retired request to fn and clears the
+// buffer. Call only from the sequential phases of the tick loop.
+func (c *Channel) DrainRetired(fn func(*memreq.Request)) {
+	if len(c.retired) == 0 {
+		return
+	}
+	for i, r := range c.retired {
+		c.retired[i] = nil
+		fn(r)
+	}
+	c.retired = c.retired[:0]
+}
 
 // Outstanding reports requests admitted but not yet accepted by a device
 // DDR controller (the CXL controller's message-queue population).

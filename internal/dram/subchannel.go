@@ -2,28 +2,56 @@ package dram
 
 import (
 	"math"
+	"math/bits"
 
 	"coaxial/internal/memreq"
 )
 
-// bank is the per-bank state machine: open row and the earliest cycles at
-// which each command class may next issue to this bank.
-type bank struct {
-	open       bool
-	row        uint64
-	actAllowed int64 // next ACT (covers tRP after PRE and tRC after ACT)
-	preAllowed int64 // next PRE (covers tRAS, tRTP, write recovery)
-	casAllowed int64 // next CAS (covers tRCD after ACT)
-	lastUse    int64 // last ACT/CAS cycle, for idle precharge
+// entryKey is the decoded coordinate of one queued request: everything the
+// FR-FCFS scans need, packed into 16 bytes. The queues are struct-of-arrays
+// (keys, requests, and seen flags in parallel slices) so the per-cycle scans
+// walk a dense key array instead of pointer-laden entries; the request
+// pointer is only touched when a command actually issues.
+type entryKey struct {
+	row uint64
+	bnk int32
+	grp int32
 }
 
-// entry is a queued request with its decoded bank/row coordinates.
-type entry struct {
-	req  *memreq.Request
-	row  uint64
-	bnk  int32
-	grp  int32
-	seen bool // first command issued (StartSvc recorded)
+// reqQueue is one scheduler queue in struct-of-arrays layout. Indices are
+// shared across the three slices; push/remove keep them in lockstep.
+type reqQueue struct {
+	keys []entryKey
+	reqs []*memreq.Request
+	seen []bool // first command issued (StartSvc recorded)
+}
+
+func newReqQueue(capacity int) reqQueue {
+	return reqQueue{
+		keys: make([]entryKey, 0, capacity),
+		reqs: make([]*memreq.Request, 0, capacity),
+		seen: make([]bool, 0, capacity),
+	}
+}
+
+func (q *reqQueue) len() int { return len(q.keys) }
+
+func (q *reqQueue) push(k entryKey, r *memreq.Request) {
+	q.keys = append(q.keys, k)
+	q.reqs = append(q.reqs, r)
+	q.seen = append(q.seen, false)
+}
+
+// remove deletes index i preserving order (FR-FCFS ages by queue position).
+func (q *reqQueue) remove(i int) {
+	n := len(q.keys) - 1
+	copy(q.keys[i:], q.keys[i+1:])
+	copy(q.reqs[i:], q.reqs[i+1:])
+	copy(q.seen[i:], q.seen[i+1:])
+	q.reqs[n] = nil // drop the stale duplicate so the slot holds no reference
+	q.keys = q.keys[:n]
+	q.reqs = q.reqs[:n]
+	q.seen = q.seen[:n]
 }
 
 // Counters accumulates DRAM activity for bandwidth and power accounting.
@@ -40,14 +68,27 @@ type Counters struct {
 
 // SubChannel models one independent 32-bit DDR5 sub-channel: one rank of
 // banks, its command/data buses, controller queues, and FR-FCFS scheduler.
+//
+// Per-bank state is struct-of-arrays: the readiness timestamps the
+// scheduler scans every cycle live in dense int64 slices indexed by bank,
+// and bank open/closed state is a single uint64 bitmask (like the row-hit
+// mask, this caps the model at 64 banks per sub-channel — DDR5 has 32).
 type SubChannel struct {
 	cfg Config
 	t   Timing
 
-	banks []bank
+	// Per-bank timing state (SoA, indexed by bank).
+	bankRow  []uint64
+	casReady []int64 // next CAS (covers tRCD after ACT)
+	actReady []int64 // next ACT (covers tRP after PRE, tRC after ACT, refresh)
+	preReady []int64 // next PRE (covers tRAS, tRTP, write recovery)
+	lastUse  []int64 // last ACT/CAS cycle, for idle precharge
+	// openMask has bit b set while bank b holds an open row; popcount gives
+	// the open-bank total for background-power integration.
+	openMask uint64
 
-	readQ  []entry
-	writeQ []entry
+	readQ  reqQueue
+	writeQ reqQueue
 
 	arrivals    memreq.TimedHeap
 	completions memreq.TimedHeap
@@ -61,6 +102,24 @@ type SubChannel struct {
 	lastCASGroup int32
 	lastCASWrite bool
 	busFree      int64 // data bus next-free cycle
+
+	// Precomputed readiness gates, so the per-entry checks in the scheduler
+	// scans are pure max-of-timestamps reductions with no timing-rule
+	// branches. Each is a function of the rank-level state above and is
+	// recomputed whenever that state changes (a CAS or ACT issue):
+	//
+	//   casTurn[w][g]  earliest next-CAS cycle imposed by the previous CAS,
+	//                  for a next CAS of kind w (0 read, 1 write) in group
+	//                  relation g (0 different bank group, 1 same group) —
+	//                  the CCD / write-to-read / read-to-write turnaround
+	//                  table evaluated once instead of per queue entry.
+	//   busFloorR/W    earliest CAS cycle at which the data burst would find
+	//                  the bus free (busFree - RL or WL).
+	//   actTurn[g]     earliest next-ACT cycle imposed by tRRD (group
+	//                  relation g) and the four-activate window, fused.
+	casTurn              [2][2]int64
+	busFloorR, busFloorW int64
+	actTurn              [2]int64
 
 	draining   bool
 	refreshing bool
@@ -81,7 +140,6 @@ type SubChannel struct {
 	// this, row-hit-first bypassing is suspended.
 	starvationLimit int64
 
-	openBanks int
 	lastInteg int64
 	idleScan  int // round-robin cursor for idle precharge
 	// idlePreAt caches the earliest cycle an idle-precharge scan could
@@ -90,16 +148,33 @@ type SubChannel struct {
 	// targetCnt counts queued requests (both queues) per bank, maintained
 	// incrementally at arrival pop and CAS retirement so the idle-precharge
 	// paths need no per-scan queue walks to build the protected-bank set.
-	targetCnt []int32
+	// targetMask mirrors it as a bank bitmask (bit set iff count nonzero)
+	// so those scans iterate only open, untargeted banks.
+	targetCnt  []int32
+	targetMask uint64
 	// issueBound caches tryIssue's return — the earliest cycle the command
-	// slot could next be usable — valid only when boundAt equals the cycle
-	// NextEvent is queried at (Tick and NextEvent run back to back).
+	// slot could next be usable over the frozen scheduler state. It stays
+	// exact until that state changes (an arrival pop, an issue, a refresh
+	// step — the latter two force a rescan by setting it to now+1 or
+	// invalidBound), so Tick skips the scan entirely before it. boundAt
+	// records the cycle the bound was last endorsed; NextEvent reuses the
+	// bound only when queried that same cycle (Tick and NextEvent run back
+	// to back) and rescans otherwise.
 	issueBound int64
 	boundAt    int64
 
 	// pendingR/pendingW count requests pushed but not yet arrived, so
 	// queue-depth admission covers in-flight arrivals too.
 	pendingR, pendingW int
+
+	// retired buffers requests that died inside the sub-channel during this
+	// backend phase: write CAS retirements with no completion callback.
+	// Collected only when collectRetired is set (the simulator drains the
+	// buffer at the cycle barrier to recycle arena requests); raw
+	// sub-channel users leave it off and such requests simply become
+	// unreferenced, as before.
+	collectRetired bool
+	retired        []*memreq.Request
 
 	ctr Counters
 
@@ -195,14 +270,33 @@ func (s *SubChannel) Config() Config { return s.cfg }
 // queued in the scheduler, awaiting arrival, or awaiting completion
 // delivery. For validation walks; fn must not mutate the sub-channel.
 func (s *SubChannel) ForEachPending(fn func(*memreq.Request)) {
-	for i := range s.readQ {
-		fn(s.readQ[i].req)
+	for _, r := range s.readQ.reqs {
+		fn(r)
 	}
-	for i := range s.writeQ {
-		fn(s.writeQ[i].req)
+	for _, r := range s.writeQ.reqs {
+		fn(r)
 	}
 	s.arrivals.ForEach(fn)
 	s.completions.ForEach(fn)
+}
+
+// SetCollectRetired enables buffering of requests that retire inside the
+// sub-channel without a completion callback (write CAS retirements with a
+// nil Ret). The simulator drains the buffer with DrainRetired at the cycle
+// barrier to recycle arena-allocated requests. Off by default.
+func (s *SubChannel) SetCollectRetired(on bool) { s.collectRetired = on }
+
+// DrainRetired hands every buffered retired request to fn and clears the
+// buffer. Call only from the sequential phases of the tick loop.
+func (s *SubChannel) DrainRetired(fn func(*memreq.Request)) {
+	if len(s.retired) == 0 {
+		return
+	}
+	for i, r := range s.retired {
+		s.retired[i] = nil
+		fn(r)
+	}
+	s.retired = s.retired[:0]
 }
 
 // NewSubChannel constructs a sub-channel. divisor is the total number of
@@ -212,21 +306,26 @@ func NewSubChannel(cfg Config, divisor int) *SubChannel {
 	if divisor < 1 {
 		divisor = 1
 	}
+	nb := cfg.Banks()
 	s := &SubChannel{
-		cfg:   cfg,
-		t:     cfg.Timing,
-		banks: make([]bank, cfg.Banks()),
+		cfg:      cfg,
+		t:        cfg.Timing,
+		bankRow:  make([]uint64, nb),
+		casReady: make([]int64, nb),
+		actReady: make([]int64, nb),
+		preReady: make([]int64, nb),
+		lastUse:  make([]int64, nb),
 		// Queue occupancy is bounded by the admission check in Enqueue
 		// (len+pending never exceeds the configured depth), so sizing the
 		// backing arrays to capacity up front means the hot scheduler path
 		// never reallocates: arrivals append within capacity and issueCAS's
-		// in-place delete reuses the same array.
-		readQ:           make([]entry, 0, cfg.ReadQueueDepth),
-		writeQ:          make([]entry, 0, cfg.WriteQueueDepth),
-		targetCnt:       make([]int32, cfg.Banks()),
+		// in-place delete reuses the same arrays.
+		readQ:           newReqQueue(cfg.ReadQueueDepth),
+		writeQ:          newReqQueue(cfg.WriteQueueDepth),
+		targetCnt:       make([]int32, nb),
 		divisor:         uint64(divisor),
 		linesPerRow:     uint64(cfg.RowBytes / memreq.LineSize),
-		nBanks:          uint64(cfg.Banks()),
+		nBanks:          uint64(nb),
 		banksPerGrp:     int32(cfg.BanksPerGroup),
 		noPermute:       cfg.DisableBankPermutation,
 		starvationLimit: 8000,
@@ -237,7 +336,59 @@ func NewSubChannel(cfg Config, divisor int) *SubChannel {
 	for i := range s.actTimes {
 		s.actTimes[i] = -1 << 40
 	}
+	s.recomputeCASGates()
+	s.recomputeACTGates()
 	return s
+}
+
+// recomputeCASGates refreshes the precomputed CAS readiness vectors from
+// the rank CAS state (lastCASTime/lastCASWrite/busFree). Called whenever a
+// CAS issues; the table is exactly the turnaround case analysis the old
+// per-entry check performed (read-after-write pays tWTR behind the write
+// burst, write-after-read pays tCCD plus the bus-turnaround bubble,
+// same-kind CAS pairs pay tCCD), evaluated once per issue instead of once
+// per scanned queue entry.
+func (s *SubChannel) recomputeCASGates() {
+	t := s.lastCASTime
+	if s.lastCASWrite {
+		s.casTurn[0][0] = t + s.t.WL + s.t.BURST + s.t.WTRS
+		s.casTurn[0][1] = t + s.t.WL + s.t.BURST + s.t.WTRL
+		s.casTurn[1][0] = t + s.t.CCDS
+		s.casTurn[1][1] = t + s.t.CCDL
+	} else {
+		s.casTurn[0][0] = t + s.t.CCDS
+		s.casTurn[0][1] = t + s.t.CCDL
+		s.casTurn[1][0] = t + s.t.CCDS + s.t.RTW
+		s.casTurn[1][1] = t + s.t.CCDL + s.t.RTW
+	}
+	s.busFloorR = s.busFree - s.t.RL
+	s.busFloorW = s.busFree - s.t.WL
+}
+
+// recomputeACTGates refreshes the precomputed ACT readiness vector from the
+// rank ACT state (lastActTime and the FAW ring). Called whenever an ACT
+// issues.
+func (s *SubChannel) recomputeACTGates() {
+	faw := s.actTimes[s.actIdx] + s.t.FAW
+	a := s.lastActTime + s.t.RRDS
+	if faw > a {
+		a = faw
+	}
+	s.actTurn[0] = a
+	b := s.lastActTime + s.t.RRDL
+	if faw > b {
+		b = faw
+	}
+	s.actTurn[1] = b
+}
+
+// b2i converts a gate-selection predicate to a table index (compiles to a
+// conditional set, keeping the readiness reductions branch-free).
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // decode maps a line-aligned address to (row, bank, bankGroup) using an
@@ -264,11 +415,11 @@ func (s *SubChannel) decode(addr uint64) (row uint64, bnk, grp int32) {
 // requests) is at capacity.
 func (s *SubChannel) Enqueue(r *memreq.Request, at int64) bool {
 	if r.Kind == memreq.Write {
-		if len(s.writeQ)+s.pendingOf(memreq.Write) >= s.cfg.WriteQueueDepth {
+		if s.writeQ.len()+s.pendingW >= s.cfg.WriteQueueDepth {
 			return false
 		}
 	} else {
-		if len(s.readQ)+s.pendingOf(memreq.Read) >= s.cfg.ReadQueueDepth {
+		if s.readQ.len()+s.pendingR >= s.cfg.ReadQueueDepth {
 			return false
 		}
 	}
@@ -284,17 +435,10 @@ func (s *SubChannel) Enqueue(r *memreq.Request, at int64) bool {
 	return true
 }
 
-func (s *SubChannel) pendingOf(k memreq.Kind) int {
-	if k == memreq.Write {
-		return s.pendingW
-	}
-	return s.pendingR
-}
-
 // QueueOccupancy reports current read/write queue depths including
 // in-flight arrivals (for backpressure decisions by the CXL layer).
 func (s *SubChannel) QueueOccupancy() (reads, writes int) {
-	return len(s.readQ) + s.pendingR, len(s.writeQ) + s.pendingW
+	return s.readQ.len() + s.pendingR, s.writeQ.len() + s.pendingW
 }
 
 // Counters returns a copy of the activity counters (after integrating
@@ -326,7 +470,7 @@ func (s *SubChannel) Sync(now int64) {
 
 func (s *SubChannel) integrate(now int64) {
 	if now > s.lastInteg {
-		s.ctr.ActiveBankCycles += uint64(s.openBanks) * uint64(now-s.lastInteg)
+		s.ctr.ActiveBankCycles += uint64(bits.OnesCount64(s.openMask)) * uint64(now-s.lastInteg)
 		s.lastInteg = now
 	}
 }
@@ -353,20 +497,23 @@ func (s *SubChannel) Tick(now int64) {
 	}
 
 	// Move due arrivals into the scheduler queues.
+	arrived := false
 	for {
 		r, ok := s.arrivals.PopDue(now)
 		if !ok {
 			break
 		}
+		arrived = true
 		row, bnk, grp := s.decode(r.Addr)
 		r.ArriveMC = now
-		e := entry{req: r, row: row, bnk: bnk, grp: grp}
 		s.targetCnt[bnk]++
+		s.targetMask |= 1 << uint(bnk)
+		k := entryKey{row: row, bnk: bnk, grp: grp}
 		if r.Kind == memreq.Write {
-			s.writeQ = append(s.writeQ, e)
+			s.writeQ.push(k, r)
 			s.pendingW--
 		} else {
-			s.readQ = append(s.readQ, e)
+			s.readQ.push(k, r)
 			s.pendingR--
 		}
 	}
@@ -374,9 +521,14 @@ func (s *SubChannel) Tick(now int64) {
 	if s.cfg.SameBankRefresh {
 		// Fine-granularity refresh: each due REFsb blocks only its bank.
 		if now >= s.sbDue {
+			s.issueBound = invalidBound // REFsb path mutates bank state
 			if s.stepRefreshSameBank(now) {
 				return // command slot consumed this cycle
 			}
+		}
+		if !arrived && now < s.issueBound {
+			s.boundAt = now
+			return
 		}
 		s.issueBound = s.tryIssue(now)
 		s.boundAt = now
@@ -393,6 +545,9 @@ func (s *SubChannel) Tick(now int64) {
 	// Refresh has priority once due: quiesce (precharge all banks), then
 	// hold the rank for tRFC.
 	if now >= s.refreshDue {
+		// Quiesce PREs and the REF itself mutate bank state without going
+		// through tryIssue; force a rescan on the next normal tick.
+		s.issueBound = invalidBound
 		if s.stepRefresh(now) {
 			return
 		}
@@ -400,6 +555,18 @@ func (s *SubChannel) Tick(now int64) {
 		return
 	}
 
+	// The last scan's bound is still exact when the frozen scheduler state
+	// is unchanged since it was computed: no arrival joined a queue this
+	// tick, no command issued (an issue returns a bound of now+1, forcing
+	// the next tick to rescan), and no refresh sequence ran (invalidated
+	// above). Every per-entry gate in tryIssue is a constant of that state
+	// — including the starvation guard's activation cycle, which the scan
+	// folds into the bound — so before the bound the slot is provably
+	// unusable and the scan would issue nothing and change nothing.
+	if !arrived && now < s.issueBound {
+		s.boundAt = now
+		return
+	}
 	s.issueBound = s.tryIssue(now)
 	s.boundAt = now
 }
@@ -407,7 +574,7 @@ func (s *SubChannel) Tick(now int64) {
 // NextEvent returns the earliest cycle after now at which Tick could make
 // progress. Between ticks the scheduler state is frozen — queue contents
 // change only when Tick pops an arrival or issues a CAS, and every timing
-// gate (casAllowed, bus turnaround, actAllowed, tRRD, tFAW, preAllowed,
+// gate (casReady, bus turnaround, actReady, tRRD, tFAW, preReady,
 // starvation age) is a monotone threshold on now over that frozen state —
 // so the first cycle any command could issue is exactly computable
 // (nextIssueAt). The candidates are: that bound, the next arrival, the
@@ -441,7 +608,7 @@ func (s *SubChannel) NextEvent(now int64) int64 {
 			// next arrival; with queued work the first possible command
 			// cycle is refreshEnd itself.
 			blocked = true
-			if (len(s.readQ) > 0 || len(s.writeQ) > 0) && s.refreshEnd < next {
+			if (s.readQ.len() > 0 || s.writeQ.len() > 0) && s.refreshEnd < next {
 				next = s.refreshEnd
 			}
 		}
@@ -455,7 +622,7 @@ func (s *SubChannel) NextEvent(now int64) int64 {
 		// REFsb PRE windows); the scheduler bound cannot be earlier.
 		return now + 1
 	}
-	if !blocked && (len(s.readQ) > 0 || len(s.writeQ) > 0) {
+	if !blocked && (s.readQ.len() > 0 || s.writeQ.len() > 0) {
 		// Tick's scheduling decision already computed the bound over
 		// exactly this frozen state; reuse it when NextEvent is queried
 		// the same cycle (the normal Tick/NextEvent pairing) and fall
@@ -490,14 +657,14 @@ func (s *SubChannel) nextIssueAt() int64 {
 	// frozen queue lengths: it is idempotent until the lengths change.
 	draining := s.draining
 	if draining {
-		if len(s.writeQ) <= s.cfg.WriteLow {
+		if s.writeQ.len() <= s.cfg.WriteLow {
 			draining = false
 		}
-	} else if len(s.writeQ) >= s.cfg.WriteHigh {
+	} else if s.writeQ.len() >= s.cfg.WriteHigh {
 		draining = true
 	}
 	useWrites := draining
-	if !useWrites && len(s.readQ) == 0 && len(s.writeQ) > 0 {
+	if !useWrites && s.readQ.len() == 0 && s.writeQ.len() > 0 {
 		useWrites = true
 	}
 	q := &s.readQ
@@ -506,36 +673,42 @@ func (s *SubChannel) nextIssueAt() int64 {
 		q = &s.writeQ
 		isWrite = true
 	}
-	if len(*q) == 0 {
+	keys := q.keys
+	if len(keys) == 0 {
 		return math.MaxInt64
 	}
 
-	var hitMask uint64
-	for i := range *q {
-		e := &(*q)[i]
-		b := &s.banks[e.bnk]
-		if b.open && b.row == e.row {
-			hitMask |= 1 << uint(e.bnk)
-		}
+	turn := &s.casTurn[b2i(isWrite)]
+	busFloor := s.busFloorR
+	if isWrite {
+		busFloor = s.busFloorW
 	}
+
+	hitMask := s.hitMask(keys)
 
 	earliest := int64(math.MaxInt64)
 
 	// Starvation guard: once the oldest request's age crosses the limit it
 	// is served exclusively, through whichever command its bank state
 	// needs — including a PRE that row-hit protection would veto below.
-	oldest := &(*q)[0]
-	g := int64(0)
-	b := &s.banks[oldest.bnk]
+	k0 := &keys[0]
+	var g int64
+	open0 := s.openMask&(1<<uint(k0.bnk)) != 0
 	switch {
-	case b.open && b.row == oldest.row:
-		g = s.earliestCAS(oldest, isWrite)
-	case !b.open:
-		g = s.earliestACT(oldest)
+	case open0 && s.bankRow[k0.bnk] == k0.row:
+		g = s.casReady[k0.bnk]
+		if v := turn[b2i(k0.grp == s.lastCASGroup)]; v > g {
+			g = v
+		}
+		if busFloor > g {
+			g = busFloor
+		}
+	case !open0:
+		g = s.earliestACT(k0.bnk, k0.grp)
 	default:
-		g = b.preAllowed
+		g = s.preReady[k0.bnk]
 	}
-	if t0 := oldest.req.ArriveMC + s.starvationLimit + 1; g < t0 {
+	if t0 := q.reqs[0].ArriveMC + s.starvationLimit + 1; g < t0 {
 		g = t0
 	}
 	if g < earliest {
@@ -543,17 +716,24 @@ func (s *SubChannel) nextIssueAt() int64 {
 	}
 
 	// Passes 1–3: row-hit CAS, closed-bank ACT, unprotected-conflict PRE.
-	for i := range *q {
-		e := &(*q)[i]
-		b := &s.banks[e.bnk]
+	for i := range keys {
+		k := &keys[i]
+		bit := uint64(1) << uint(k.bnk)
+		open := s.openMask&bit != 0
 		var t int64
 		switch {
-		case b.open && b.row == e.row:
-			t = s.earliestCAS(e, isWrite)
-		case !b.open:
-			t = s.earliestACT(e)
-		case hitMask&(1<<uint(e.bnk)) == 0:
-			t = b.preAllowed
+		case open && s.bankRow[k.bnk] == k.row:
+			t = s.casReady[k.bnk]
+			if v := turn[b2i(k.grp == s.lastCASGroup)]; v > t {
+				t = v
+			}
+			if busFloor > t {
+				t = busFloor
+			}
+		case !open:
+			t = s.earliestACT(k.bnk, k.grp)
+		case hitMask&bit == 0:
+			t = s.preReady[k.bnk]
 		default:
 			continue // conflict on a bank with protected row hits
 		}
@@ -563,81 +743,43 @@ func (s *SubChannel) nextIssueAt() int64 {
 	}
 
 	// Pass 4: idle precharge of a stale open bank no queued request
-	// targets (targetCnt spans both queues). Untargeting a bank requires a
-	// queue entry to leave (a CAS — a tick), so excluding targeted banks
+	// targets (targetMask spans both queues). Untargeting a bank requires
+	// a queue entry to leave (a CAS — a tick), so excluding targeted banks
 	// here is sound.
-	if s.openBanks > 0 {
-		for i := range s.banks {
-			bb := &s.banks[i]
-			if !bb.open || s.targetCnt[i] != 0 {
-				continue
-			}
-			t := bb.lastUse + idlePreTimeout + 1
-			if bb.preAllowed > t {
-				t = bb.preAllowed
-			}
-			if t < earliest {
-				earliest = t
-			}
+	for m := s.openMask &^ s.targetMask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		t := s.lastUse[i] + idlePreTimeout + 1
+		if s.preReady[i] > t {
+			t = s.preReady[i]
+		}
+		if t < earliest {
+			earliest = t
 		}
 	}
 	return earliest
 }
 
-// earliestCAS returns the exact first cycle casOK(e, isWrite, ·) holds
-// over the frozen state: the max of the bank CAS window, the CCD/turnaround
-// window after the previous CAS, and the cycle the data bus frees up.
-func (s *SubChannel) earliestCAS(e *entry, isWrite bool) int64 {
-	t := s.banks[e.bnk].casAllowed
-	sameGroup := e.grp == s.lastCASGroup
-	var turn int64
-	switch {
-	case !isWrite && s.lastCASWrite:
-		wtr := s.t.WTRS
-		if sameGroup {
-			wtr = s.t.WTRL
+// hitMask builds the per-bank mask of banks whose open row has queued hits;
+// precharging such a bank would throw away guaranteed row hits.
+func (s *SubChannel) hitMask(keys []entryKey) uint64 {
+	var mask uint64
+	for i := range keys {
+		k := &keys[i]
+		bit := uint64(1) << uint(k.bnk)
+		if s.openMask&bit != 0 && s.bankRow[k.bnk] == k.row {
+			mask |= bit
 		}
-		turn = s.lastCASTime + s.t.WL + s.t.BURST + wtr
-	case isWrite && !s.lastCASWrite:
-		ccd := s.t.CCDS
-		if sameGroup {
-			ccd = s.t.CCDL
-		}
-		turn = s.lastCASTime + ccd + s.t.RTW
-	default:
-		ccd := s.t.CCDS
-		if sameGroup {
-			ccd = s.t.CCDL
-		}
-		turn = s.lastCASTime + ccd
 	}
-	if turn > t {
-		t = turn
-	}
-	lat := s.t.RL
-	if isWrite {
-		lat = s.t.WL
-	}
-	if bf := s.busFree - lat; bf > t {
-		t = bf
-	}
-	return t
+	return mask
 }
 
-// earliestACT returns the exact first cycle actOK(e, ·) holds over the
-// frozen state: the max of the bank tRP/tRC window, the rank tRRD window,
-// and the four-activate window.
-func (s *SubChannel) earliestACT(e *entry) int64 {
-	t := s.banks[e.bnk].actAllowed
-	rrd := s.t.RRDS
-	if e.grp == s.lastActGroup {
-		rrd = s.t.RRDL
-	}
-	if a := s.lastActTime + rrd; a > t {
-		t = a
-	}
-	if f := s.actTimes[s.actIdx] + s.t.FAW; f > t {
-		t = f
+// earliestACT returns the exact first cycle an ACT for (bnk, grp) could
+// issue over the frozen state: the max of the bank tRP/tRC window and the
+// precomputed rank gate (tRRD and the four-activate window, fused).
+func (s *SubChannel) earliestACT(bnk, grp int32) int64 {
+	t := s.actReady[bnk]
+	if v := s.actTurn[b2i(grp == s.lastActGroup)]; v > t {
+		t = v
 	}
 	return t
 }
@@ -645,27 +787,23 @@ func (s *SubChannel) earliestACT(e *entry) int64 {
 // stepRefresh drives the quiesce-then-REF sequence. It returns true if the
 // command slot was consumed (or the rank is still waiting on timing).
 func (s *SubChannel) stepRefresh(now int64) bool {
-	allClosed := true
-	for i := range s.banks {
-		b := &s.banks[i]
-		if b.open {
-			allClosed = false
-			if now >= b.preAllowed {
-				s.issuePRE(int32(i), now)
+	if s.openMask != 0 {
+		for m := s.openMask; m != 0; m &= m - 1 {
+			i := int32(bits.TrailingZeros64(m))
+			if now >= s.preReady[i] {
+				s.issuePRE(i, now)
 				return true
 			}
 		}
-	}
-	if !allClosed {
 		return true // waiting for a PRE window
 	}
 	// All banks precharged: issue REF.
 	s.refreshing = true
 	s.refreshEnd = now + s.t.RFC
 	s.refreshDue += s.t.REFI
-	for i := range s.banks {
-		if a := s.refreshEnd; a > s.banks[i].actAllowed {
-			s.banks[i].actAllowed = a
+	for i := range s.actReady {
+		if s.refreshEnd > s.actReady[i] {
+			s.actReady[i] = s.refreshEnd
 		}
 	}
 	s.ctr.REF++
@@ -681,7 +819,7 @@ func (s *SubChannel) stepRefresh(now int64) bool {
 // Slot semantics: a pending REFsb consumes the cycle's single command slot
 // only when it actually issues a command — the quiescing PRE for an open
 // victim bank, or the REFsb itself once the bank is closed. While the
-// victim bank sits open inside its tRAS/tRTP/tWR window (now < preAllowed),
+// victim bank sits open inside its tRAS/tRTP/tWR window (now < preReady),
 // no command can issue for the refresh, so the slot is NOT consumed and
 // ordinary FR-FCFS scheduling proceeds: other banks keep serving row hits
 // and activates. Only the victim bank stalls. This is the point of
@@ -689,23 +827,23 @@ func (s *SubChannel) stepRefresh(now int64) bool {
 // and blocks the entire rank for tRFC; TestSameBankRefreshSlotSemantics
 // pins this behaviour.
 func (s *SubChannel) stepRefreshSameBank(now int64) bool {
-	b := &s.banks[s.sbNext]
-	if b.open {
-		if now >= b.preAllowed {
-			s.issuePRE(s.sbNext, now)
+	b := s.sbNext
+	if s.openMask&(1<<uint(b)) != 0 {
+		if now >= s.preReady[b] {
+			s.issuePRE(b, now)
 			return true
 		}
 		return false // PRE window closed: slot unused, other banks proceed
 	}
 	// Bank closed: issue REFsb, blocking only this bank.
 	blockUntil := now + s.t.RFCsb
-	if blockUntil > b.actAllowed {
-		b.actAllowed = blockUntil
+	if blockUntil > s.actReady[b] {
+		s.actReady[b] = blockUntil
 	}
 	s.ctr.REF++
-	s.trace(CmdREF, s.sbNext, s.sbNext/s.banksPerGrp, 0, now)
-	s.sbNext = (s.sbNext + 1) % int32(len(s.banks))
-	s.sbDue += s.t.REFI / int64(len(s.banks))
+	s.trace(CmdREF, b, b/s.banksPerGrp, 0, now)
+	s.sbNext = (s.sbNext + 1) % int32(len(s.bankRow))
+	s.sbDue += s.t.REFI / int64(len(s.bankRow))
 	return true
 }
 
@@ -719,18 +857,23 @@ func (s *SubChannel) stepRefreshSameBank(now int64) bool {
 // When nothing issues, the bound is exact over the frozen state: the
 // minimum over every candidate's gate-opening cycle, matching what
 // nextIssueAt would compute.
+//
+// Every readiness check is a max-of-timestamps reduction over the
+// precomputed gate vectors (casTurn/busFloor/actTurn) — the timing-rule
+// case analysis runs once per issue (recompute*Gates), not once per
+// scanned entry, so the inner loop is a predictable min/max reduction.
 func (s *SubChannel) tryIssue(now int64) int64 {
 	// Write-drain hysteresis.
 	if s.draining {
-		if len(s.writeQ) <= s.cfg.WriteLow {
+		if s.writeQ.len() <= s.cfg.WriteLow {
 			s.draining = false
 		}
-	} else if len(s.writeQ) >= s.cfg.WriteHigh {
+	} else if s.writeQ.len() >= s.cfg.WriteHigh {
 		s.draining = true
 	}
 
 	useWrites := s.draining
-	if !useWrites && len(s.readQ) == 0 && len(s.writeQ) > 0 {
+	if !useWrites && s.readQ.len() == 0 && s.writeQ.len() > 0 {
 		useWrites = true // opportunistic write issue on an idle read queue
 	}
 
@@ -740,51 +883,57 @@ func (s *SubChannel) tryIssue(now int64) int64 {
 		q = &s.writeQ
 		isWrite = true
 	}
-	if len(*q) == 0 {
+	keys := q.keys
+	if len(keys) == 0 {
 		return math.MaxInt64 // both queues empty: only arrivals create work
 	}
 
-	// Per-bank mask of banks whose open row has queued hits; precharging
-	// such a bank would throw away guaranteed row hits.
-	var hitMask uint64
-	for i := range *q {
-		e := &(*q)[i]
-		b := &s.banks[e.bnk]
-		if b.open && b.row == e.row {
-			hitMask |= 1 << uint(e.bnk)
-		}
+	turn := &s.casTurn[b2i(isWrite)]
+	busFloor := s.busFloorR
+	if isWrite {
+		busFloor = s.busFloorW
 	}
+
+	hitMask := s.hitMask(keys)
 
 	earliest := int64(math.MaxInt64)
 
 	// Starvation guard: when the oldest request has waited pathologically
 	// long, serve it exclusively this slot (ignoring row-hit protection).
-	if oldest := &(*q)[0]; now-oldest.req.ArriveMC > s.starvationLimit {
-		b := &s.banks[oldest.bnk]
+	if now-q.reqs[0].ArriveMC > s.starvationLimit {
+		k0 := &keys[0]
+		open0 := s.openMask&(1<<uint(k0.bnk)) != 0
 		switch {
-		case b.open && b.row == oldest.row:
-			if s.casOK(oldest, isWrite, now) {
+		case open0 && s.bankRow[k0.bnk] == k0.row:
+			t := s.casReady[k0.bnk]
+			if v := turn[b2i(k0.grp == s.lastCASGroup)]; v > t {
+				t = v
+			}
+			if busFloor > t {
+				t = busFloor
+			}
+			if t <= now {
 				s.issueCAS(q, 0, isWrite, now)
 				return now + 1
 			}
-		case !b.open:
-			if s.actOK(oldest, now) {
-				s.issueACT(oldest, now)
+		case !open0:
+			if s.earliestACT(k0.bnk, k0.grp) <= now {
+				s.issueACT(q, 0, now)
 				return now + 1
 			}
 		default:
-			if now >= b.preAllowed {
-				if !oldest.seen {
-					oldest.seen = true
-					oldest.req.StartSvc = now
+			if now >= s.preReady[k0.bnk] {
+				if !q.seen[0] {
+					q.seen[0] = true
+					q.reqs[0].StartSvc = now
 				}
-				s.issuePRE(oldest.bnk, now)
+				s.issuePRE(k0.bnk, now)
 				return now + 1
 			}
 			// Protected-conflict oldest: the guard is the only path that
 			// may precharge it, so its PRE window bounds the slot.
-			if b.preAllowed < earliest {
-				earliest = b.preAllowed
+			if s.preReady[k0.bnk] < earliest {
+				earliest = s.preReady[k0.bnk]
 			}
 		}
 		// The oldest request's own timing blocks it; let others proceed.
@@ -793,10 +942,11 @@ func (s *SubChannel) tryIssue(now int64) int64 {
 		// servable (via the guard's PRE) once its age crosses the limit.
 		// Other classes are covered by the fused pass below, whose
 		// candidates can only be earlier than the guard's.
-		b := &s.banks[oldest.bnk]
-		if b.open && b.row != oldest.row && hitMask&(1<<uint(oldest.bnk)) != 0 {
-			g := b.preAllowed
-			if t0 := oldest.req.ArriveMC + s.starvationLimit + 1; g < t0 {
+		k0 := &keys[0]
+		bit0 := uint64(1) << uint(k0.bnk)
+		if s.openMask&bit0 != 0 && s.bankRow[k0.bnk] != k0.row && hitMask&bit0 != 0 {
+			g := s.preReady[k0.bnk]
+			if t0 := q.reqs[0].ArriveMC + s.starvationLimit + 1; g < t0 {
 				g = t0
 			}
 			if g < earliest {
@@ -812,31 +962,39 @@ func (s *SubChannel) tryIssue(now int64) int64 {
 	// conflict PRE, are remembered while the scan completes (a later
 	// issuable CAS still has priority over either).
 	actIdx, preIdx := -1, -1
-	for i := range *q {
-		e := &(*q)[i]
-		b := &s.banks[e.bnk]
+	for i := range keys {
+		k := &keys[i]
+		bit := uint64(1) << uint(k.bnk)
+		open := s.openMask&bit != 0
 		switch {
-		case b.open && b.row == e.row:
-			if t := s.earliestCAS(e, isWrite); t <= now {
+		case open && s.bankRow[k.bnk] == k.row:
+			t := s.casReady[k.bnk]
+			if v := turn[b2i(k.grp == s.lastCASGroup)]; v > t {
+				t = v
+			}
+			if busFloor > t {
+				t = busFloor
+			}
+			if t <= now {
 				s.issueCAS(q, i, isWrite, now)
 				return now + 1
 			} else if t < earliest {
 				earliest = t
 			}
-		case !b.open:
+		case !open:
 			if actIdx >= 0 {
 				continue
 			}
-			if t := s.earliestACT(e); t <= now {
+			if t := s.earliestACT(k.bnk, k.grp); t <= now {
 				actIdx = i
 			} else if t < earliest {
 				earliest = t
 			}
-		case hitMask&(1<<uint(e.bnk)) == 0:
+		case hitMask&bit == 0:
 			if preIdx >= 0 {
 				continue
 			}
-			if t := b.preAllowed; t <= now {
+			if t := s.preReady[k.bnk]; t <= now {
 				preIdx = i
 			} else if t < earliest {
 				earliest = t
@@ -848,16 +1006,15 @@ func (s *SubChannel) tryIssue(now int64) int64 {
 	}
 
 	if actIdx >= 0 {
-		s.issueACT(&(*q)[actIdx], now)
+		s.issueACT(q, actIdx, now)
 		return now + 1
 	}
 	if preIdx >= 0 {
-		e := &(*q)[preIdx]
-		if !e.seen {
-			e.seen = true
-			e.req.StartSvc = now
+		if !q.seen[preIdx] {
+			q.seen[preIdx] = true
+			q.reqs[preIdx].StartSvc = now
 		}
-		s.issuePRE(e.bnk, now)
+		s.issuePRE(keys[preIdx].bnk, now)
 		return now + 1
 	}
 
@@ -873,6 +1030,12 @@ func (s *SubChannel) tryIssue(now int64) int64 {
 // idlePreTimeout is the open-row idle window before speculative precharge.
 const idlePreTimeout = 120
 
+// invalidBound marks issueBound as stale (any past cycle would do): the
+// next normal tick rescans instead of trusting the cached bound. Set by
+// the refresh paths, which mutate bank state without going through
+// tryIssue.
+const invalidBound = math.MinInt64
+
 // tryIdlePrecharge closes one stale open bank, if any, and returns the
 // earliest cycle a currently open, untargeted bank could become eligible
 // (now+1 when a PRE issued). Banks targeted by any queued request — in
@@ -880,39 +1043,41 @@ const idlePreTimeout = 120
 // pending ACT would only be delayed by tRP anyway, and row hits would be
 // thrown away. A fruitless scan caches the bound in idlePreAt so the
 // per-cycle fast path is a single compare: re-scanning before it is
-// provably fruitless because an untargeted bank's lastUse and preAllowed
+// provably fruitless because an untargeted bank's lastUse and preReady
 // only ever move its eligibility later, banks opened after the scan are
 // both targeted (their ACT served a queued entry) and fresh, closed banks
 // drop out, and the one transition that could make a bank eligible
 // *earlier* — losing its last targeting entry, which happens only when a
 // CAS retires it — invalidates the cache at the issueCAS site.
 func (s *SubChannel) tryIdlePrecharge(now int64) int64 {
-	if s.openBanks == 0 {
+	if s.openMask == 0 {
 		return math.MaxInt64
 	}
 	if now < s.idlePreAt {
 		return s.idlePreAt
 	}
 	start := s.idleScan
-	n := len(s.banks)
 	earliest := int64(math.MaxInt64)
-	for k := 0; k < n; k++ {
-		i := (start + k) % n
-		b := &s.banks[i]
-		if !b.open || s.targetCnt[i] != 0 {
-			continue
-		}
-		if now >= b.preAllowed && now-b.lastUse > idlePreTimeout {
-			s.issuePRE(int32(i), now)
-			s.idleScan = i + 1
-			return now + 1
-		}
-		e := b.lastUse + idlePreTimeout + 1
-		if b.preAllowed > e {
-			e = b.preAllowed
-		}
-		if e < earliest {
-			earliest = e
+	// Candidates are exactly the open, untargeted banks; walk their mask
+	// in the historical round-robin order (banks >= start ascending, then
+	// the wrap-around below start) instead of probing every bank index.
+	elig := s.openMask &^ s.targetMask
+	hi := elig & (^uint64(0) << uint(start))
+	for _, m := range [2]uint64{hi, elig &^ hi} {
+		for ; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if now >= s.preReady[i] && now-s.lastUse[i] > idlePreTimeout {
+				s.issuePRE(int32(i), now)
+				s.idleScan = i + 1
+				return now + 1
+			}
+			e := s.lastUse[i] + idlePreTimeout + 1
+			if s.preReady[i] > e {
+				e = s.preReady[i]
+			}
+			if e < earliest {
+				earliest = e
+			}
 		}
 	}
 	s.idleScan = start
@@ -920,164 +1085,111 @@ func (s *SubChannel) tryIdlePrecharge(now int64) int64 {
 	return earliest
 }
 
-// casOK reports whether a column command for e may issue at cycle now,
-// checking bank tRCD, rank CAS-to-CAS spacing, write-to-read turnaround,
-// and data-bus availability.
-func (s *SubChannel) casOK(e *entry, isWrite bool, now int64) bool {
-	b := &s.banks[e.bnk]
-	if now < b.casAllowed {
-		return false
-	}
-	var earliest int64
-	sameGroup := e.grp == s.lastCASGroup
-	switch {
-	case !isWrite && s.lastCASWrite:
-		// Read after write: wait for write data plus tWTR.
-		wtr := s.t.WTRS
-		if sameGroup {
-			wtr = s.t.WTRL
-		}
-		earliest = s.lastCASTime + s.t.WL + s.t.BURST + wtr
-	case isWrite && !s.lastCASWrite:
-		// Write after read: CCD plus turnaround bubble.
-		ccd := s.t.CCDS
-		if sameGroup {
-			ccd = s.t.CCDL
-		}
-		earliest = s.lastCASTime + ccd + s.t.RTW
-	default:
-		ccd := s.t.CCDS
-		if sameGroup {
-			ccd = s.t.CCDL
-		}
-		earliest = s.lastCASTime + ccd
-	}
-	if now < earliest {
-		return false
-	}
-	lat := s.t.RL
-	if isWrite {
-		lat = s.t.WL
-	}
-	return now+lat >= s.busFree
-}
-
-// actOK reports whether an ACT for e may issue at cycle now, checking bank
-// tRP/tRC, rank tRRD, and the four-activate window.
-func (s *SubChannel) actOK(e *entry, now int64) bool {
-	if now < s.banks[e.bnk].actAllowed {
-		return false
-	}
-	rrd := s.t.RRDS
-	if e.grp == s.lastActGroup {
-		rrd = s.t.RRDL
-	}
-	if now < s.lastActTime+rrd {
-		return false
-	}
-	return now >= s.actTimes[s.actIdx]+s.t.FAW
-}
-
-func (s *SubChannel) issueACT(e *entry, now int64) {
-	b := &s.banks[e.bnk]
+func (s *SubChannel) issueACT(q *reqQueue, i int, now int64) {
+	k := &q.keys[i]
+	bnk := k.bnk
 	s.integrate(now)
-	b.open = true
-	b.row = e.row
-	b.lastUse = now
-	b.casAllowed = now + s.t.RCD
-	b.preAllowed = now + s.t.RAS
-	b.actAllowed = now + s.t.RC
+	s.openMask |= 1 << uint(bnk)
+	s.bankRow[bnk] = k.row
+	s.lastUse[bnk] = now
+	s.casReady[bnk] = now + s.t.RCD
+	s.preReady[bnk] = now + s.t.RAS
+	s.actReady[bnk] = now + s.t.RC
 	s.actTimes[s.actIdx] = now
 	s.actIdx = (s.actIdx + 1) % len(s.actTimes)
 	s.lastActTime = now
-	s.lastActGroup = e.grp
-	s.openBanks++
+	s.lastActGroup = k.grp
+	s.recomputeACTGates()
 	s.ctr.ACT++
-	s.trace(CmdACT, e.bnk, e.grp, e.row, now)
-	if !e.seen {
-		e.seen = true
-		e.req.StartSvc = now
+	s.trace(CmdACT, bnk, k.grp, k.row, now)
+	if !q.seen[i] {
+		q.seen[i] = true
+		q.reqs[i].StartSvc = now
 	}
 }
 
 func (s *SubChannel) issuePRE(bnk int32, now int64) {
-	b := &s.banks[bnk]
 	s.integrate(now)
-	b.open = false
-	if a := now + s.t.RP; a > b.actAllowed {
-		b.actAllowed = a
+	s.openMask &^= 1 << uint(bnk)
+	if a := now + s.t.RP; a > s.actReady[bnk] {
+		s.actReady[bnk] = a
 	}
-	s.openBanks--
 	s.ctr.PRE++
-	s.trace(CmdPRE, bnk, bnk/s.banksPerGrp, b.row, now)
+	s.trace(CmdPRE, bnk, bnk/s.banksPerGrp, s.bankRow[bnk], now)
 }
 
-func (s *SubChannel) issueCAS(q *[]entry, i int, isWrite bool, now int64) {
-	e := (*q)[i]
-	b := &s.banks[e.bnk]
+func (s *SubChannel) issueCAS(q *reqQueue, i int, isWrite bool, now int64) {
+	k := q.keys[i]
+	r := q.reqs[i]
+	seen := q.seen[i]
+	bnk := k.bnk
 	lat := s.t.RL
 	if isWrite {
 		lat = s.t.WL
 	}
 	dataStart := now + lat
 	dataEnd := dataStart + s.t.BURST
-	b.lastUse = now
+	s.lastUse[bnk] = now
 	s.busFree = dataEnd
 	s.lastCASTime = now
-	s.lastCASGroup = e.grp
+	s.lastCASGroup = k.grp
 	s.lastCASWrite = isWrite
+	s.recomputeCASGates()
 
-	if !e.seen {
-		e.req.StartSvc = now
+	if !seen {
+		r.StartSvc = now
 		s.ctr.RowHits++
 	} else {
 		s.ctr.RowMisses++
 	}
-	e.req.DataDone = dataEnd
+	r.DataDone = dataEnd
 
 	if isWrite {
 		// Write recovery gates the next PRE.
-		if a := dataEnd + s.t.WR; a > b.preAllowed {
-			b.preAllowed = a
+		if a := dataEnd + s.t.WR; a > s.preReady[bnk] {
+			s.preReady[bnk] = a
 		}
 		s.ctr.WR++
 		s.ctr.WriteBytes += memreq.LineSize
-		s.trace(CmdWR, e.bnk, e.grp, e.row, now)
+		s.trace(CmdWR, bnk, k.grp, k.row, now)
 	} else {
-		if a := now + s.t.RTP; a > b.preAllowed {
-			b.preAllowed = a
+		if a := now + s.t.RTP; a > s.preReady[bnk] {
+			s.preReady[bnk] = a
 		}
 		s.ctr.RD++
 		s.ctr.ReadBytes += memreq.LineSize
-		s.trace(CmdRD, e.bnk, e.grp, e.row, now)
+		s.trace(CmdRD, bnk, k.grp, k.row, now)
 	}
 
 	// Remove from queue preserving order.
-	*q = append((*q)[:i], (*q)[i+1:]...)
-	if s.targetCnt[e.bnk]--; s.targetCnt[e.bnk] == 0 {
+	q.remove(i)
+	if s.targetCnt[bnk]--; s.targetCnt[bnk] == 0 {
+		s.targetMask &^= 1 << uint(bnk)
 		// The bank lost its last targeting entry: it joins the
 		// idle-precharge candidate set, so fold its eligibility — exactly
 		// computable here, since this CAS just set lastUse=now and any
-		// recovery-window push to preAllowed happened above — into the
+		// recovery-window push to preReady happened above — into the
 		// cached bound rather than forcing a rescan.
 		t := now + idlePreTimeout + 1
-		if b.preAllowed > t {
-			t = b.preAllowed
+		if s.preReady[bnk] > t {
+			t = s.preReady[bnk]
 		}
 		if t < s.idlePreAt {
 			s.idlePreAt = t
 		}
 	}
 
-	if e.req.Ret != nil {
-		s.completions.Push(dataEnd, e.req)
+	if r.Ret != nil {
+		s.completions.Push(dataEnd, r)
+	} else if s.collectRetired {
+		s.retired = append(s.retired, r)
 	}
 }
 
 // Idle reports whether the sub-channel has no queued work, arrivals, or
 // completions outstanding (used by drain loops).
 func (s *SubChannel) Idle() bool {
-	return len(s.readQ) == 0 && len(s.writeQ) == 0 &&
+	return s.readQ.len() == 0 && s.writeQ.len() == 0 &&
 		s.arrivals.Len() == 0 && s.completions.Len() == 0 &&
 		s.pendingR == 0 && s.pendingW == 0
 }

@@ -66,8 +66,8 @@ func unitMutations() []unitMutation {
 		{
 			name: "dram-rcd-double-converted",
 			file: "internal/dram/subchannel.go",
-			old:  "import (\n\t\"math\"\n\n\t\"coaxial/internal/memreq\"\n)",
-			new:  "import (\n\t\"math\"\n\n\t\"coaxial/internal/clock\"\n\t\"coaxial/internal/memreq\"\n)",
+			old:  "import (\n\t\"math\"\n\t\"math/bits\"\n\n\t\"coaxial/internal/memreq\"\n)",
+			new:  "import (\n\t\"math\"\n\t\"math/bits\"\n\n\t\"coaxial/internal/clock\"\n\t\"coaxial/internal/memreq\"\n)",
 			patterns: []string{"coaxial/internal/clock", "coaxial/internal/dram"},
 			wantSub:  "cross-dimension arithmetic: cycles + ns",
 		},
@@ -110,8 +110,8 @@ func unitMutations() []unitMutation {
 // import-block edit stored in old/new.
 var secondEdit = map[string][2]string{
 	"dram-rcd-double-converted": {
-		"b.casAllowed = now + s.t.RCD",
-		"b.casAllowed = now + int64(clock.NS(s.t.RCD))",
+		"s.casReady[bnk] = now + s.t.RCD",
+		"s.casReady[bnk] = now + int64(clock.NS(s.t.RCD))",
 	},
 	"noc-latency-returns-ns": {
 		"return int64(h) * m.HopCycles",

@@ -1,0 +1,150 @@
+package memreq
+
+import (
+	"fmt"
+	"testing"
+)
+
+// collectFails installs a recording failure handler and returns the sink.
+func collectFails(a *Arena) *[]string {
+	var errs []string
+	a.SetFailf(func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	})
+	return &errs
+}
+
+func TestArenaAllocRelease(t *testing.T) {
+	a := NewArena()
+	r := a.Alloc()
+	if r == nil {
+		t.Fatal("Alloc returned nil")
+	}
+	if r.Addr != 0 || r.Kind != Read || r.Ret != nil || r.Issue != 0 {
+		t.Fatalf("Alloc returned a non-zeroed request: %+v", r)
+	}
+	if !a.IsLive(r) || !a.Owns(r) {
+		t.Fatal("freshly allocated request not live/owned")
+	}
+	if a.Live() != 1 || a.Allocs() != 1 {
+		t.Fatalf("Live=%d Allocs=%d after one Alloc", a.Live(), a.Allocs())
+	}
+	a.Release(r)
+	if a.IsLive(r) {
+		t.Fatal("released request still live")
+	}
+	if !a.Owns(r) {
+		t.Fatal("released request no longer owned")
+	}
+	if a.Live() != 0 || a.Releases() != 1 {
+		t.Fatalf("Live=%d Releases=%d after release", a.Live(), a.Releases())
+	}
+}
+
+func TestArenaRecyclesWithoutAllocating(t *testing.T) {
+	a := NewArena()
+	// Fill one slab so the freelist is primed.
+	reqs := make([]*Request, arenaSlab)
+	for i := range reqs {
+		reqs[i] = a.Alloc()
+	}
+	for _, r := range reqs {
+		a.Release(r)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r := a.Alloc()
+		r.Addr = 0xdead
+		a.Release(r)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Alloc/Release allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestArenaZeroesRecycledRequests(t *testing.T) {
+	a := NewArena()
+	r := a.Alloc()
+	r.Addr = 0x1234
+	r.Kind = Write
+	r.Issue = 99
+	r.Meta = 7
+	a.Release(r)
+	r2 := a.Alloc() // freelist LIFO: same slot
+	if r2 != r {
+		t.Fatalf("expected LIFO recycling of the released slot")
+	}
+	if r2.Addr != 0 || r2.Kind != Read || r2.Issue != 0 || r2.Meta != 0 {
+		t.Fatalf("recycled request not zeroed: %+v", r2)
+	}
+}
+
+func TestArenaDoubleReleaseCaught(t *testing.T) {
+	a := NewArena()
+	errs := collectFails(a)
+	r := a.Alloc()
+	a.Release(r)
+	a.Release(r)
+	if len(*errs) != 1 {
+		t.Fatalf("double release produced %d failures, want 1: %v", len(*errs), *errs)
+	}
+	if a.Live() != 0 || a.Releases() != 1 {
+		t.Fatalf("double release corrupted counters: Live=%d Releases=%d", a.Live(), a.Releases())
+	}
+	// The freelist must not hold the slot twice: two allocs must return two
+	// distinct requests.
+	r1, r2 := a.Alloc(), a.Alloc()
+	if r1 == r2 {
+		t.Fatal("double release duplicated a freelist slot")
+	}
+}
+
+func TestArenaForeignReleaseCaught(t *testing.T) {
+	a := NewArena()
+	errs := collectFails(a)
+	a.Release(&Request{Addr: 0x40}) // heap-allocated: not arena-owned
+	b := NewArena()
+	a.Release(b.Alloc()) // owned by another arena
+	a.Release(nil)
+	if len(*errs) != 3 {
+		t.Fatalf("foreign releases produced %d failures, want 3: %v", len(*errs), *errs)
+	}
+}
+
+func TestArenaDefaultFailPanics(t *testing.T) {
+	a := NewArena()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release without a handler did not panic")
+		}
+	}()
+	r := a.Alloc()
+	a.Release(r)
+	a.Release(r)
+}
+
+func TestArenaHandleGenerationCheck(t *testing.T) {
+	a := NewArena()
+	r := a.Alloc()
+	h := a.HandleOf(r)
+	if !h.Live() || h.Request() != r {
+		t.Fatal("fresh handle does not resolve")
+	}
+	a.Release(r)
+	if h.Live() {
+		t.Fatal("handle still live after release")
+	}
+	if h.Request() != nil {
+		t.Fatal("escaped handle resolved after release")
+	}
+	// Recycle the slot: the stale handle must not alias the new request.
+	r2 := a.Alloc()
+	if r2 != r {
+		t.Fatal("expected slot recycling")
+	}
+	if h.Request() != nil || h.Live() {
+		t.Fatal("escaped handle aliases a recycled request")
+	}
+	if got := a.HandleOf(&Request{}); got.Live() || got.Request() != nil {
+		t.Fatal("handle of a foreign request must be empty")
+	}
+}

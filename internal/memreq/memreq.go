@@ -85,6 +85,14 @@ type Request struct {
 	Inner Completer
 	// Meta is scratch space for the requester (e.g. MSHR index).
 	Meta uint64
+
+	// owner/gen are the Arena bookkeeping of an arena-allocated request:
+	// owner is the allocating arena (nil for plain heap requests) and gen
+	// its liveness generation (odd while allocated; bumped on both alloc
+	// and release so stale handles are detectable). Managed exclusively by
+	// Arena — see arena.go.
+	owner *Arena
+	gen   uint32
 }
 
 // QueueDelay returns the controller queuing component in cycles.

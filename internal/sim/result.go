@@ -42,6 +42,16 @@ type RunConfig struct {
 	// the cycle's synchronization points (see System.SetParallelism).
 	// Results are bit-identical for every value; <= 1 ticks sequentially.
 	Parallelism int
+	// SampleDetailInstr and SampleFastFwdInstr enable sampled simulation
+	// when both are positive: the measure phase alternates detailed windows
+	// of SampleDetailInstr per-core instructions with functional
+	// fast-forward gaps of SampleFastFwdInstr, until MeasureInstr
+	// instructions (detailed + fast-forwarded) are accounted. Headline
+	// rates are computed over the detailed windows only. Sampled results
+	// approximate the detailed run (see the accuracy-budget test in
+	// sampling_test.go); the warmup phases are unaffected.
+	SampleDetailInstr  uint64
+	SampleFastFwdInstr uint64
 	// Validate attaches the differential validation harness: an
 	// independent DDR5 timing oracle on every sub-channel plus the
 	// request-lifecycle invariant checker. A run whose harness observes
@@ -183,12 +193,21 @@ func (s *System) timedPhases(ctx context.Context, workloads []trace.Workload, rc
 		}
 	}
 	s.resetStats()
-	budget := int64(rc.MeasureInstr)*rc.MaxCyclesPerInstr + 1_000_000
-	if err := s.runPhase(ctx, rc.MeasureInstr, budget); err != nil {
-		if ctx.Err() != nil {
-			return s.collect(workloads), err
+	if rc.SampleDetailInstr > 0 && rc.SampleFastFwdInstr > 0 {
+		if err := s.runMeasureSampled(ctx, rc); err != nil {
+			if ctx.Err() != nil {
+				return s.collect(workloads), err
+			}
+			return Result{}, err
 		}
-		return Result{}, err
+	} else {
+		budget := int64(rc.MeasureInstr)*rc.MaxCyclesPerInstr + 1_000_000
+		if err := s.runPhase(ctx, rc.MeasureInstr, budget); err != nil {
+			if ctx.Err() != nil {
+				return s.collect(workloads), err
+			}
+			return Result{}, err
+		}
 	}
 	res := s.collect(workloads)
 	// End-of-window validation runs on the success path only: a cancelled
@@ -256,7 +275,11 @@ func (s *System) collect(workloads []trace.Workload) Result {
 
 	var retired uint64
 	for _, c := range s.cores {
-		res.PerCoreIPC = append(res.PerCoreIPC, c.IPC(s.now))
+		if s.sampled {
+			res.PerCoreIPC = append(res.PerCoreIPC, s.sampledIPC(c))
+		} else {
+			res.PerCoreIPC = append(res.PerCoreIPC, c.IPC(s.now))
+		}
 		retired += c.Stats().Retired
 	}
 	res.Retired = retired
@@ -266,8 +289,13 @@ func (s *System) collect(workloads []trace.Workload) Result {
 	}
 
 	// Window: from the stats reset to now. The cores recorded their own
-	// finish cycles; traffic counters ran to s.now.
+	// finish cycles; traffic counters ran to s.now. In sampled mode the
+	// window is the union of the detailed windows — fast-forward jumps are
+	// architecturally inert and must not dilute the rates.
 	window := s.windowCycles()
+	if s.sampled {
+		window = s.detailCycles
+	}
 	res.Cycles = window
 
 	o, q, sv, cx := s.breakdown.Means()
@@ -300,6 +328,10 @@ func (s *System) collect(workloads []trace.Workload) Result {
 	res.Utilization = stats.Utilization(res.ReadGBs+res.WriteGBs, res.PeakGBs)
 
 	lst := s.llc.Stats()
+	// Discount the functional fast-forward stream's LLC traffic: those
+	// accesses advanced cache state but were never timed.
+	lst.Accesses -= s.ffAccesses
+	lst.Misses -= s.ffMisses
 	if retired > 0 {
 		res.LLCMPKI = float64(lst.Misses) / (float64(retired) / 1000)
 	}

@@ -91,6 +91,14 @@ func (c *chanCompleter) Complete(r *memreq.Request, at int64) {
 	c.s.doneBuf[c.ch] = append(c.s.doneBuf[c.ch], completion{r: r, at: at})
 }
 
+// retirer is a backend that buffers requests dying inside it (writes whose
+// CAS retired with no completion callback) for the sequential retired
+// drain; dram.Channel and cxl.Channel both satisfy it.
+type retirer interface {
+	SetCollectRetired(bool)
+	DrainRetired(func(*memreq.Request))
+}
+
 // System is one assembled simulated machine.
 type System struct {
 	cfg  Config
@@ -147,11 +155,50 @@ type System struct {
 	doneBuf    [][]completion
 	completers []*chanCompleter
 
+	// touchSink keeps the cache-metadata pre-touch loads (Access,
+	// drainCompletions) observable so the compiler cannot elide them;
+	// per-core slots because Access may run concurrently across cores.
+	touchSink []uint64
+
+	// arena recycles memreq.Request allocations: every request the system
+	// creates (LLC-miss reads, CALM probes, write-backs) is arena-allocated
+	// and released at its death point — reads at their completion callback,
+	// writes when the backends' retired drain hands them back — so a loaded
+	// steady-state window allocates nothing per request. All alloc/release
+	// sites run in the sequential phases of the tick loop (or, in
+	// direct-completion mode, inside the sequential backend ticks), so the
+	// arena needs no locking.
+	arena *memreq.Arena
+	// retirers are the backends that buffer requests dying inside them
+	// (write CAS retirements with no completer); drainRetired releases
+	// those at the cycle barrier. retirerOf indexes the same backends by
+	// channel so the event loop can drain only the backends that ticked —
+	// a request can only retire during its backend's tick, so un-ticked
+	// backends provably buffered nothing. retireFn is the pre-bound
+	// release callback (building a method value per cycle would allocate).
+	retirers  []retirer
+	retirerOf []retirer
+	retireFn  func(*memreq.Request)
+	// llcProbe is the preallocated CALM probe closure over probeLLCHit;
+	// accessLLC stores the current lookup's outcome in the field and hands
+	// every Decide call the same closure (see the comment there).
+	llcProbe    func() bool
+	probeLLCHit bool
+
 	// val, when non-nil, is the differential validation harness attached
 	// by EnableValidation (RunConfig.Validate): timing oracles on every
 	// DRAM sub-channel plus the request-lifecycle checker hooked into
 	// send/Complete.
 	val *validation
+
+	// Sampled-simulation state (runMeasureSampled): detailCycles sums the
+	// cycles spent in detailed measurement windows (the denominator for
+	// sampled rates); ffAccesses/ffMisses track the LLC statistics pollution
+	// of the functional fast-forward streams, subtracted at collection.
+	sampled      bool
+	detailCycles int64
+	ffAccesses   uint64
+	ffMisses     uint64
 
 	// par is the tick-phase worker count (<=1: sequential); pool holds the
 	// par-1 helper goroutines when parallel.
@@ -251,13 +298,62 @@ func NewSystemGens(cfg Config, gens []trace.Generator, hints []trace.Params) (*S
 		s.backendNext[i] = 1
 	}
 	s.coreEvents = make([][]memEvent, len(s.cores))
+	s.touchSink = make([]uint64, len(s.cores))
 	s.doneBuf = make([][]completion, len(s.backends))
 	s.completers = make([]*chanCompleter, len(s.backends))
 	for ch := range s.completers {
 		s.completers[ch] = &chanCompleter{s: s, ch: ch}
 	}
+	s.arena = memreq.NewArena()
+	s.retireFn = s.releaseRetired
+	s.llcProbe = func() bool { return s.probeLLCHit }
+	s.retirerOf = make([]retirer, len(s.backends))
+	for ch, b := range s.backends {
+		if rt, ok := b.(retirer); ok {
+			rt.SetCollectRetired(true)
+			s.retirers = append(s.retirers, rt)
+			s.retirerOf[ch] = rt
+		}
+	}
 	s.SetClocking(s.clocking) // apply the default mode's lazy ticking
 	return s, nil
+}
+
+// completerFor returns the completion sink baked into requests headed for
+// channel ch. With parallel backend ticking, completions must be buffered
+// per channel (chanCompleter) and drained at the cycle barrier; with
+// sequential backends (Parallelism <= 1) the System itself is the
+// completer, so delivery runs inline inside the backend tick. The inline
+// order is identical to the buffered drain's: backends tick in channel
+// order, each sub-channel delivers its due completions in pop order (the
+// same order they would have been appended to the buffer), and any request
+// a delivery re-enqueues targets a future arrival cycle (the mesh hop is
+// never zero), so no same-cycle pop can observe it. Set Parallelism before
+// stepping begins; switching with requests in flight is unsupported.
+func (s *System) completerFor(ch int) memreq.Completer {
+	if s.par <= 1 {
+		return s
+	}
+	return s.completers[ch]
+}
+
+// releaseRetired is the retired-drain callback: a request died inside a
+// backend (write CAS with no completer), so release its tracking and
+// return it to the arena.
+func (s *System) releaseRetired(r *memreq.Request) {
+	if s.val != nil {
+		s.val.lc.OnRetire(r)
+	}
+	s.arena.Release(r)
+}
+
+// drainRetired releases every request that died inside a backend this
+// cycle. Runs at the cycle barrier after the completion drain (sequential),
+// or after sequential backend ticks in direct-completion mode.
+func (s *System) drainRetired() {
+	for _, rt := range s.retirers {
+		rt.DrainRetired(s.retireFn)
+	}
 }
 
 // SetParallelism sets the tick-phase worker count: cores (and backends)
@@ -339,6 +435,12 @@ func (s *System) Access(core int, addr, pc uint64, store bool, now int64) cpu.Pa
 	s.coreEvents[core] = append(s.coreEvents[core], memEvent{
 		kind: evAccess, store: store, line: line, pc: pc, t2: t2,
 	})
+	// The barrier drain will probe this line's LLC home set; start the
+	// host-memory fetch of that (multi-megabyte, rarely cached) way
+	// metadata now so the Lookup there finds it in flight. Touch reads
+	// shared state without mutating it, so it is safe in this (potentially
+	// parallel) phase; the per-core sink keeps the loads observable.
+	s.touchSink[core] += s.llc.Touch(line)
 	return cpu.PathResult{Async: true}
 }
 
@@ -355,7 +457,13 @@ func (s *System) accessLLC(core int, ev *memEvent) bool {
 
 	doCALM := false
 	if s.cfg.CALM.Kind != calm.Off {
-		doCALM = s.policy.Decide(core, ev.pc, t2, func() bool { return llcHit })
+		// The probe is a preallocated closure over s.probeLLCHit: handing
+		// Decide a fresh `func() bool { return llcHit }` would heap-allocate
+		// one closure per L2 miss (escape analysis cannot see through the
+		// policy interface), the single largest allocation source in a
+		// loaded window.
+		s.probeLLCHit = llcHit
+		doCALM = s.policy.Decide(core, ev.pc, t2, s.llcProbe)
 	}
 	s.policy.Observe(core, ev.pc, llcHit, doCALM)
 
@@ -372,10 +480,10 @@ func (s *System) accessLLC(core int, ev *memEvent) bool {
 		if doCALM {
 			// False positive: the concurrent memory request was already
 			// launched; its response will be discarded on arrival.
-			r := &memreq.Request{
-				Addr: line, Kind: memreq.Read, Core: int16(core),
-				CALM: true, Discard: true, Issue: t2, Ret: s.completers[ch],
-			}
+			r := s.arena.Alloc()
+			r.Addr, r.Kind, r.Core = line, memreq.Read, int16(core)
+			r.CALM, r.Discard, r.Issue = true, true, t2
+			r.Ret = s.completerFor(ch)
 			s.send(r, ch, t2+s.mesh.Latency(s.coreTiles[core], portTile))
 		}
 		if s.measuring {
@@ -388,10 +496,10 @@ func (s *System) accessLLC(core int, ev *memEvent) bool {
 	// LLC miss: go to memory. The LLC's (miss) response still returns to
 	// the L2; a CALM access may not complete before it (coherence rule).
 	llcAck := t2 + nocTo + s.llc.Latency() + nocTo
-	r := &memreq.Request{
-		Addr: line, Kind: memreq.Read, Core: int16(core),
-		CALM: doCALM, Issue: t2, Ret: s.completers[ch],
-	}
+	r := s.arena.Alloc()
+	r.Addr, r.Kind, r.Core = line, memreq.Read, int16(core)
+	r.CALM, r.Issue = doCALM, t2
+	r.Ret = s.completerFor(ch)
 	var at int64
 	if doCALM {
 		at = t2 + s.mesh.Latency(s.coreTiles[core], portTile)
@@ -436,6 +544,27 @@ func (s *System) drainCoreEvents(event bool) {
 // drainCompletions delivers the completions buffered during the backend
 // tick phase, in backend order.
 func (s *System) drainCompletions() {
+	// Direct-completion mode (sequential backends) never routes through
+	// doneBuf — backends call Complete inline — so there is nothing to
+	// scan. See completerFor.
+	if s.par <= 1 {
+		return
+	}
+	// Pre-touch the way metadata each buffered read fill is about to hit
+	// (LLC home set and the core's L2 set) so the misses on those
+	// multi-megabyte arrays overlap instead of serializing through the
+	// order-sensitive Complete calls below (same technique as prefillLLC).
+	var sink uint64
+	for ch := range s.doneBuf {
+		for k := range s.doneBuf[ch] {
+			r := s.doneBuf[ch][k].r
+			if r.Kind == memreq.Read && !r.Discard {
+				line := memreq.LineAddr(r.Addr)
+				sink += s.llc.Touch(line) + s.l2[int(r.Core)].Touch(line)
+			}
+		}
+	}
+	s.touchSink[0] += sink
 	for ch := range s.doneBuf {
 		buf := s.doneBuf[ch]
 		if len(buf) == 0 {
@@ -456,10 +585,11 @@ func (s *System) Complete(r *memreq.Request, now int64) {
 		s.val.lc.OnComplete(r, now)
 	}
 	if r.Kind == memreq.Write {
-		return
+		return // writes die in the backends; the retired drain releases them
 	}
 	if r.Discard {
 		s.fpDiscarded++
+		s.arena.Release(r)
 		return
 	}
 	core := int(r.Core)
@@ -488,6 +618,10 @@ func (s *System) Complete(r *memreq.Request, now int64) {
 		s.breakdown.Add(onchip, queue, service, r.CXLTime)
 		s.hist.Add(total)
 	}
+	// The read's life ends here: nothing holds it any longer (the backends
+	// popped it on delivery, the MSHR is keyed by line, and the lifecycle
+	// checker released its tracking above), so recycle the slot.
+	s.arena.Release(r)
 }
 
 // coreSlot maps a core ID to its index in s.cores (identical while
@@ -549,7 +683,8 @@ func (s *System) writeback(addr uint64, now int64) {
 		return
 	}
 	ch := s.chOf(addr)
-	r := &memreq.Request{Addr: addr, Kind: memreq.Write, Core: -1, Issue: now}
+	r := s.arena.Alloc()
+	r.Addr, r.Kind, r.Core, r.Issue = addr, memreq.Write, -1, now
 	sliceTile := s.coreTiles[s.llc.SliceOf(addr)]
 	s.send(r, ch, now+s.mesh.Latency(sliceTile, s.portTiles[ch]))
 }
@@ -647,6 +782,7 @@ func (s *System) step() {
 		}
 	}
 	s.drainCompletions()
+	s.drainRetired()
 }
 
 // tickCoresPar / tickBackendsPar / tickDueCoresPar / tickDueBackendsPar
@@ -747,6 +883,12 @@ func (s *System) stepEvent(limit int64) {
 		}
 	}
 	s.drainCompletions()
+	// Only ticked backends can have buffered retired requests this cycle.
+	for _, ch := range s.dueBackends {
+		if rt := s.retirerOf[ch]; rt != nil {
+			rt.DrainRetired(s.retireFn)
+		}
+	}
 }
 
 // syncClock realizes every component's lagging bulk accounting at the
@@ -884,6 +1026,137 @@ func (s *System) functionalWarmup(perCore uint64) {
 		}
 	}
 	s.muteWrites = false
+}
+
+// fastForward advances each core's workload by perCore instructions
+// without detailed timing, between sampled measurement windows. Three
+// steps: (1) stream the instructions through the cache hierarchy
+// functionally (cache and dirty-bit state advance; no requests, no clock) —
+// the LLC statistics pollution is recorded for subtraction at collection;
+// (2) freeze the cores and advance the clock by the gap's estimated
+// detailed duration (perCore over each core's calibrated window IPC), so
+// in-flight memory work drains at true latencies and periodic DRAM state —
+// refresh schedules, idle precharge — stays realistic across the gap;
+// (3) thaw the cores and wake them for the next detailed window.
+// Measurement stays enabled throughout: completions landing during the
+// drain belong to detailed-window requests and carry true latencies, and
+// the functional stream adds none of its own.
+func (s *System) fastForward(perCore uint64, ipc []float64) {
+	st0 := s.llc.Stats()
+	s.functionalWarmup(perCore)
+	st1 := s.llc.Stats()
+	s.ffAccesses += st1.Accesses - st0.Accesses
+	s.ffMisses += st1.Misses - st0.Misses
+
+	for _, c := range s.cores {
+		c.SetFrozen(true)
+	}
+	var jump int64
+	for _, v := range ipc {
+		// Clamp the calibrated rate: a degenerate estimate must neither
+		// stall the jump nor blow the cycle budget.
+		if v < 0.02 {
+			v = 0.02
+		}
+		if v > width {
+			v = width
+		}
+		if j := int64(float64(perCore)/v) + 1; j > jump {
+			jump = j
+		}
+	}
+	target := s.now + jump
+	for s.now < target {
+		if s.clocking == CycleByCycle {
+			s.step()
+		} else {
+			s.stepEvent(target)
+		}
+	}
+	for i, c := range s.cores {
+		c.SetFrozen(false)
+		s.wakeCore(i, s.now+1)
+	}
+}
+
+// width mirrors the core dispatch width for IPC clamping (cpu.Core's
+// machine width is not exported; 4-wide throughout).
+const width = 4
+
+// runMeasureSampled runs the measure phase in sampled mode: detailed
+// windows of `detail` per-core instructions alternate with functional
+// fast-forward gaps of `ff`, until `total` per-core instructions
+// (detailed + fast-forwarded) are accounted. Retirement targets are
+// cumulative — cores only retire during detailed windows, and stats
+// accumulate across them — so headline rates are computed over the union
+// of the detailed windows (detailCycles) at collection.
+func (s *System) runMeasureSampled(ctx context.Context, rc RunConfig) error {
+	detail, ff, total := rc.SampleDetailInstr, rc.SampleFastFwdInstr, rc.MeasureInstr
+	s.sampled = true
+	ipc := make([]float64, len(s.cores))
+	lastRetired := make([]uint64, len(s.cores))
+	var done, cum uint64
+	for done < total {
+		d := detail
+		if rem := total - done; rem < d {
+			d = rem
+		}
+		cum += d
+		budget := int64(d)*rc.MaxCyclesPerInstr + 1_000_000
+		windowStart := s.now
+		if err := s.runPhase(ctx, cum, budget); err != nil {
+			return err
+		}
+		window := s.now - windowStart
+		s.detailCycles += window
+		// Calibrate per-core IPC from this window's deltas (retired since
+		// the previous window over the window's cycles) for the next gap's
+		// clock jump.
+		for i, c := range s.cores {
+			r := c.Stats().Retired
+			if window > 0 {
+				ipc[i] = float64(r-lastRetired[i]) / float64(window)
+			}
+			lastRetired[i] = r
+		}
+		done += d
+		if done >= total {
+			return nil
+		}
+		// Shorten the last gap so the run still ends with a detailed window:
+		// collection anchors headline rates at the final window's finish
+		// cycles, and a trailing gap would contribute nothing measured.
+		f := ff
+		if rem := total - done; f+detail > rem {
+			if rem > detail {
+				f = rem - detail
+			} else {
+				f = 0
+			}
+		}
+		if f == 0 {
+			continue
+		}
+		s.fastForward(f, ipc)
+		done += f
+	}
+	return nil
+}
+
+// sampledIPC returns a core's measured IPC over the detailed windows only.
+// The core retires instructions exclusively inside detailed windows (it is
+// frozen across fast-forward gaps), and its final finish cycle lands inside
+// the last detailed window, so its detailed span is the union of detailed
+// windows minus the tail of the last one it did not need.
+func (s *System) sampledIPC(c *cpu.Core) float64 {
+	span := s.detailCycles
+	if fc := c.FinishCycle; fc >= 0 {
+		span -= s.now - fc
+	}
+	if span <= 0 {
+		return 0
+	}
+	return float64(c.RetiredAtFinish()) / float64(span)
 }
 
 // BenchSteps advances the system n cycles (benchmark support), honoring

@@ -49,6 +49,10 @@ func (s *System) EnableValidation() {
 		}
 	}
 	s.val = v
+	// Route arena misuse (double release, foreign request) into the
+	// lifecycle report instead of panicking, so a plumbing bug surfaces as
+	// a *ValidationError with full context alongside any related findings.
+	s.arena.SetFailf(v.lc.Failf)
 }
 
 // forEachPending walks every request the memory system currently owns:
@@ -110,6 +114,17 @@ func (s *System) validationError() error {
 		held += m
 	}
 	lc.CheckEnd(s.forEachPending, held)
+
+	// Arena handle escape: every request a queue still owns must be a live
+	// allocation. A dead one means some component released a request while
+	// another still held its pointer — the stale handle would silently read
+	// a recycled request.
+	s.forEachPending(func(r *memreq.Request) {
+		if r != nil && !s.arena.IsLive(r) {
+			lc.Failf("escaped handle: request %#x (core %d) present in a memory-system queue after release",
+				r.Addr, r.Core)
+		}
+	})
 
 	// Queue occupancy bounds.
 	var extra []string

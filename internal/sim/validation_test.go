@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"coaxial/internal/memreq"
 	"coaxial/internal/trace"
 )
 
@@ -160,4 +161,73 @@ func TestValidationErrorSurfaces(t *testing.T) {
 	if ve.Count == 0 || !strings.Contains(ve.Report, "synthetic invariant failure") {
 		t.Errorf("report missing the injected failure: %+v", ve)
 	}
+}
+
+// plantedSystem builds a validated system under load and advances it until
+// the memory system holds in-flight requests.
+func plantedSystem(t *testing.T) *System {
+	t.Helper()
+	w, err := trace.WorkloadByName("pop2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Coaxial4x()
+	wl := make([]trace.Workload, cfg.Cores)
+	for i := range wl {
+		wl[i] = w
+	}
+	sys, err := NewSystem(cfg, wl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.EnableValidation()
+	for i := 0; i < 50; i++ {
+		sys.BenchSteps(2_000)
+		pending := 0
+		sys.forEachPending(func(*memreq.Request) { pending++ })
+		if pending > 0 {
+			return sys
+		}
+	}
+	t.Fatal("no in-flight requests after 100k cycles")
+	return nil
+}
+
+// TestValidationCatchesPlantedArenaFaults plants the two arena-misuse bugs
+// the harness exists to catch and confirms each surfaces as a validation
+// failure: an escaped handle (a request released while a memory-system
+// queue still holds its pointer) and a double free.
+func TestValidationCatchesPlantedArenaFaults(t *testing.T) {
+	t.Run("escaped-handle", func(t *testing.T) {
+		sys := plantedSystem(t)
+		// Plant: free a request out from under the queue that owns it.
+		var victim *memreq.Request
+		sys.forEachPending(func(r *memreq.Request) {
+			if victim == nil {
+				victim = r
+			}
+		})
+		sys.arena.Release(victim)
+		verr := sys.validationError()
+		var ve *ValidationError
+		if !errors.As(verr, &ve) || !strings.Contains(ve.Report, "escaped handle") {
+			t.Fatalf("planted escaped handle not reported; err = %v", verr)
+		}
+	})
+	t.Run("double-free", func(t *testing.T) {
+		sys := plantedSystem(t)
+		var victim *memreq.Request
+		sys.forEachPending(func(r *memreq.Request) {
+			if victim == nil {
+				victim = r
+			}
+		})
+		sys.arena.Release(victim)
+		sys.arena.Release(victim) // plant: second free of the same request
+		verr := sys.validationError()
+		var ve *ValidationError
+		if !errors.As(verr, &ve) || !strings.Contains(ve.Report, "double release") {
+			t.Fatalf("planted double free not reported; err = %v", verr)
+		}
+	})
 }

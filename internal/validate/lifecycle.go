@@ -144,6 +144,24 @@ func (l *Lifecycle) OnComplete(r *memreq.Request, now int64) {
 	}
 }
 
+// OnRetire records a request dying silently inside a memory backend (a
+// write whose CAS retired with no completion callback). Tracking is
+// released before the request's storage is recycled, so a later request
+// reusing the same arena slot cannot be mistaken for a duplicate issue.
+// Reads must never retire silently; one showing up here is a violation.
+func (l *Lifecycle) OnRetire(r *memreq.Request) {
+	if r == nil {
+		l.fail("nil request retired inside a backend")
+		return
+	}
+	if r.Kind != memreq.Write {
+		l.fail("read %#x (core %d) retired silently inside a backend", r.Addr, r.Core)
+		delete(l.reads, r)
+		return
+	}
+	delete(l.writes, r)
+}
+
 // InFlight reports the tracked in-flight read population: total, and the
 // subset still holding an MSHR (CALM false positives are discarded early
 // and release theirs before the memory response returns).

@@ -93,6 +93,24 @@ func WithValidation() RunnerOption {
 	return func(r *Runner) { r.rc.Validate = true }
 }
 
+// WithSampling enables sampled simulation: the measure phase alternates
+// detailed windows of `detail` per-core instructions with functional
+// fast-forward gaps of `fastfwd`, until the full measure budget (detailed
+// + fast-forwarded) is accounted. Detailed windows run the normal timing
+// model; gaps advance cache and workload state functionally and jump the
+// clock by the gap's estimated duration (from each core's IPC calibrated
+// over the preceding window) so in-flight work drains and periodic DRAM
+// state stays realistic. Headline rates come from the detailed windows
+// only. Trades a bounded accuracy loss (see the accuracy-budget test) for
+// a large speedup on long windows; zero for either argument disables
+// sampling.
+func WithSampling(detail, fastfwd uint64) RunnerOption {
+	return func(r *Runner) {
+		r.rc.SampleDetailInstr = detail
+		r.rc.SampleFastFwdInstr = fastfwd
+	}
+}
+
 // WithRunConfig replaces the whole run configuration (escape hatch for
 // fields without a dedicated option, e.g. SkipFunctional). Options applied
 // after it override individual fields.
