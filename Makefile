@@ -41,13 +41,13 @@ golden:
 # fastest (least noise-polluted) run is recorded. Override BENCH_PR /
 # BENCH_NOTE / BENCH_OUT when cutting a new snapshot; keep the note honest
 # about what changed and how the numbers were taken.
-BENCH_PR   ?= 6
-BENCH_OUT  ?= BENCH_pr6.json
-BENCH_BASE ?= BENCH_pr2.json
+BENCH_PR   ?= 7
+BENCH_OUT  ?= BENCH_pr7.json
+BENCH_BASE ?= BENCH_pr6.json
 BENCH_NOTE ?= regenerated locally; see the checked-in snapshot for the PR-cut note
 bench:
 	@( $(GO) test -run '^$$' -bench 'BenchmarkSystemStep(Idle|Loaded)$$' -benchtime 2000000x . ; \
-	   $(GO) test -run '^$$' -bench 'BenchmarkRunWindow$$|BenchmarkRunWindowLoaded$$|BenchmarkRunWindowLoadedSampled$$|BenchmarkRunWindowPooled$$' -benchtime 15x -count 2 . ) \
+	   $(GO) test -run '^$$' -bench 'BenchmarkRunWindow$$|BenchmarkRunWindowLoaded$$|BenchmarkRunWindowLoadedSampled$$|BenchmarkRunWindowPooled$$|BenchmarkRunWindowRack$$' -benchtime 15x -count 2 . ) \
 	 | tee /dev/stderr \
 	 | $(GO) run ./cmd/coaxial-bench -pr $(BENCH_PR) -baseline $(BENCH_BASE) -note '$(BENCH_NOTE)' > $(BENCH_OUT)
 	@echo wrote $(BENCH_OUT)

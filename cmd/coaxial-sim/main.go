@@ -1,12 +1,15 @@
-// Command coaxial-sim runs a single experiment: one system configuration
-// executing one workload (or one workload mix), printing the measured IPC,
-// latency breakdown, bandwidth, and CALM statistics.
+// Command coaxial-sim runs a single experiment: one topology (a
+// single-host system or an N-host rack sharing pooled CXL devices)
+// executing one workload (or one workload mix), printing the measured
+// IPC, latency breakdown, bandwidth, and CALM statistics — plus, for
+// racks, per-host results and pooled-device queue/fairness accounting.
 //
 // Usage:
 //
 //	coaxial-sim -config coaxial-4x -workload stream-copy
 //	coaxial-sim -config ddr-baseline -workload gcc -measure 300000
 //	coaxial-sim -config coaxial-asym -mix 3
+//	coaxial-sim -config coaxial-pooled -hosts 4 -rack 0
 //	coaxial-sim -list
 package main
 
@@ -16,41 +19,33 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"sort"
 	"strings"
 
 	"coaxial"
 	"coaxial/internal/profiling"
 )
 
-var configs = map[string]func() coaxial.Config{
-	"ddr-baseline":   coaxial.Baseline,
-	"coaxial-2x":     coaxial.Coaxial2x,
-	"coaxial-4x":     coaxial.Coaxial4x,
-	"coaxial-5x":     coaxial.Coaxial5x,
-	"coaxial-asym":   coaxial.CoaxialAsym,
-	"coaxial-pooled": coaxial.CoaxialPooled,
-}
-
 func main() {
 	var (
-		cfgName  = flag.String("config", "coaxial-4x", "system configuration (see -list)")
+		cfgName  = flag.String("config", "coaxial-4x", "topology preset (see -list)")
+		hosts    = flag.Int("hosts", 0, "scale the topology to N hosts (0 = preset default; >1 runs the rack path)")
 		workload = flag.String("workload", "stream-copy", "workload name (see -list)")
 		mix      = flag.Int("mix", -1, "run workload mix N instead of -workload")
-		rack     = flag.Int("rack", -1, "run mixed-MPKI rack mix N instead of -workload")
+		rackMix  = flag.Int("rack", -1, "run mixed-MPKI rack mix N instead of -workload")
 		warmup   = flag.Uint64("warmup", 40_000, "timed warmup instructions per core")
 		measure  = flag.Uint64("measure", 150_000, "measured instructions per core")
 		seed     = flag.Uint64("seed", 1, "workload generation seed")
-		cores    = flag.Int("active", 0, "active cores (0 = all)")
+		cores    = flag.Int("active", 0, "active cores per host (0 = all)")
 		calmR    = flag.Float64("calm-r", 0.70, "CALM_R threshold (with -calm calm-r)")
 		calmKind = flag.String("calm", "", "CALM override: off, calm-r, map-i, ideal")
 		cxlNS    = flag.Float64("cxl-premium", 0, "CXL total latency premium in ns (0 = default 50)")
-		par      = flag.Int("parallelism", 0, "tick-phase goroutines (<=1 = sequential; results identical)")
+		par      = flag.Int("parallelism", 0, "tick-phase goroutines per host (<=1 = sequential; results identical)")
+		rackPar  = flag.Int("rack-parallelism", 0, "host-phase goroutines across the rack (<=1 = sequential; results identical)")
 		clocking = flag.String("clocking", "event", "clock advance: event (skip dead cycles) or cycle (reference loop); results are identical")
 		validate = flag.Bool("validate", false, "run the differential validation harness (DDR timing oracle + lifecycle invariants); observation-only")
 		sampleD  = flag.Uint64("sample-detail", 0, "sampled simulation: detailed-window instructions per core (with -sample-ff)")
 		sampleF  = flag.Uint64("sample-ff", 0, "sampled simulation: fast-forward gap instructions per core (with -sample-detail)")
-		list     = flag.Bool("list", false, "list configurations and workloads")
+		list     = flag.Bool("list", false, "list topologies and workloads")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -63,13 +58,8 @@ func main() {
 	defer stopProf()
 
 	if *list {
-		fmt.Println("configurations:")
-		names := make([]string, 0, len(configs))
-		for name := range configs {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
+		fmt.Println("topologies (scale any with -hosts N):")
+		for _, name := range coaxial.TopologyNames() {
 			fmt.Printf("  %s\n", name)
 		}
 		fmt.Println("workloads:")
@@ -77,29 +67,35 @@ func main() {
 		return
 	}
 
-	mk, ok := configs[*cfgName]
-	if !ok {
-		fatalf("unknown config %q (try -list)", *cfgName)
+	preset, err := coaxial.TopologyPresetByName(*cfgName)
+	if err != nil {
+		fatalf("%v", err)
 	}
-	cfg := mk()
-	if *cores > 0 {
-		cfg = cfg.WithActiveCores(*cores)
+	if *hosts > 0 {
+		preset = preset.WithHosts(*hosts)
 	}
-	switch *calmKind {
-	case "":
-	case "off":
-		cfg = cfg.WithCALM(coaxial.CALMConfig{Kind: coaxial.CALMOff})
-	case "calm-r":
-		cfg = cfg.WithCALM(coaxial.CALMR(*calmR))
-	case "map-i":
-		cfg = cfg.WithCALM(coaxial.CALMConfig{Kind: coaxial.CALMMAPI})
-	case "ideal":
-		cfg = cfg.WithCALM(coaxial.CALMConfig{Kind: coaxial.CALMIdeal})
-	default:
-		fatalf("unknown CALM mechanism %q", *calmKind)
-	}
-	if *cxlNS > 0 {
-		cfg = cfg.WithCXLPortNS(*cxlNS / 4)
+	for i := range preset.Rack.Hosts {
+		cfg := preset.Rack.Hosts[i]
+		if *cores > 0 {
+			cfg = cfg.WithActiveCores(*cores)
+		}
+		switch *calmKind {
+		case "":
+		case "off":
+			cfg = cfg.WithCALM(coaxial.CALMConfig{Kind: coaxial.CALMOff})
+		case "calm-r":
+			cfg = cfg.WithCALM(coaxial.CALMR(*calmR))
+		case "map-i":
+			cfg = cfg.WithCALM(coaxial.CALMConfig{Kind: coaxial.CALMMAPI})
+		case "ideal":
+			cfg = cfg.WithCALM(coaxial.CALMConfig{Kind: coaxial.CALMIdeal})
+		default:
+			fatalf("unknown CALM mechanism %q", *calmKind)
+		}
+		if *cxlNS > 0 {
+			cfg = cfg.WithCXLPortNS(*cxlNS / 4)
+		}
+		preset.Rack.Hosts[i] = cfg
 	}
 
 	mode := coaxial.EventDriven
@@ -115,6 +111,7 @@ func main() {
 		coaxial.WithWindows(0, *warmup, *measure),
 		coaxial.WithClocking(mode),
 		coaxial.WithParallelism(*par),
+		coaxial.WithRackParallelism(*rackPar),
 	}
 	if *validate {
 		opts = append(opts, coaxial.WithValidation())
@@ -131,28 +128,58 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var (
-		res coaxial.Result
-		err error
-	)
-	switch {
-	case *rack >= 0:
-		wl := coaxial.RackMixWorkloads(*rack, cfg.Cores)
-		res, err = runner.RunMix(ctx, cfg, wl)
-	case *mix >= 0:
-		wl := coaxial.MixWorkloads(*mix, cfg.Cores)
-		res, err = runner.RunMix(ctx, cfg, wl)
-	default:
-		var w coaxial.Workload
-		w, err = coaxial.WorkloadByName(*workload)
-		if err == nil {
-			res, err = runner.Run(ctx, cfg, w)
+	// One host: the classic single-system path (bit-identical to a 1-host
+	// rack, and faster). More: the rack path proper.
+	if cfg, ok := preset.Single(); ok {
+		res, err := runSingle(ctx, runner, cfg, *workload, *mix, *rackMix)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printResult(res)
+		return
+	}
+	wls := make([][]coaxial.Workload, len(preset.Rack.Hosts))
+	for h, cfg := range preset.Rack.Hosts {
+		n := cfg.ActiveCores
+		if n == 0 {
+			n = cfg.Cores
+		}
+		switch {
+		case *rackMix >= 0:
+			wls[h] = coaxial.RackMixWorkloads(*rackMix+h, n)
+		case *mix >= 0:
+			wls[h] = coaxial.MixWorkloads(*mix+h, n)
+		default:
+			w, err := coaxial.WorkloadByName(*workload)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			wls[h] = make([]coaxial.Workload, n)
+			for i := range wls[h] {
+				wls[h][i] = w
+			}
 		}
 	}
+	rr, err := runner.RunRack(ctx, preset.Rack, wls)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	printResult(res)
+	printRackResult(rr)
+}
+
+func runSingle(ctx context.Context, runner *coaxial.Runner, cfg coaxial.Config, workload string, mix, rackMix int) (coaxial.Result, error) {
+	switch {
+	case rackMix >= 0:
+		return runner.RunMix(ctx, cfg, coaxial.RackMixWorkloads(rackMix, cfg.Cores))
+	case mix >= 0:
+		return runner.RunMix(ctx, cfg, coaxial.MixWorkloads(mix, cfg.Cores))
+	default:
+		w, err := coaxial.WorkloadByName(workload)
+		if err != nil {
+			return coaxial.Result{}, err
+		}
+		return runner.Run(ctx, cfg, w)
+	}
 }
 
 func printResult(r coaxial.Result) {
@@ -177,6 +204,26 @@ func printResult(r coaxial.Result) {
 	if d.L2Misses > 0 {
 		fmt.Printf("CALM:      %d L2 misses, %d CALMed (FP %.1f%% of mem accesses, FN %.1f%% of LLC misses)\n",
 			d.L2Misses, d.CALMed, d.FPRate()*100, d.FNRate()*100)
+	}
+}
+
+func printRackResult(r coaxial.RackResult) {
+	fmt.Printf("rack:      %s (%d hosts, %d pooled devices)\n", r.Config, len(r.Hosts), len(r.Devices))
+	fmt.Printf("cycles:    %d (%.1f us)\n", r.Cycles, float64(r.Cycles)/2400)
+	fmt.Printf("IPC:       mean %.3f, geomean %.3f, fairness %.3f\n", r.MeanIPC, r.GeomeanIPC, r.FairnessIndex)
+	for h, hr := range r.Hosts {
+		fmt.Printf("host %d:    IPC %.3f (%s), L2-miss %.0f ns (queue %.0f), %.1f GB/s, %d retired\n",
+			h, hr.IPC, hr.Workload, hr.TotalNS, hr.QueueNS, hr.ReadGBs+hr.WriteGBs, hr.Retired)
+	}
+	for _, d := range r.Devices {
+		fmt.Printf("device %s: queue p50 %.0f / p90 %.0f / p99 %.0f ns, %.1f of %.1f GB/s\n",
+			d.Name, d.QueueP50NS, d.QueueP90NS, d.QueueP99NS, d.ReadGBs+d.WriteGBs, d.PeakGBs)
+		var shares []string
+		for h := range d.HostReadBytes {
+			shares = append(shares, fmt.Sprintf("host %d %.1f MB", h,
+				float64(d.HostReadBytes[h]+d.HostWriteBytes[h])/1e6))
+		}
+		fmt.Printf("           traffic: %s\n", strings.Join(shares, ", "))
 	}
 }
 

@@ -1,12 +1,15 @@
-// Command coaxial-sweep runs the full experiment grid (every system
-// configuration across every workload) and emits one CSV row per run, for
+// Command coaxial-sweep runs the full experiment grid (every topology
+// preset across every workload) and emits one CSV row per run, for
 // downstream analysis or plotting. It is the equivalent of the paper
-// artifact's runall.py + collect_stats.py.
+// artifact's runall.py + collect_stats.py. With -hosts N, every selected
+// topology scales to an N-host rack (pooled topologies share devices;
+// the rest run uncoupled in lockstep) and each row is the rack summary.
 //
 // Usage:
 //
 //	coaxial-sweep > results.csv
 //	coaxial-sweep -configs ddr-baseline,coaxial-4x -measure 300000
+//	coaxial-sweep -configs coaxial-pooled -hosts 4 -racks 4 >> results.csv
 //	coaxial-sweep -mixes 10 >> results.csv
 package main
 
@@ -24,21 +27,10 @@ import (
 	"coaxial/internal/profiling"
 )
 
-var allConfigs = []struct {
-	name string
-	mk   func() coaxial.Config
-}{
-	{"ddr-baseline", coaxial.Baseline},
-	{"coaxial-2x", coaxial.Coaxial2x},
-	{"coaxial-4x", coaxial.Coaxial4x},
-	{"coaxial-5x", coaxial.Coaxial5x},
-	{"coaxial-asym", coaxial.CoaxialAsym},
-	{"coaxial-pooled", coaxial.CoaxialPooled},
-}
-
 func main() {
 	var (
-		cfgList  = flag.String("configs", "ddr-baseline,coaxial-2x,coaxial-4x,coaxial-asym", "comma-separated configurations")
+		cfgList  = flag.String("configs", "ddr-baseline,coaxial-2x,coaxial-4x,coaxial-asym", "comma-separated topology presets")
+		hosts    = flag.Int("hosts", 0, "scale every topology to N hosts (0 = preset default)")
 		warmup   = flag.Uint64("warmup", 40_000, "timed warmup instructions per core")
 		measure  = flag.Uint64("measure", 150_000, "measured instructions per core")
 		seed     = flag.Uint64("seed", 1, "workload generation seed")
@@ -48,6 +40,7 @@ func main() {
 		workList = flag.String("workloads", "", "comma-separated workload subset (default: all 36)")
 		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		par      = flag.Int("parallelism", 0, "tick-phase goroutines per simulation (<=1 = sequential; results identical)")
+		rackPar  = flag.Int("rack-parallelism", 0, "host-phase goroutines per rack simulation (<=1 = sequential; results identical)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -69,23 +62,21 @@ func main() {
 	rc.WarmupInstr, rc.MeasureInstr, rc.Seed = *warmup, *measure, *seed
 	rc.Workers = *workers
 	rc.Parallelism = *par
+	rc.RackParallelism = *rackPar
 	rc.Validate = *validate
 	runner := coaxial.NewRunner(coaxial.WithRunConfig(rc))
 
-	var cfgs []coaxial.Config
+	var presets []coaxial.TopologyPreset
 	for _, name := range strings.Split(*cfgList, ",") {
-		found := false
-		for _, c := range allConfigs {
-			if c.name == name {
-				cfgs = append(cfgs, c.mk())
-				found = true
-				break
-			}
-		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "coaxial-sweep: unknown config %q\n", name)
+		p, err := coaxial.TopologyPresetByName(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coaxial-sweep: %v\n", err)
 			os.Exit(2)
 		}
+		if *hosts > 0 {
+			p = p.WithHosts(*hosts)
+		}
+		presets = append(presets, p)
 	}
 
 	workloads := coaxial.Workloads()
@@ -117,24 +108,28 @@ func main() {
 		fail(err)
 	}
 
-	var jobs []coaxial.SuiteJob
+	var (
+		jobs   []coaxial.SuiteJob
+		labels []string
+	)
 	for _, w := range workloads {
-		for _, c := range cfgs {
-			jobs = append(jobs, coaxial.SuiteJob{Config: c, Workload: w})
+		for _, p := range presets {
+			jobs = append(jobs, rateJob(p, w))
+			labels = append(labels, w.Params.Name)
 		}
 	}
 	results, err := runner.RunSuite(ctx, jobs)
 	if err != nil {
 		fail(err)
 	}
-	for _, res := range results {
+	for i, res := range results {
+		res.Workload = labels[i]
 		writeRow(out, res)
 	}
 
 	for m := 0; m < *mixes; m++ {
-		wl := coaxial.MixWorkloads(m, 12)
-		for _, c := range cfgs {
-			res, err := runner.RunMix(ctx, c, wl)
+		for _, p := range presets {
+			res, err := runMixed(ctx, runner, p, m, coaxial.MixWorkloads)
 			if err != nil {
 				fail(err)
 			}
@@ -144,9 +139,8 @@ func main() {
 	}
 
 	for m := 0; m < *racks; m++ {
-		wl := coaxial.RackMixWorkloads(m, 12)
-		for _, c := range cfgs {
-			res, err := runner.RunMix(ctx, c, wl)
+		for _, p := range presets {
+			res, err := runMixed(ctx, runner, p, m, coaxial.RackMixWorkloads)
 			if err != nil {
 				fail(err)
 			}
@@ -154,6 +148,45 @@ func main() {
 			writeRow(out, res)
 		}
 	}
+}
+
+// rateJob builds one suite job: the topology running w on every active
+// core of every host (single-host presets take the classic path).
+func rateJob(p coaxial.TopologyPreset, w coaxial.Workload) coaxial.SuiteJob {
+	if cfg, ok := p.Single(); ok {
+		return coaxial.SuiteJob{Config: cfg, Workload: w}
+	}
+	rackCfg := p.Rack
+	hw := make([][]coaxial.Workload, len(rackCfg.Hosts))
+	for h, cfg := range rackCfg.Hosts {
+		hw[h] = make([]coaxial.Workload, hostCores(cfg))
+		for i := range hw[h] {
+			hw[h][i] = w
+		}
+	}
+	return coaxial.SuiteJob{Rack: &rackCfg, HostWorkloads: hw, Workload: w}
+}
+
+// runMixed runs workload mix m on the topology: single-host presets get
+// mix m directly; racks stagger the mix index per host (host h runs mix
+// m+h) so hosts stay heterogeneous, and report the rack summary row.
+func runMixed(ctx context.Context, runner *coaxial.Runner, p coaxial.TopologyPreset, m int, mk func(idx, cores int) []coaxial.Workload) (coaxial.Result, error) {
+	if cfg, ok := p.Single(); ok {
+		return runner.RunMix(ctx, cfg, mk(m, cfg.Cores))
+	}
+	hw := make([][]coaxial.Workload, len(p.Rack.Hosts))
+	for h, cfg := range p.Rack.Hosts {
+		hw[h] = mk(m+h, hostCores(cfg))
+	}
+	rr, err := runner.RunRack(ctx, p.Rack, hw)
+	return rr.Summary(), err
+}
+
+func hostCores(cfg coaxial.Config) int {
+	if cfg.ActiveCores > 0 {
+		return cfg.ActiveCores
+	}
+	return cfg.Cores
 }
 
 func writeRow(out *csv.Writer, r coaxial.Result) {

@@ -120,20 +120,41 @@ func MixWorkloads(idx, cores int) []Workload { return trace.Mix(idx, cores) }
 func RackMixWorkloads(idx, cores int) []Workload { return trace.RackMix(idx, cores) }
 
 // Run executes one experiment: the system running the same workload on
-// every active core (the paper's rate mode).
+// every active core (the paper's rate mode). It is a thin wrapper over
+// Runner.Run — one-shot callers get the same warm-reuse path as suites,
+// bit-identical to a cold start by construction.
 func Run(cfg Config, w Workload, rc RunConfig) (Result, error) {
-	return sim.Run(cfg, w, rc)
+	return NewRunner(WithRunConfig(rc)).Run(context.Background(), cfg, w)
 }
 
-// RunMix executes one experiment with per-core workloads.
+// RunMix executes one experiment with per-core workloads. Thin wrapper
+// over Runner.RunMix.
 func RunMix(cfg Config, workloads []Workload, rc RunConfig) (Result, error) {
-	return sim.RunMix(cfg, workloads, rc)
+	return NewRunner(WithRunConfig(rc)).RunMix(context.Background(), cfg, workloads)
 }
 
-// SuiteJob names one (config, workload) experiment for RunSuite.
+// RunRack executes one rack-scale experiment (see Runner.RunRack):
+// workloads[h] feeds host h, one entry per active core.
+func RunRack(cfg RackConfig, workloads [][]Workload, rc RunConfig) (RackResult, error) {
+	return NewRunner(WithRunConfig(rc)).RunRack(context.Background(), cfg, workloads)
+}
+
+// SuiteJob names one experiment for RunSuite: a (config, workload)
+// single-system run, or — when Rack is non-nil — a whole rack topology
+// fed by HostWorkloads. Rack jobs report through the same []Result slot
+// as single-host jobs via RackResult.Summary (per-core IPCs concatenated
+// across hosts, traffic summed); callers needing per-device detail run
+// Runner.RunRack directly.
 type SuiteJob struct {
 	Config   Config
 	Workload Workload
+
+	// Rack, when non-nil, makes this a rack job; Config and Workload are
+	// ignored in favor of the topology and HostWorkloads.
+	Rack *RackConfig
+	// HostWorkloads assigns rack workloads: HostWorkloads[h] feeds host h,
+	// one entry per active core.
+	HostWorkloads [][]Workload
 }
 
 // RunSuite executes jobs across rc.Workers workers (GOMAXPROCS when zero),

@@ -74,6 +74,17 @@ type Decisions struct {
 	LLCMisses uint64
 }
 
+// Merge adds other's tallies into d (multi-host aggregation).
+func (d *Decisions) Merge(other Decisions) {
+	d.L2Misses += other.L2Misses
+	d.CALMed += other.CALMed
+	d.TruePos += other.TruePos
+	d.FalsePos += other.FalsePos
+	d.TrueNeg += other.TrueNeg
+	d.FalseNeg += other.FalseNeg
+	d.LLCMisses += other.LLCMisses
+}
+
 // FPRate returns false positives as a fraction of memory accesses (the
 // paper's Fig. 7b metric: wasted accesses / true memory accesses).
 func (d Decisions) FPRate() float64 {

@@ -130,17 +130,7 @@ func (c *Channel) PeakGBs() float64 { return c.cfg.PeakGBs() }
 func (c *Channel) Counters() Counters {
 	var total Counters
 	for _, s := range c.subs {
-		ct := s.Counters()
-		total.ACT += ct.ACT
-		total.PRE += ct.PRE
-		total.RD += ct.RD
-		total.WR += ct.WR
-		total.REF += ct.REF
-		total.ReadBytes += ct.ReadBytes
-		total.WriteBytes += ct.WriteBytes
-		total.ActiveBankCycles += ct.ActiveBankCycles
-		total.RowHits += ct.RowHits
-		total.RowMisses += ct.RowMisses
+		total.Accumulate(s.Counters())
 	}
 	return total
 }

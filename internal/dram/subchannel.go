@@ -66,6 +66,21 @@ type Counters struct {
 	RowHits, RowMisses uint64
 }
 
+// Accumulate adds ct's activity into c (summing counters across
+// sub-channels, channels, or whole devices).
+func (c *Counters) Accumulate(ct Counters) {
+	c.ACT += ct.ACT
+	c.PRE += ct.PRE
+	c.RD += ct.RD
+	c.WR += ct.WR
+	c.REF += ct.REF
+	c.ReadBytes += ct.ReadBytes
+	c.WriteBytes += ct.WriteBytes
+	c.ActiveBankCycles += ct.ActiveBankCycles
+	c.RowHits += ct.RowHits
+	c.RowMisses += ct.RowMisses
+}
+
 // SubChannel models one independent 32-bit DDR5 sub-channel: one rank of
 // banks, its command/data buses, controller queues, and FR-FCFS scheduler.
 //

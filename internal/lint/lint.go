@@ -20,6 +20,7 @@ var HotPathPackages = []string{
 	"coaxial/internal/noc",
 	"coaxial/internal/memreq",
 	"coaxial/internal/clock",
+	"coaxial/internal/rack",
 	// The validation harness is not ticked per cycle, but its reports are
 	// part of a run's reproducible output, so it obeys the same rules.
 	"coaxial/internal/validate",
@@ -35,6 +36,7 @@ var StatePackages = []string{
 	"coaxial/internal/calm",
 	"coaxial/internal/noc",
 	"coaxial/internal/memreq",
+	"coaxial/internal/rack",
 }
 
 // Suite returns the coaxlint analyzers configured for this repository, in
@@ -45,6 +47,7 @@ func Suite() []*analysis.Analyzer {
 		NewDeterminism(HotPathPackages),
 		NewPhaseIsolation(HotPathPackages, []string{
 			"coaxial/internal/sim.workerPool.run",
+			"coaxial/internal/rack.workerPool.run",
 		}),
 		NewCounters(CounterConfig{
 			CounterTypes: []string{

@@ -49,6 +49,11 @@ type Request struct {
 	Kind Kind
 	// Core identifies the issuing core (for per-core stats); -1 if N/A.
 	Core int16
+	// Host identifies the issuing host in rack-scale topologies where
+	// several hosts share pooled CXL devices (per-host fairness accounting
+	// and validation walks over shared device queues); 0 for single-host
+	// systems.
+	Host int16
 	// CALM marks a concurrent LLC/memory access whose response may be
 	// discarded if the LLC hits.
 	CALM bool

@@ -1,0 +1,75 @@
+package rack
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool runs the rack's parallel host phase (phase H) across a fixed
+// set of goroutines, mirroring sim's intra-system pool. Workers are
+// persistent and block on a channel between phases — no spinning — so an
+// idle pool costs nothing; the caller participates in every phase, so a
+// pool of size n-1 yields n-way parallelism.
+type workerPool struct {
+	tasks chan poolTask
+	size  int
+}
+
+// poolTask is one phase: fn applied to indices [0, n), distributed by
+// atomic index stealing so uneven per-host costs balance automatically.
+type poolTask struct {
+	fn  func(int)
+	idx *atomic.Int64
+	n   int64
+	wg  *sync.WaitGroup
+}
+
+func newWorkerPool(size int) *workerPool {
+	p := &workerPool{size: size, tasks: make(chan poolTask)}
+	for w := 0; w < size; w++ {
+		go func() {
+			for t := range p.tasks {
+				for {
+					i := t.idx.Add(1) - 1
+					if i >= t.n {
+						break
+					}
+					t.fn(int(i))
+				}
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run applies fn to every index in [0, n) across the pool plus the calling
+// goroutine, returning when all calls have completed (the phase barrier).
+func (p *workerPool) run(n int, fn func(int)) {
+	var idx atomic.Int64
+	var wg sync.WaitGroup
+	helpers := p.size
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	wg.Add(helpers)
+	t := poolTask{fn: fn, idx: &idx, n: int64(n), wg: &wg}
+	for w := 0; w < helpers; w++ {
+		p.tasks <- t
+	}
+	for {
+		i := idx.Add(1) - 1
+		if i >= int64(n) {
+			break
+		}
+		fn(int(i))
+	}
+	wg.Wait()
+}
+
+// close releases the pool's goroutines. Safe on a nil pool.
+func (p *workerPool) close() {
+	if p != nil {
+		close(p.tasks)
+	}
+}

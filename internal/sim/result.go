@@ -59,6 +59,17 @@ type RunConfig struct {
 	// Result. Observation-only: measurements are bit-identical with or
 	// without it.
 	Validate bool
+	// Topology fingerprints the multi-host topology the run is embedded in
+	// ("" for a standalone single-host run). It contributes to WarmKey so
+	// rack sweeps never alias warm-state cache entries across host counts
+	// or host positions; rack drivers set it per host (see rack.HostRunConfig).
+	Topology string
+	// RackParallelism is the rack-level host-shard worker count: hosts
+	// tick on this many goroutines between rack phases. Results are
+	// bit-identical for every value; <= 1 ticks hosts sequentially. It is
+	// independent of Parallelism (the intra-host worker count) and unused
+	// by single-host runs.
+	RackParallelism int
 }
 
 // DefaultRunConfig returns the standard experiment windows. The paper

@@ -15,9 +15,12 @@ import (
 	"coaxial/internal/trace"
 )
 
-// counterBackend is a memory backend that also exposes DRAM activity
-// counters; both dram.Channel and cxl.Channel satisfy it.
-type counterBackend interface {
+// ExternalBackend is the full memory-backend surface a System requires of
+// its channels: a memreq.Backend that also exposes DRAM activity counters
+// and a drain check. dram.Channel, cxl.Channel, and cxl.Port satisfy it.
+// Exported so topology builders (internal/rack) can inject pre-built
+// backends — ports into shared pooled devices — via HostParams.
+type ExternalBackend interface {
 	memreq.Backend
 	Counters() dram.Counters
 	ResetCounters()
@@ -109,7 +112,7 @@ type System struct {
 	l2    []*cache.Cache
 	llc   *cache.LLC
 
-	backends  []counterBackend
+	backends  []ExternalBackend
 	portTiles []noc.Tile
 	coreTiles []noc.Tile
 	iv        memreq.Interleave
@@ -190,6 +193,19 @@ type System struct {
 	// DRAM sub-channel plus the request-lifecycle checker hooked into
 	// send/Complete.
 	val *validation
+	// extraPending are additional pending-request walkers registered by a
+	// topology builder (AddPendingWalker): requests this host owns that
+	// live outside its backends' own queues — e.g. inside a shared pooled
+	// device's DDR controllers, which the rack walks once per device and
+	// dispatches by Request.Host.
+	extraPending []func(func(*memreq.Request))
+
+	// hostID tags every request this system creates (Request.Host) and
+	// addrOffset displaces its synthetic address space, so several hosts
+	// sharing pooled devices stay distinguishable and non-overlapping.
+	// Zero for single-host systems.
+	hostID     int16
+	addrOffset uint64
 
 	// Sampled-simulation state (runMeasureSampled): detailCycles sums the
 	// cycles spent in detailed measurement windows (the denominator for
@@ -212,9 +228,33 @@ type System struct {
 	now int64
 }
 
+// HostParams identifies a System's place in a multi-host topology. The
+// zero value is a standalone single-host system.
+type HostParams struct {
+	// Index is the host's rack position; it tags every request the system
+	// creates (Request.Host) for fairness accounting and validation walks
+	// over shared device queues.
+	Index int
+	// AddrOffset displaces the host's synthetic address space so hosts
+	// sharing pooled devices occupy disjoint physical ranges. Host 0's
+	// offset must be 0 for single-host bit-identity.
+	AddrOffset uint64
+	// Backends, when non-nil, are pre-built memory backends injected in
+	// channel order (len must equal cfg.Channels): ports into shared
+	// pooled CXL devices. Nil builds the config's own private backends.
+	Backends []ExternalBackend
+}
+
 // NewSystem assembles a system running the given per-core workloads
 // (len(workloads) must equal the active core count; inactive cores idle).
 func NewSystem(cfg Config, workloads []trace.Workload, seed uint64) (*System, error) {
+	return NewHostSystem(cfg, workloads, seed, HostParams{})
+}
+
+// NewHostSystem is NewSystem for a host embedded in a multi-host topology:
+// hp places the host's address space, tags its requests, and (for pooled
+// topologies) injects its shared-device ports.
+func NewHostSystem(cfg Config, workloads []trace.Workload, seed uint64, hp HostParams) (*System, error) {
 	active := cfg.active()
 	if len(workloads) != active {
 		return nil, fmt.Errorf("sim: %d workloads for %d active cores", len(workloads), active)
@@ -222,11 +262,11 @@ func NewSystem(cfg Config, workloads []trace.Workload, seed uint64) (*System, er
 	gens := make([]trace.Generator, active)
 	hints := make([]trace.Params, active)
 	for i, w := range workloads {
-		base := (uint64(i) + 1) << 40 // disjoint per-instance address spaces
+		base := hp.AddrOffset + (uint64(i)+1)<<40 // disjoint per-instance address spaces
 		gens[i] = trace.NewSynthetic(w.Params, base, seed*1_000_003+uint64(i)+1)
 		hints[i] = w.Params
 	}
-	return NewSystemGens(cfg, gens, hints)
+	return newSystemGens(cfg, gens, hints, hp)
 }
 
 // NewSystemGens assembles a system over caller-provided instruction
@@ -235,6 +275,10 @@ func NewSystem(cfg Config, workloads []trace.Workload, seed uint64) (*System, er
 // cap; pass nil to skip pre-fill (then provide enough warmup in the trace
 // itself).
 func NewSystemGens(cfg Config, gens []trace.Generator, hints []trace.Params) (*System, error) {
+	return newSystemGens(cfg, gens, hints, HostParams{})
+}
+
+func newSystemGens(cfg Config, gens []trace.Generator, hints []trace.Params, hp HostParams) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -246,11 +290,17 @@ func NewSystemGens(cfg Config, gens []trace.Generator, hints []trace.Params) (*S
 		return nil, fmt.Errorf("sim: %d prefill hints for %d active cores", len(hints), active)
 	}
 
+	if hp.Backends != nil && len(hp.Backends) != cfg.Channels {
+		return nil, fmt.Errorf("sim: %d injected backends for %d channels", len(hp.Backends), cfg.Channels)
+	}
+
 	s := &System{
-		cfg:  cfg,
-		mesh: cfg.Mesh,
-		iv:   memreq.Interleave{Channels: cfg.Channels},
-		hist: stats.NewHistogram(6000, 4), // up to 2.5 us at 1.67 ns buckets
+		cfg:        cfg,
+		mesh:       cfg.Mesh,
+		iv:         memreq.Interleave{Channels: cfg.Channels},
+		hist:       stats.NewHistogram(6000, 4), // up to 2.5 us at 1.67 ns buckets
+		hostID:     int16(hp.Index),
+		addrOffset: hp.AddrOffset,
 	}
 
 	s.llc = cache.NewLLC(cfg.Cores, cfg.LLCSliceBytes, cfg.LLCAssoc, cfg.LLCLatency)
@@ -261,10 +311,12 @@ func NewSystemGens(cfg Config, gens []trace.Generator, hints []trace.Params) (*S
 		systemSubs = cfg.Channels * cfg.CXL.DDRChannels * cfg.DDR.SubChannels
 	}
 	for ch := 0; ch < cfg.Channels; ch++ {
-		switch cfg.Kind {
-		case DirectDDR:
+		switch {
+		case hp.Backends != nil:
+			s.backends = append(s.backends, hp.Backends[ch])
+		case cfg.Kind == DirectDDR:
 			s.backends = append(s.backends, dram.NewChannel(cfg.DDR, systemSubs))
-		case CXLAttached:
+		case cfg.Kind == CXLAttached:
 			ccfg := cfg.CXL
 			ccfg.DDR = cfg.DDR
 			s.backends = append(s.backends, cxl.NewChannel(ccfg, systemSubs))
@@ -481,7 +533,7 @@ func (s *System) accessLLC(core int, ev *memEvent) bool {
 			// False positive: the concurrent memory request was already
 			// launched; its response will be discarded on arrival.
 			r := s.arena.Alloc()
-			r.Addr, r.Kind, r.Core = line, memreq.Read, int16(core)
+			r.Addr, r.Kind, r.Core, r.Host = line, memreq.Read, int16(core), s.hostID
 			r.CALM, r.Discard, r.Issue = true, true, t2
 			r.Ret = s.completerFor(ch)
 			s.send(r, ch, t2+s.mesh.Latency(s.coreTiles[core], portTile))
@@ -497,7 +549,7 @@ func (s *System) accessLLC(core int, ev *memEvent) bool {
 	// the L2; a CALM access may not complete before it (coherence rule).
 	llcAck := t2 + nocTo + s.llc.Latency() + nocTo
 	r := s.arena.Alloc()
-	r.Addr, r.Kind, r.Core = line, memreq.Read, int16(core)
+	r.Addr, r.Kind, r.Core, r.Host = line, memreq.Read, int16(core), s.hostID
 	r.CALM, r.Issue = doCALM, t2
 	r.Ret = s.completerFor(ch)
 	var at int64
@@ -685,6 +737,7 @@ func (s *System) writeback(addr uint64, now int64) {
 	ch := s.chOf(addr)
 	r := s.arena.Alloc()
 	r.Addr, r.Kind, r.Core, r.Issue = addr, memreq.Write, -1, now
+	r.Host = s.hostID
 	sliceTile := s.coreTiles[s.llc.SliceOf(addr)]
 	s.send(r, ch, now+s.mesh.Latency(sliceTile, s.portTiles[ch]))
 }
@@ -824,6 +877,15 @@ func (s *System) tickDueBackendsPar(due []int, next int64) {
 // the jump degrades to a single cycle, because spill retry timing depends
 // on backend dequeues the caches can't see.
 func (s *System) stepEvent(limit int64) {
+	s.tickEventCycle(s.nextEventBound(limit))
+}
+
+// nextEventBound returns the cycle stepEvent would advance to given the
+// budget limit: the earliest cached component event, degraded to now+1
+// while spill retries are pending, clamped to (now, limit]. A rack driver
+// folds each host's bound (and the pooled devices' NextEvents) into one
+// global minimum so all hosts advance in lockstep.
+func (s *System) nextEventBound(limit int64) int64 {
 	next := limit
 	if s.spillPending > 0 {
 		next = s.now + 1
@@ -842,6 +904,12 @@ func (s *System) stepEvent(limit int64) {
 	if next <= s.now {
 		next = s.now + 1
 	}
+	return next
+}
+
+// tickEventCycle simulates exactly the chosen cycle `next` (> now): the
+// event-driven step body after the cycle choice.
+func (s *System) tickEventCycle(next int64) {
 	s.now = next
 
 	due := s.dueCores[:0]
@@ -958,7 +1026,7 @@ func (s *System) prefillLLC(hints []trace.Params, seed uint64) {
 	var dirties [batch]bool
 	var sink uint64
 	for i, p := range hints {
-		base := (uint64(i) + 1) << 40
+		base := s.addrOffset + (uint64(i)+1)<<40
 		wsLines := p.WSBytes / memreq.LineSize
 		if wsLines == 0 {
 			wsLines = 1

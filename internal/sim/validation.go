@@ -57,7 +57,11 @@ func (s *System) EnableValidation() {
 
 // forEachPending walks every request the memory system currently owns:
 // the spill retry queues plus each backend's internal queues (for CXL,
-// including the device-side DDR controllers and the response path).
+// including the device-side DDR controllers and the response path). For
+// pooled-device ports the shared DDR controllers are covered by the
+// topology's registered walkers (AddPendingWalker) — the rack walks each
+// device once and dispatches by Request.Host — so a host with several
+// ports on one device still visits each request exactly once.
 func (s *System) forEachPending(fn func(*memreq.Request)) {
 	for ch := range s.backends {
 		for i := range s.spillR[ch] {
@@ -73,7 +77,12 @@ func (s *System) forEachPending(fn func(*memreq.Request)) {
 			t.ForEachPending(fn)
 		case *cxl.Channel:
 			t.ForEachPending(fn)
+		case *cxl.Port:
+			t.ForEachPending(fn)
 		}
+	}
+	for _, w := range s.extraPending {
+		w(fn)
 	}
 }
 
@@ -152,6 +161,13 @@ func (s *System) validationError() error {
 				for si, sub := range d.SubChannels() {
 					checkSub(fmt.Sprintf("cxl%d/ddr%d", ch, di), si, sub)
 				}
+			}
+		case *cxl.Port:
+			// Shared-device DDR occupancy is checked by the rack, which
+			// owns the device; only the port-local bound is per-host.
+			if out := t.Outstanding(); out < 0 || out > t.IngressDepth() {
+				extra = append(extra, fmt.Sprintf(
+					"port%d outstanding count %d outside [0, %d]", ch, out, t.IngressDepth()))
 			}
 		}
 	}

@@ -27,7 +27,14 @@ type WarmState struct {
 	seed      uint64
 	fw        uint64
 	geom      string
+	// host fingerprints the HostParams the warmup ran under: the address
+	// offset shifts every generated address, so a snapshot is only valid
+	// for the identical host position.
+	host string
 }
+
+// Workloads returns the workload assignment the snapshot was captured for.
+func (ws *WarmState) Workloads() []trace.Workload { return ws.workloads }
 
 // warmGeometry fingerprints the configuration facets the untimed warmup
 // depends on: core/cache shape only. Timing, backend, and CALM parameters
@@ -39,10 +46,27 @@ func warmGeometry(cfg Config) string {
 		cfg.LLCSliceBytes, cfg.LLCAssoc, cfg.LLCLatency)
 }
 
+// hostFingerprint identifies the HostParams facets the untimed warmup
+// depends on: the address offset (it shifts every generated and prefilled
+// address). Injected backends are irrelevant — warmup is timing-free and
+// never touches them — and the host index only tags requests.
+func hostFingerprint(hp HostParams) string {
+	if hp.AddrOffset == 0 {
+		return ""
+	}
+	return fmt.Sprintf("off:%#x", hp.AddrOffset)
+}
+
 // WarmKey identifies the warm state a (cfg, workloads, rc) run would
 // consume: two runs with equal keys can share one CaptureWarm snapshot.
+// rc.Topology participates so runs embedded in different multi-host
+// topologies (different host counts, or different positions within one
+// rack) never alias each other's cache entries.
 func WarmKey(cfg Config, workloads []trace.Workload, rc RunConfig) string {
 	key := fmt.Sprintf("%s|seed:%d|fw:%d", warmGeometry(cfg), rc.Seed, rc.functionalInstr())
+	if rc.Topology != "" {
+		key += "|topo:" + rc.Topology
+	}
 	for _, w := range workloads {
 		key += fmt.Sprintf("|%+v", w.Params)
 	}
@@ -54,7 +78,18 @@ func WarmKey(cfg Config, workloads []trace.Workload, rc RunConfig) string {
 // false — with no error — when the workloads' generators do not support
 // cloning, in which case callers fall back to cold-start runs.
 func CaptureWarm(cfg Config, workloads []trace.Workload, rc RunConfig) (ws *WarmState, ok bool, err error) {
-	sys, err := NewSystem(cfg, workloads, rc.Seed)
+	return CaptureWarmHost(cfg, workloads, rc, HostParams{})
+}
+
+// CaptureWarmHost is CaptureWarm for a host embedded in a multi-host
+// topology: the snapshot is captured at hp's address offset and is only
+// reusable at the same offset. The capture system is built with private
+// backends even when the live host will use injected ones — the untimed
+// warmup never touches a backend, and building throwaway ports would
+// corrupt shared-device attach order.
+func CaptureWarmHost(cfg Config, workloads []trace.Workload, rc RunConfig, hp HostParams) (ws *WarmState, ok bool, err error) {
+	hp.Backends = nil
+	sys, err := NewHostSystem(cfg, workloads, rc.Seed, hp)
 	if err != nil {
 		return nil, false, err
 	}
@@ -80,6 +115,7 @@ func CaptureWarm(cfg Config, workloads []trace.Workload, rc RunConfig) (ws *Warm
 		seed:      rc.Seed,
 		fw:        rc.functionalInstr(),
 		geom:      warmGeometry(cfg),
+		host:      hostFingerprint(hp),
 	}
 	// The system is discarded, so its caches transfer to the snapshot
 	// as-is; only the generators need detaching from the cores.
@@ -101,25 +137,43 @@ func RunMixWarm(ctx context.Context, cfg Config, ws *WarmState, rc RunConfig) (R
 	if rc.MaxCyclesPerInstr <= 0 {
 		rc.MaxCyclesPerInstr = 400
 	}
+	sys, err := NewWarmSystem(cfg, ws, rc, HostParams{})
+	if err != nil {
+		return Result{}, err
+	}
+	defer sys.Close()
+	return sys.timedPhases(ctx, ws.workloads, rc)
+}
+
+// NewWarmSystem rebuilds a ready-to-measure System from a warm snapshot:
+// generators cloned at their post-warmup positions, caches cloned from the
+// capture, clocking/parallelism/validation applied per rc. hp injects the
+// host's topology placement — its address offset must match the capture
+// (hostFingerprint), and hp.Backends wires shared pooled-device ports. The
+// caller owns the system (Close it when done) and drives the timed phases
+// itself; RunMixWarm is the single-host convenience wrapper.
+func NewWarmSystem(cfg Config, ws *WarmState, rc RunConfig, hp HostParams) (*System, error) {
 	if rc.SkipFunctional {
-		return Result{}, fmt.Errorf("sim: warm run with SkipFunctional set")
+		return nil, fmt.Errorf("sim: warm run with SkipFunctional set")
 	}
 	if g := warmGeometry(cfg); g != ws.geom {
-		return Result{}, fmt.Errorf("sim: warm state geometry mismatch: captured %q, running %q", ws.geom, g)
+		return nil, fmt.Errorf("sim: warm state geometry mismatch: captured %q, running %q", ws.geom, g)
 	}
 	if rc.Seed != ws.seed || rc.functionalInstr() != ws.fw {
-		return Result{}, fmt.Errorf("sim: warm state seed/warmup mismatch")
+		return nil, fmt.Errorf("sim: warm state seed/warmup mismatch")
+	}
+	if h := hostFingerprint(hp); h != ws.host {
+		return nil, fmt.Errorf("sim: warm state host mismatch: captured %q, running %q", ws.host, h)
 	}
 	gens := make([]trace.Generator, len(ws.gens))
 	for i, g := range ws.gens {
 		gens[i] = g.(trace.Cloner).Clone()
 	}
-	sys, err := NewSystemGens(cfg, gens, ws.hints)
+	sys, err := newSystemGens(cfg, gens, ws.hints, hp)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	sys.SetParallelism(rc.Parallelism)
-	defer sys.Close()
 	sys.SetClocking(rc.Clocking)
 	if rc.Validate {
 		sys.EnableValidation()
@@ -129,5 +183,5 @@ func RunMixWarm(ctx context.Context, cfg Config, ws *WarmState, rc RunConfig) (R
 		sys.l2[i] = ws.l2[i].Clone()
 	}
 	sys.llc = ws.llc.Clone()
-	return sys.timedPhases(ctx, ws.workloads, rc)
+	return sys, nil
 }

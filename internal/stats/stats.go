@@ -233,6 +233,26 @@ func Geomean(vals []float64) float64 {
 	return math.Exp(logSum / float64(len(vals)))
 }
 
+// JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) over the given
+// non-negative shares (e.g. per-host IPCs or bandwidth allocations on a
+// shared pooled device): 1 when all shares are equal, approaching 1/n when
+// one consumer starves the rest. Returns 0 for an empty slice or all-zero
+// shares.
+func JainFairness(shares []float64) float64 {
+	if len(shares) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range shares {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(shares)) * sumSq)
+}
+
 // Mean returns the arithmetic mean, or 0 for an empty slice.
 func Mean(vals []float64) float64 {
 	if len(vals) == 0 {

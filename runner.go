@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"coaxial/internal/rack"
 	"coaxial/internal/sim"
 )
 
@@ -111,6 +112,14 @@ func WithSampling(detail, fastfwd uint64) RunnerOption {
 	}
 }
 
+// WithRackParallelism sets the rack-level host-phase worker count for
+// RunRack: hosts due at a lockstep tick advance on n goroutines between
+// the rack's phase barriers. Results are bit-identical for every n
+// (TestRackClockingEquivalence); n <= 1 ticks hosts sequentially.
+func WithRackParallelism(n int) RunnerOption {
+	return func(r *Runner) { r.rc.RackParallelism = n }
+}
+
 // WithRunConfig replaces the whole run configuration (escape hatch for
 // fields without a dedicated option, e.g. SkipFunctional). Options applied
 // after it override individual fields.
@@ -160,11 +169,61 @@ func (r *Runner) RunMix(ctx context.Context, cfg Config, workloads []Workload) (
 	return sim.RunMixCtx(ctx, cfg, workloads, r.rc)
 }
 
+// RunRack executes one rack-scale experiment: cfg's hosts running
+// workloads[h] on host h (one per active core), their CXL channels
+// contending for cfg's shared pooled devices. Per-host warm states are
+// memoized like single-host runs — keys include the topology fingerprint
+// (sim.WarmKey), so rack sweeps never alias entries across host counts or
+// positions — and rack runs reuse nothing from single-host entries.
+// Sampled simulation is incompatible with the lockstep rack and returns
+// an error.
+func (r *Runner) RunRack(ctx context.Context, cfg RackConfig, workloads [][]Workload) (RackResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return RackResult{}, err
+	}
+	if len(workloads) != len(cfg.Hosts) {
+		return RackResult{}, fmt.Errorf("coaxial: %q: %d workload sets for %d hosts", cfg.Name, len(workloads), len(cfg.Hosts))
+	}
+	if r.rc.SampleDetailInstr > 0 && r.rc.SampleFastFwdInstr > 0 {
+		// Let RunFrom return its incompatibility error before any host
+		// pays for a functional warmup capture.
+		return rack.RunFrom(ctx, cfg, workloads, r.rc, nil)
+	}
+	var warm []*sim.WarmState
+	if !r.rc.SkipFunctional {
+		warm = make([]*sim.WarmState, len(cfg.Hosts))
+		for h := range cfg.Hosts {
+			hrc := rack.HostRunConfig(r.rc, cfg, h)
+			hp := sim.HostParams{Index: h, AddrOffset: rack.HostAddrOffset(h)}
+			ws, ok, err := r.warmForHost(cfg.Hosts[h], workloads[h], hrc, hp)
+			if err != nil {
+				return RackResult{}, fmt.Errorf("coaxial: %q host %d warmup: %w", cfg.Name, h, err)
+			}
+			if !ok {
+				// Uncloneable generators: every host cold-starts so the
+				// whole rack shares one code path.
+				warm = nil
+				break
+			}
+			warm[h] = ws
+		}
+	}
+	return rack.RunFrom(ctx, cfg, workloads, r.rc, warm)
+}
+
 // warmFor returns the memoized warm state for this run's warm key,
 // capturing it on first use. ok is false when the generators cannot be
 // cloned (the caller then runs cold).
 func (r *Runner) warmFor(cfg Config, workloads []Workload) (*sim.WarmState, bool, error) {
-	key := sim.WarmKey(cfg, workloads, r.rc)
+	return r.warmForHost(cfg, workloads, r.rc, sim.HostParams{})
+}
+
+// warmForHost is warmFor for a host embedded in a topology: hrc carries
+// the host's derived seed and topology fingerprint (which key the cache),
+// hp its placement. The sync.Once collapses concurrent workers racing for
+// one key into a single capture.
+func (r *Runner) warmForHost(cfg Config, workloads []Workload, hrc RunConfig, hp sim.HostParams) (*sim.WarmState, bool, error) {
+	key := sim.WarmKey(cfg, workloads, hrc)
 	r.mu.Lock()
 	e, hit := r.warm[key]
 	if !hit {
@@ -173,7 +232,7 @@ func (r *Runner) warmFor(cfg Config, workloads []Workload) (*sim.WarmState, bool
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
-		e.ws, e.ok, e.err = sim.CaptureWarm(cfg, workloads, r.rc)
+		e.ws, e.ok, e.err = sim.CaptureWarmHost(cfg, workloads, hrc, hp)
 	})
 	return e.ws, e.ok, e.err
 }
@@ -187,11 +246,27 @@ func (r *Runner) RunSuite(ctx context.Context, jobs []SuiteJob) ([]Result, error
 	results, errs := r.runSuite(ctx, jobs)
 	for i, err := range errs {
 		if err != nil {
-			errs[i] = fmt.Errorf("job %d (%s/%s): %w",
-				i, jobs[i].Config.Name, jobs[i].Workload.Params.Name, err)
+			errs[i] = fmt.Errorf("job %d (%s): %w", i, jobs[i].label(), err)
 		}
 	}
 	return results, errors.Join(errs...)
+}
+
+// label names a job for error annotation.
+func (j SuiteJob) label() string {
+	if j.Rack != nil {
+		return fmt.Sprintf("rack %s/%d hosts", j.Rack.Name, len(j.Rack.Hosts))
+	}
+	return j.Config.Name + "/" + j.Workload.Params.Name
+}
+
+// runJob dispatches one suite job down the single-system or rack path.
+func (r *Runner) runJob(ctx context.Context, j SuiteJob) (Result, error) {
+	if j.Rack != nil {
+		rr, err := r.RunRack(ctx, *j.Rack, j.HostWorkloads)
+		return rr.Summary(), err
+	}
+	return r.Run(ctx, j.Config, j.Workload)
 }
 
 // runSuite is the shared fan-out under both suite entry points.
@@ -215,7 +290,7 @@ func (r *Runner) runSuite(ctx context.Context, jobs []SuiteJob) ([]Result, []err
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				results[i], errs[i] = r.Run(ctx, jobs[i].Config, jobs[i].Workload)
+				results[i], errs[i] = r.runJob(ctx, jobs[i])
 			}
 		}()
 	}
