@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-baseline vet golden check bench perf-smoke
+.PHONY: build test race serve-test lint lint-baseline vet golden check bench perf-smoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# serve-test runs the simulation-service suite under the race detector
+# (DESIGN.md §9): concurrent determinism against direct Runner runs,
+# single-flight collapse, cancellation partials, queue backpressure,
+# graceful shutdown, the job storm, and the rack-cancellation contract
+# the daemon depends on.
+serve-test:
+	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestRunRackCancelReturnsPartialHosts' .
 
 # lint runs coaxlint (internal/lint): determinism, phase-isolation,
 # counter-hygiene, and observer-purity invariants, plus unitcheck's

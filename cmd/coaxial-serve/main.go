@@ -1,0 +1,110 @@
+// Command coaxial-serve runs the simulation-as-a-service daemon: a
+// long-running HTTP/JSON server accepting run/sweep/rack jobs, scheduling
+// them on a bounded worker pool, sharing one warm-state cache across all
+// requests, and single-flighting identical in-flight configurations.
+//
+//	coaxial-serve -addr :8080 -workers 4 -queue 32
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a job (202 + job ID)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status + results
+//	DELETE /v1/jobs/{id}        cancel; returns salvaged partial results
+//	GET    /v1/jobs/{id}/stream chunked JSON-lines progress stream
+//	GET    /v1/presets          available topologies and workloads
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             scheduler/cache counters (Prometheus text)
+//
+// SIGINT/SIGTERM drains gracefully: new submissions are rejected, running
+// jobs finish (up to -drain), then the process exits. A second signal
+// cancels running jobs hard, salvaging partial measurements.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"coaxial"
+	"coaxial/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 16, "queued-job limit before 429s")
+		drain   = flag.Duration("drain", 10*time.Minute, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "coaxial-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, drain time.Duration) error {
+	srv := serve.New(serve.Options{
+		Workers:    workers,
+		QueueDepth: queue,
+		Engine:     serve.NewRunnerEngine(coaxial.NewRunner()),
+		// The daemon is where wall-clock time enters the system; the serve
+		// package itself never reads it.
+		Clock: time.Now,
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go listen(httpSrv, serveErr)
+	fmt.Fprintf(os.Stderr, "coaxial-serve: listening on %s (%d workers, queue %d)\n",
+		addr, workers, queue)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "coaxial-serve: %v: draining (again to cancel jobs)\n", sig)
+	}
+
+	// Stop accepting connections, then drain jobs; a second signal
+	// escalates to hard cancellation.
+	closeCtx, closeCancel := context.WithTimeout(context.Background(), drain)
+	defer closeCancel()
+	_ = httpSrv.Shutdown(closeCtx)
+
+	drained := make(chan error, 1)
+	go drainJobs(srv, closeCtx, drained)
+	select {
+	case err := <-drained:
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "coaxial-serve: %v: canceling running jobs\n", sig)
+		return srv.Close()
+	case <-closeCtx.Done():
+		fmt.Fprintln(os.Stderr, "coaxial-serve: drain budget exhausted, canceling running jobs")
+		return srv.Close()
+	}
+}
+
+// listen runs the HTTP accept loop, reporting its terminal error.
+func listen(s *http.Server, out chan<- error) {
+	err := s.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	out <- err
+}
+
+// drainJobs waits for the scheduler to finish queued and running jobs.
+func drainJobs(s *serve.Server, ctx context.Context, out chan<- error) {
+	out <- s.Shutdown(ctx)
+}

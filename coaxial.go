@@ -49,6 +49,9 @@ type (
 	// Clocking selects the simulator's main-loop time advance
 	// (RunConfig.Clocking).
 	Clocking = sim.Clocking
+	// Progress is one per-window phase-progress observation delivered to
+	// RunConfig.OnProgress / WithProgress observers.
+	Progress = sim.Progress
 )
 
 // Clocking modes. EventDriven (the default) fast-forwards over dead cycles

@@ -24,6 +24,12 @@ var HotPathPackages = []string{
 	// The validation harness is not ticked per cycle, but its reports are
 	// part of a run's reproducible output, so it obeys the same rules.
 	"coaxial/internal/validate",
+	// The service layer returns simulated measurements on the wire: no
+	// time.Now in result payloads (wall clock enters only through the
+	// daemon-injected serve.Clock, stamping job metadata) and no
+	// order-sensitive map iteration in responses, so identical jobs are
+	// byte-identical across runs (TestWireGolden).
+	"coaxial/internal/serve",
 }
 
 // StatePackages hold mutable simulator state observers must never write.

@@ -197,6 +197,12 @@ type rack struct {
 	validate bool
 	oracles  []*validate.Oracle
 
+	// progress, when non-nil, observes rack-level phase progress at the
+	// cancellation-poll boundaries (RunConfig.OnProgress); measuring
+	// selects the reported phase label.
+	progress  func(sim.Progress)
+	measuring bool
+
 	now          int64
 	measureStart int64
 }
@@ -205,7 +211,7 @@ type rack struct {
 // (attach order is the devices' arbitration order), runs each host's
 // untimed warmup (or clones its warm snapshot), and wires validation.
 func build(cfg Config, workloads [][]trace.Workload, rc sim.RunConfig, warm []*sim.WarmState) (*rack, error) {
-	rk := &rack{cfg: cfg, clocking: rc.Clocking, validate: rc.Validate}
+	rk := &rack{cfg: cfg, clocking: rc.Clocking, validate: rc.Validate, progress: rc.OnProgress}
 	for i, dcfg := range cfg.Pooled {
 		if dcfg.Name == "" {
 			dcfg.Name = fmt.Sprintf("pool%d", i)
@@ -230,6 +236,7 @@ func build(cfg Config, workloads [][]trace.Workload, rc sim.RunConfig, warm []*s
 			hp.Backends = backends
 		}
 		hrc := HostRunConfig(rc, cfg, h)
+		hrc.OnProgress = nil // the rack emits rack-level progress itself
 		var sys *sim.System
 		var err error
 		if warm != nil && warm[h] != nil {
@@ -340,6 +347,7 @@ func (rk *rack) runPhase(ctx context.Context, target uint64, maxCycles int64) er
 	for _, s := range rk.hosts {
 		s.SetTarget(target)
 	}
+	start := rk.now
 	limit := rk.now + maxCycles
 	nextCheck := rk.now + ctxCheckCycles
 	for {
@@ -351,6 +359,9 @@ func (rk *rack) runPhase(ctx context.Context, target uint64, maxCycles int64) er
 			}
 		}
 		if done {
+			if rk.progress != nil {
+				rk.emitProgress(target, start)
+			}
 			return nil
 		}
 		if rk.now >= limit {
@@ -361,10 +372,28 @@ func (rk *rack) runPhase(ctx context.Context, target uint64, maxCycles int64) er
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("rack: %s: stopped at cycle %d: %w", rk.cfg.Name, rk.now, err)
 			}
+			if rk.progress != nil {
+				rk.emitProgress(target, start)
+			}
 			nextCheck = rk.now + ctxCheckCycles
 		}
 		rk.step(limit)
 	}
+}
+
+// emitProgress delivers one rack-level observation: the slowest core of the
+// slowest host toward the lockstep phase target.
+func (rk *rack) emitProgress(target uint64, start int64) {
+	p := sim.Progress{Phase: "warmup", Cycles: rk.now - start, Retired: target, Target: target}
+	if rk.measuring {
+		p.Phase = "measure"
+	}
+	for _, s := range rk.hosts {
+		if r := s.PhaseRetired(target); r < p.Retired {
+			p.Retired = r
+		}
+	}
+	rk.progress(p)
 }
 
 // step advances the whole rack one chosen cycle: the phased H/D/E tick
@@ -431,6 +460,7 @@ func (rk *rack) beginMeasurement() {
 	for _, d := range rk.devices {
 		d.ResetStats()
 	}
+	rk.measuring = true
 	rk.measureStart = rk.now
 }
 

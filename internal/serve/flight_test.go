@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"coaxial"
+)
+
+// blockingRun builds a runFunc that signals entry, then blocks until
+// released or canceled (returning a distinguishable partial outcome).
+func blockingRun(entered chan struct{}, release chan struct{}) runFunc {
+	return func(ctx context.Context, onProgress func(coaxial.Progress)) (PointOutcome, error) {
+		entered <- struct{}{}
+		if onProgress != nil {
+			onProgress(coaxial.Progress{Phase: "measure", Cycles: 1})
+		}
+		select {
+		case <-release:
+			return PointOutcome{Result: coaxial.Result{Cycles: 100}}, nil
+		case <-ctx.Done():
+			return PointOutcome{Result: coaxial.Result{Cycles: 7}}, fmt.Errorf("stopped: %w", ctx.Err())
+		}
+	}
+}
+
+// TestFlightCoalesce: N concurrent do() calls on one key run the body
+// once and all receive its outcome.
+func TestFlightCoalesce(t *testing.T) {
+	g := newGroup()
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+
+	const n = 5
+	var wg sync.WaitGroup
+	outs := make([]PointOutcome, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs[i], errs[i] = g.do(context.Background(), "k", nil, blockingRun(entered, release))
+		}()
+	}
+	<-entered // body running; every waiter attaches to this call
+	for {
+		g.mu.Lock()
+		w := 0
+		if c, ok := g.calls["k"]; ok {
+			w = c.waiters
+		}
+		g.mu.Unlock()
+		if w == n {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if outs[i].Result.Cycles != 100 {
+			t.Fatalf("waiter %d got cycles %d, want the shared 100", i, outs[i].Result.Cycles)
+		}
+	}
+	if started, coalesced := g.stats(); started != 1 || coalesced != n-1 {
+		t.Fatalf("stats = (%d started, %d coalesced), want (1, %d)", started, coalesced, n-1)
+	}
+	if g.inFlight() != 0 {
+		t.Fatalf("%d calls still registered after completion", g.inFlight())
+	}
+}
+
+// TestFlightLastWaiterCancels: an early canceler detaches empty-handed
+// while the body keeps running; the last canceler stops the body and
+// receives its salvaged partial outcome.
+func TestFlightLastWaiterCancels(t *testing.T) {
+	g := newGroup()
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{}) // never closed: only cancellation ends the body
+	defer close(release)
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+
+	type res struct {
+		out PointOutcome
+		err error
+	}
+	r1 := make(chan res, 1)
+	r2 := make(chan res, 1)
+	go func() {
+		out, err := g.do(ctx1, "k", nil, blockingRun(entered, release))
+		r1 <- res{out, err}
+	}()
+	<-entered
+	go func() {
+		out, err := g.do(ctx2, "k", nil, blockingRun(entered, release))
+		r2 <- res{out, err}
+	}()
+	for {
+		g.mu.Lock()
+		w := g.calls["k"].waiters
+		g.mu.Unlock()
+		if w == 2 {
+			break
+		}
+	}
+
+	cancel1()
+	got1 := <-r1
+	if !errors.Is(got1.err, context.Canceled) {
+		t.Fatalf("early canceler error = %v, want context.Canceled", got1.err)
+	}
+	if got1.out.Result.Cycles != 0 {
+		t.Fatalf("early canceler got a partial outcome (%d cycles); the body must keep running", got1.out.Result.Cycles)
+	}
+	if g.inFlight() != 1 {
+		t.Fatal("body stopped when a non-last waiter canceled")
+	}
+
+	cancel2()
+	got2 := <-r2
+	if !errors.Is(got2.err, context.Canceled) {
+		t.Fatalf("last canceler error = %v, want context.Canceled", got2.err)
+	}
+	if got2.out.Result.Cycles != 7 {
+		t.Fatalf("last canceler got cycles %d, want the salvaged partial 7", got2.out.Result.Cycles)
+	}
+	if g.inFlight() != 0 {
+		t.Fatal("call still registered after cancellation")
+	}
+}
+
+// TestFlightDistinctKeys: different keys never share a body.
+func TestFlightDistinctKeys(t *testing.T) {
+	g := newGroup()
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	close(release)
+
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b"} {
+		key := key
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := g.do(context.Background(), key, nil, blockingRun(entered, release)); err != nil {
+				t.Errorf("%s: %v", key, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if started, coalesced := g.stats(); started != 2 || coalesced != 0 {
+		t.Fatalf("stats = (%d, %d), want (2, 0)", started, coalesced)
+	}
+}
+
+// TestFlightProgressFanout: every attached waiter's observer sees the
+// body's progress; detached waiters stop observing.
+func TestFlightProgressFanout(t *testing.T) {
+	g := newGroup()
+	c := &call{g: g, done: make(chan struct{})}
+	g.calls["k"] = c
+
+	var mu sync.Mutex
+	counts := [2]int{}
+	s0 := &progressSink{fn: func(coaxial.Progress) { mu.Lock(); counts[0]++; mu.Unlock() }}
+	s1 := &progressSink{fn: func(coaxial.Progress) { mu.Lock(); counts[1]++; mu.Unlock() }}
+	c.sinks = []*progressSink{s0, s1}
+
+	c.broadcast(coaxial.Progress{Phase: "warmup"})
+	g.mu.Lock()
+	c.dropSink(s0)
+	g.mu.Unlock()
+	c.broadcast(coaxial.Progress{Phase: "measure"})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Fatalf("sink counts = %v, want [1 2]", counts)
+	}
+}

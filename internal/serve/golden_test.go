@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateWire = flag.Bool("update", false, "rewrite testdata/serve wire fixtures")
+
+// TestWireGolden pins the JSON wire schema against the checked-in fixture
+// (testdata/serve/, next to the simulation golden corpus): the injected
+// synthetic clock and a deterministic fake engine make the full response
+// byte-stable, so any wire-schema drift shows up as a diff. Refresh with
+// `go test ./internal/serve -run TestWireGolden -update`.
+func TestWireGolden(t *testing.T) {
+	eng := &fakeEngine{}
+	s := New(Options{Workers: 1, QueueDepth: 4, Engine: eng}) // default deterministic clock
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		_ = s.Close()
+	}()
+
+	sub, resp := postJob(t, ts, JobRequest{
+		Kind: "run", Preset: "coaxial-4x", Workload: "gcc",
+		Windows: &Windows{FunctionalWarmup: 500, Warmup: 100, Measure: 1000},
+		Seed:    7,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	waitTerminal(t, ts, sub.ID)
+
+	raw, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(raw.Body)
+	raw.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("..", "..", "testdata", "serve", "job_status.json")
+	if *updateWire {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing wire fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("wire schema drifted from %s\ngot:\n%s\nwant:\n%s\n(refresh deliberately with -update)", path, got, want)
+	}
+}

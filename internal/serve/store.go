@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"coaxial"
+)
+
+// JobState is one node of the job state machine:
+//
+//	queued ──► running ──► done
+//	   │           ├─────► failed
+//	   └───────────┴─────► canceled
+//
+// Transitions happen only inside the store, under its lock.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// jobStates lists every state in lifecycle order (metrics iterate this
+// slice — never a map — so output order is deterministic).
+var jobStates = []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+
+// terminal reports whether s is an end state.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// PointResult is one completed (or salvaged) point on the wire.
+type PointResult struct {
+	Index int    `json:"index"`
+	Label string `json:"label"`
+
+	Result coaxial.Result      `json:"result"`
+	Rack   *coaxial.RackResult `json:"rack,omitempty"`
+
+	// Partial marks measurements salvaged from a canceled window: real
+	// simulated data, shorter window than requested.
+	Partial bool   `json:"partial,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// ProgressEvent is one per-window progress observation on the wire.
+type ProgressEvent struct {
+	Point   int    `json:"point"`
+	Label   string `json:"label"`
+	Phase   string `json:"phase"`
+	Cycles  int64  `json:"cycles"`
+	Retired uint64 `json:"retired"`
+	Target  uint64 `json:"target"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} payload: metadata timestamps come
+// from the injected Clock; everything under Results is simulated data.
+type JobStatus struct {
+	ID         string         `json:"id"`
+	Kind       string         `json:"kind"`
+	State      JobState       `json:"state"`
+	Created    time.Time      `json:"created"`
+	Started    *time.Time     `json:"started,omitempty"`
+	Finished   *time.Time     `json:"finished,omitempty"`
+	Points     int            `json:"points"`
+	PointsDone int            `json:"points_done"`
+	Progress   *ProgressEvent `json:"progress,omitempty"`
+	Results    []PointResult  `json:"results,omitempty"`
+	Error      string         `json:"error,omitempty"`
+}
+
+// StreamEvent is one line of the chunked JSON-lines stream
+// (GET /v1/jobs/{id}/stream). Type is "status" (initial snapshot),
+// "progress" (per-window), "point" (one point finished), or "end"
+// (terminal snapshot; always the last line).
+type StreamEvent struct {
+	Type     string         `json:"type"`
+	Progress *ProgressEvent `json:"progress,omitempty"`
+	Point    *PointResult   `json:"point,omitempty"`
+	Job      *JobStatus     `json:"job,omitempty"`
+}
+
+// subCap bounds each stream subscriber's event buffer. Progress and point
+// events are dropped (never block the simulation) when a slow client falls
+// behind; the terminal "end" snapshot carries the complete results, so a
+// dropped intermediate event costs latency, not data.
+const subCap = 64
+
+// job is the store-side record. Immutable identity fields are set at
+// creation; every mutable field below the marker is guarded by the store
+// lock (coaxlint's race suite and the -race job storm enforce this).
+type job struct {
+	id     string
+	req    JobRequest
+	points []Point
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	// done closes exactly once, when the job reaches a terminal state.
+	done chan struct{}
+
+	// Guarded by store.mu from here down.
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	results  []PointResult
+	progress *ProgressEvent
+	errMsg   string
+	subs     []chan StreamEvent
+}
+
+// store owns every job's mutable state. One lock serializes all mutations
+// and snapshots; simulation work never runs under it.
+type store struct {
+	mu    sync.Mutex
+	seq   int
+	jobs  map[string]*job
+	order []*job
+	clock Clock
+}
+
+func newStore(clock Clock) *store {
+	return &store{jobs: make(map[string]*job), clock: clock}
+}
+
+// create registers a new queued job under ctx. IDs are deterministic
+// ("j1", "j2", ...) — submission order, not wall clock, names jobs.
+func (st *store) create(base context.Context, req JobRequest, points []Point) *job {
+	ctx, cancel := context.WithCancel(base)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	j := &job{
+		id:      fmt.Sprintf("j%d", st.seq),
+		req:     req,
+		points:  points,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+		created: st.clock(),
+	}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j)
+	return j
+}
+
+// get looks a job up by ID.
+func (st *store) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// markRunning moves a queued job to running, reporting false when the job
+// was canceled while still queued (the worker then skips it).
+func (st *store) markRunning(j *job) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = st.clock()
+	st.broadcastLocked(j, StreamEvent{Type: "status", Job: st.snapshotLocked(j)})
+	return true
+}
+
+// notePoint records one finished point and streams it.
+func (st *store) notePoint(j *job, pr PointResult) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.results = append(j.results, pr)
+	j.progress = nil
+	prCopy := pr
+	st.broadcastLocked(j, StreamEvent{Type: "point", Point: &prCopy})
+}
+
+// noteProgress records the latest per-window observation and streams it.
+func (st *store) noteProgress(j *job, ev ProgressEvent) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j.state != StateRunning {
+		return
+	}
+	j.progress = &ev
+	st.broadcastLocked(j, StreamEvent{Type: "progress", Progress: &ev})
+}
+
+// finish moves a job to a terminal state, closes done, and emits the
+// terminal stream event. Idempotent: later calls are ignored.
+func (st *store) finish(j *job, state JobState, errMsg string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = st.clock()
+	j.progress = nil
+	st.broadcastLocked(j, StreamEvent{Type: "end", Job: st.snapshotLocked(j)})
+	j.subs = nil
+	close(j.done)
+	j.cancel()
+}
+
+// cancelQueued terminates a still-queued job (DELETE before a worker
+// claimed it). Running jobs are canceled through j.cancel instead, and
+// reach their terminal state through the worker's finish call.
+func (st *store) cancelQueued(j *job) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateCanceled
+	j.finished = st.clock()
+	st.broadcastLocked(j, StreamEvent{Type: "end", Job: st.snapshotLocked(j)})
+	j.subs = nil
+	close(j.done)
+	j.cancel()
+	return true
+}
+
+// subscribe attaches a stream subscriber, returning the event channel and
+// an unsubscribe func. A job already terminal returns a nil channel — the
+// caller serves the final snapshot directly.
+func (st *store) subscribe(j *job) (<-chan StreamEvent, func()) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j.state.terminal() {
+		return nil, func() {}
+	}
+	ch := make(chan StreamEvent, subCap)
+	j.subs = append(j.subs, ch)
+	return ch, st.unsubscribeFunc(j, ch)
+}
+
+// unsubscribeFunc builds the detach closure for one subscriber.
+func (st *store) unsubscribeFunc(j *job, ch chan StreamEvent) func() {
+	return func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		for i, s := range j.subs {
+			if s == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// broadcastLocked fans an event to j's subscribers, dropping on full
+// buffers (see subCap). Caller holds st.mu.
+func (st *store) broadcastLocked(j *job, ev StreamEvent) {
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// snapshot returns the job's wire status.
+func (st *store) snapshot(j *job) JobStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return *st.snapshotLocked(j)
+}
+
+// snapshotLocked builds the wire status. Caller holds st.mu.
+func (st *store) snapshotLocked(j *job) *JobStatus {
+	s := &JobStatus{
+		ID:         j.id,
+		Kind:       j.req.Kind,
+		State:      j.state,
+		Created:    j.created,
+		Points:     len(j.points),
+		PointsDone: len(j.results),
+		Error:      j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	if j.progress != nil {
+		p := *j.progress
+		s.Progress = &p
+	}
+	if len(j.results) > 0 {
+		s.Results = append([]PointResult(nil), j.results...)
+	}
+	return s
+}
+
+// list snapshots every job in submission order.
+func (st *store) list() []JobStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]JobStatus, 0, len(st.order))
+	for _, j := range st.order {
+		out = append(out, *st.snapshotLocked(j))
+	}
+	return out
+}
+
+// stateCounts tallies jobs per state in jobStates order (for /metrics).
+func (st *store) stateCounts() []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	counts := make([]int, len(jobStates))
+	for _, j := range st.order {
+		for i, s := range jobStates {
+			if j.state == s {
+				counts[i]++
+				break
+			}
+		}
+	}
+	return counts
+}

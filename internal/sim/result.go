@@ -70,6 +70,33 @@ type RunConfig struct {
 	// independent of Parallelism (the intra-host worker count) and unused
 	// by single-host runs.
 	RackParallelism int
+	// OnProgress, when non-nil, observes phase progress at the
+	// cancellation-poll boundaries of the run loop (every ctxCheckCycles
+	// simulated cycles) and once at each phase end; rack runs report
+	// rack-level progress through the same hook. Observation-only: the
+	// callback must not mutate simulator state, and measurements are
+	// bit-identical with or without it. It is invoked synchronously from
+	// the simulation goroutine, so it should return quickly. Excluded from
+	// warm keys and configuration fingerprints (see serve.flightKey).
+	OnProgress func(Progress)
+}
+
+// Progress is one phase-progress observation delivered to
+// RunConfig.OnProgress: how far the slowest core has retired toward the
+// phase target, and how many cycles the phase has consumed so far. A
+// partial window returned on cancellation corresponds to the last
+// observation delivered.
+type Progress struct {
+	// Phase is "warmup" or "measure".
+	Phase string
+	// Cycles is the simulated cycles spent in the phase so far.
+	Cycles int64
+	// Retired is the slowest core's instructions retired toward Target
+	// (capped at Target; cores that finish early keep running but no
+	// longer advance it).
+	Retired uint64
+	// Target is the per-core retirement target of the phase.
+	Target uint64
 }
 
 // DefaultRunConfig returns the standard experiment windows. The paper
@@ -168,6 +195,7 @@ func RunMixCtx(ctx context.Context, cfg Config, workloads []trace.Workload, rc R
 	sys.SetParallelism(rc.Parallelism)
 	defer sys.Close()
 	sys.SetClocking(rc.Clocking)
+	sys.SetProgress(rc.OnProgress)
 	if rc.Validate {
 		sys.EnableValidation()
 	}
@@ -244,6 +272,7 @@ func RunGenerators(cfg Config, gens []trace.Generator, hints []trace.Params, rc 
 	sys.SetParallelism(rc.Parallelism)
 	defer sys.Close()
 	sys.SetClocking(rc.Clocking)
+	sys.SetProgress(rc.OnProgress)
 	if rc.Validate {
 		sys.EnableValidation()
 	}

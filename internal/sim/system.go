@@ -188,6 +188,10 @@ type System struct {
 	llcProbe    func() bool
 	probeLLCHit bool
 
+	// progressFn, when non-nil, observes phase progress at cancellation-
+	// poll boundaries (RunConfig.OnProgress; observation-only).
+	progressFn func(Progress)
+
 	// val, when non-nil, is the differential validation harness attached
 	// by EnableValidation (RunConfig.Validate): timing oracles on every
 	// DRAM sub-channel plus the request-lifecycle checker hooked into
@@ -445,6 +449,37 @@ func (s *System) SetClocking(m Clocking) {
 			lt.SetLazy(m == EventDriven)
 		}
 	}
+}
+
+// SetProgress attaches a phase-progress observer (RunConfig.OnProgress):
+// runPhase invokes it at every cancellation-poll boundary and once at
+// phase end. Observation-only — a nil fn (the default) disables emission,
+// and measurements are bit-identical either way.
+func (s *System) SetProgress(fn func(Progress)) { s.progressFn = fn }
+
+// PhaseRetired returns the slowest core's retirement count toward target,
+// capped at target (cores that finish early keep executing to sustain
+// memory pressure, but no longer advance phase progress). Counted from the
+// last stats reset, like the target itself.
+func (s *System) PhaseRetired(target uint64) uint64 {
+	min := target
+	for _, c := range s.cores {
+		r := c.Stats().Retired
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// emitProgress delivers one observation to the attached observer; start is
+// the cycle the current phase began.
+func (s *System) emitProgress(target uint64, start int64) {
+	p := Progress{Phase: "warmup", Cycles: s.now - start, Retired: s.PhaseRetired(target), Target: target}
+	if s.measuring {
+		p.Phase = "measure"
+	}
+	s.progressFn(p)
 }
 
 // peakGBs sums backend peak bandwidths.
@@ -1278,6 +1313,7 @@ func (s *System) runPhase(ctx context.Context, target uint64, maxCycles int64) e
 	for _, c := range s.cores {
 		c.SetTarget(target)
 	}
+	start := s.now
 	limit := s.now + maxCycles
 	nextCheck := s.now + ctxCheckCycles
 	for {
@@ -1289,6 +1325,9 @@ func (s *System) runPhase(ctx context.Context, target uint64, maxCycles int64) e
 			}
 		}
 		if done {
+			if s.progressFn != nil {
+				s.emitProgress(target, start)
+			}
 			return nil
 		}
 		if s.now >= limit {
@@ -1298,6 +1337,9 @@ func (s *System) runPhase(ctx context.Context, target uint64, maxCycles int64) e
 		if s.now >= nextCheck {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("sim: %s: stopped at cycle %d: %w", s.cfg.Name, s.now, err)
+			}
+			if s.progressFn != nil {
+				s.emitProgress(target, start)
 			}
 			nextCheck = s.now + ctxCheckCycles
 		}

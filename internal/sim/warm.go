@@ -175,6 +175,7 @@ func NewWarmSystem(cfg Config, ws *WarmState, rc RunConfig, hp HostParams) (*Sys
 	}
 	sys.SetParallelism(rc.Parallelism)
 	sys.SetClocking(rc.Clocking)
+	sys.SetProgress(rc.OnProgress)
 	if rc.Validate {
 		sys.EnableValidation()
 	}

@@ -1,0 +1,76 @@
+package coaxial_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"coaxial"
+)
+
+// TestRunRackCancelReturnsPartialHosts pins the rack-scale cancellation
+// contract the serve daemon depends on: canceling mid-measure propagates
+// between host phases to the RunRack caller, which still receives partial
+// per-host measurements (previously only single-system cancellation was
+// pinned). The new RunConfig.OnProgress hook triggers the cancel
+// deterministically — at the first measure-phase poll boundary — instead
+// of racing a timer against the simulation.
+func TestRunRackCancelReturnsPartialHosts(t *testing.T) {
+	const hosts = 2
+	topo := coaxial.TopologyCoaxialPooled(hosts)
+	w, err := coaxial.WorkloadByName("stream-copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := make([][]coaxial.Workload, hosts)
+	for h := range workloads {
+		wl := make([]coaxial.Workload, topo.Rack.Hosts[h].Cores)
+		for i := range wl {
+			wl[i] = w
+		}
+		workloads[h] = wl
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	rc := coaxial.DefaultRunConfig()
+	rc.FunctionalWarmupInstr = 20_000
+	rc.WarmupInstr = 0
+	// A window far too large to finish: only cancellation can end the run.
+	rc.MeasureInstr = 100_000_000
+	var observed coaxial.Progress
+	rc.OnProgress = func(p coaxial.Progress) {
+		if p.Phase == "measure" && p.Cycles > 0 {
+			observed = p
+			once.Do(cancel)
+		}
+	}
+
+	res, err := coaxial.NewRunner(coaxial.WithRunConfig(rc)).RunRack(ctx, topo.Rack, workloads)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunRack error = %v, want wrapped context.Canceled", err)
+	}
+	if observed.Target != rc.MeasureInstr {
+		t.Fatalf("progress target = %d, want the measure window %d", observed.Target, rc.MeasureInstr)
+	}
+
+	// Partial per-host results: every host reports a real, short window.
+	if len(res.Hosts) != hosts {
+		t.Fatalf("partial rack result has %d hosts, want %d", len(res.Hosts), hosts)
+	}
+	for h, hr := range res.Hosts {
+		if hr.Cycles <= 0 {
+			t.Fatalf("host %d partial result has no cycles", h)
+		}
+		if hr.Retired == 0 || hr.Retired >= rc.MeasureInstr {
+			t.Fatalf("host %d retired %d, want a genuine partial window (0, %d)", h, hr.Retired, rc.MeasureInstr)
+		}
+	}
+	// The summary the serve layer returns to clients aggregates the same
+	// partial window.
+	if sum := res.Summary(); sum.Cycles <= 0 || len(sum.PerCoreIPC) != hosts*topo.Rack.Hosts[0].Cores {
+		t.Fatalf("partial summary malformed: cycles=%d percore=%d", sum.Cycles, len(sum.PerCoreIPC))
+	}
+}

@@ -27,10 +27,17 @@ import (
 //
 // A Runner is safe for concurrent use.
 type Runner struct {
-	rc RunConfig
+	rc   RunConfig
+	warm *warmCache
+}
 
-	mu   sync.Mutex
-	warm map[string]*warmEntry
+// warmCache is the warm-state memo shared by a Runner and every derived
+// Runner (With): entries keyed by sim.WarmKey plus the capture tally
+// surfaced through WarmStats.
+type warmCache struct {
+	mu       sync.Mutex
+	entries  map[string]*warmEntry
+	captures int
 }
 
 // warmEntry memoizes one CaptureWarm call; the sync.Once collapses
@@ -127,17 +134,60 @@ func WithRunConfig(rc RunConfig) RunnerOption {
 	return func(r *Runner) { r.rc = rc }
 }
 
+// WithProgress attaches a per-window progress observer
+// (RunConfig.OnProgress): the run loop invokes fn at every cancellation-
+// poll boundary and once at each phase end, from the simulation goroutine.
+// Observation-only — results are bit-identical with or without it. Long-
+// running services derive a per-request Runner with it (see Runner.With)
+// to stream partial windows without forking the run path.
+func WithProgress(fn func(Progress)) RunnerOption {
+	return func(r *Runner) { r.rc.OnProgress = fn }
+}
+
 // NewRunner builds a Runner over DefaultRunConfig, modified by opts.
 func NewRunner(opts ...RunnerOption) *Runner {
-	r := &Runner{rc: DefaultRunConfig(), warm: make(map[string]*warmEntry)}
+	r := &Runner{rc: DefaultRunConfig(), warm: &warmCache{entries: make(map[string]*warmEntry)}}
 	for _, o := range opts {
 		o(r)
 	}
 	return r
 }
 
+// With returns a Runner sharing this one's warm-state cache but running
+// under a configuration derived by opts — the per-request seam a service
+// needs: attach a progress observer or different windows for one job
+// without forfeiting warm reuse across jobs. Sharing is always sound
+// because warm keys cover every facet a snapshot depends on (geometry,
+// seed, functional budget, topology); both Runners remain safe for
+// concurrent use.
+func (r *Runner) With(opts ...RunnerOption) *Runner {
+	nr := &Runner{rc: r.rc, warm: r.warm}
+	for _, o := range opts {
+		o(nr)
+	}
+	return nr
+}
+
 // Config returns a copy of the effective run configuration.
 func (r *Runner) Config() RunConfig { return r.rc }
+
+// WarmStats summarizes the shared warm-state cache (Runner.WarmStats).
+type WarmStats struct {
+	// Entries is the number of resident warm snapshots.
+	Entries int
+	// Captures counts CaptureWarm executions since construction: lookups
+	// that could not be served by a memoized snapshot. A sweep or service
+	// batch that reuses warm state leaves it unchanged.
+	Captures int
+}
+
+// WarmStats reports the warm-state cache shared by this Runner and every
+// Runner derived from it with With.
+func (r *Runner) WarmStats() WarmStats {
+	r.warm.mu.Lock()
+	defer r.warm.mu.Unlock()
+	return WarmStats{Entries: len(r.warm.entries), Captures: r.warm.captures}
+}
 
 // Run executes one experiment: cfg's system running the same workload on
 // every active core (the paper's rate mode).
@@ -224,15 +274,19 @@ func (r *Runner) warmFor(cfg Config, workloads []Workload) (*sim.WarmState, bool
 // one key into a single capture.
 func (r *Runner) warmForHost(cfg Config, workloads []Workload, hrc RunConfig, hp sim.HostParams) (*sim.WarmState, bool, error) {
 	key := sim.WarmKey(cfg, workloads, hrc)
-	r.mu.Lock()
-	e, hit := r.warm[key]
+	c := r.warm
+	c.mu.Lock()
+	e, hit := c.entries[key]
 	if !hit {
 		e = &warmEntry{}
-		r.warm[key] = e
+		c.entries[key] = e
 	}
-	r.mu.Unlock()
+	c.mu.Unlock()
 	e.once.Do(func() {
 		e.ws, e.ok, e.err = sim.CaptureWarmHost(cfg, workloads, hrc, hp)
+		c.mu.Lock()
+		c.captures++
+		c.mu.Unlock()
 	})
 	return e.ws, e.ok, e.err
 }
