@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race serve-test lint lint-baseline vet golden check bench perf-smoke
+.PHONY: build test race serve-test lint lint-baseline lint-mutations vet golden check bench perf-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,9 @@ serve-test:
 
 # lint runs coaxlint (internal/lint): determinism, phase-isolation,
 # counter-hygiene, and observer-purity invariants, plus unitcheck's
-# flow-sensitive clock-domain/dimension analysis (DESIGN.md §6). Findings
+# flow-sensitive clock-domain/dimension analysis, lockcheck's lock-set
+# analysis, and handlecheck's arena-handle lifetime analysis
+# (DESIGN.md §6). Findings
 # listed in .coaxlint.baseline (if present) are pre-existing and accepted;
 # only new violations fail. Add -json for machine-readable output.
 lint:
@@ -38,6 +40,13 @@ lint:
 # after deliberately accepting current findings, and review the diff.
 lint-baseline:
 	$(GO) run ./cmd/coaxial-lint -write-baseline ./...
+
+# lint-mutations proves the analyzers still catch what they exist to
+# catch: each suite plants real bugs (dimension slips, dropped unlocks,
+# reordered arena releases, deleted ownership annotations) into the
+# shipping sources via a load-time overlay and fails if any survive.
+lint-mutations:
+	$(GO) test -count=1 -run 'TestUnitCheckMutations|TestLockCheckMutations|TestHandleCheckMutations' ./internal/lint/
 
 # golden regenerates the golden result corpus after an intentional change
 # to simulated numbers. Review the testdata/golden diff like code.

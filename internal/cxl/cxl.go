@@ -155,7 +155,8 @@ type Channel struct {
 	// buffer at the cycle barrier to recycle arena requests; raw channel
 	// users leave it off and such requests simply become unreferenced.
 	collectRetired bool
-	retired        []*memreq.Request
+	//lint:owns handed to the owning System's retired drain by DrainRetired, which releases them
+	retired []*memreq.Request
 
 	stats Stats
 	now   int64 //lint:unit cycles

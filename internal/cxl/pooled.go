@@ -298,7 +298,8 @@ type Port struct {
 	outstanding int
 
 	collectRetired bool
-	retired        []*memreq.Request
+	//lint:owns handed to the owning System's retired drain by DrainRetired, which releases them
+	retired []*memreq.Request
 
 	stats PortStats
 	// readBytes/writeBytes tally this port's data transfers for per-host

@@ -22,6 +22,7 @@ type entryKey struct {
 // shared across the three slices; push/remove keep them in lockstep.
 type reqQueue struct {
 	keys []entryKey
+	//lint:owns popped on completion and released by the completer or the retired drain
 	reqs []*memreq.Request
 	seen []bool // first command issued (StartSvc recorded)
 }
@@ -189,7 +190,8 @@ type SubChannel struct {
 	// sub-channel users leave it off and such requests simply become
 	// unreferenced, as before.
 	collectRetired bool
-	retired        []*memreq.Request
+	//lint:owns handed to the owning System's retired drain by DrainRetired, which releases them
+	retired []*memreq.Request
 
 	ctr Counters
 

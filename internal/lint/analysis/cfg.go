@@ -33,6 +33,25 @@ type CFG struct {
 	Blocks []*Block
 }
 
+// RunDefers is a synthetic node the builder places at every function exit
+// point — after each return statement's node, and at the fall-off end of the
+// body — marking where the function's deferred calls execute. DeferStmt
+// nodes stay in their blocks as ordinary statements (registration order is
+// path-sensitive: a defer on one branch only runs on that branch), and a
+// flow-sensitive client models them by pushing the deferred effect onto a
+// stack in its state at the DeferStmt and popping the stack LIFO when it
+// reaches a RunDefers. Clients that do not model defers can ignore the node:
+// it is neither an ast.Stmt nor an ast.Expr, so statement/expression type
+// switches skip it naturally.
+type RunDefers struct {
+	// At anchors diagnostics: the position of the return statement (or the
+	// body's closing brace) whose exit triggers the deferred calls.
+	At token.Pos
+}
+
+func (r *RunDefers) Pos() token.Pos { return r.At }
+func (r *RunDefers) End() token.Pos { return r.At }
+
 // BuildCFG constructs the control-flow graph of a function body. It lowers
 // structured control flow (if/else, for, range, switch, type switch,
 // select, labeled break/continue, goto, fallthrough) into blocks and edges;
@@ -46,6 +65,7 @@ func BuildCFG(body *ast.BlockStmt) *CFG {
 	b.cfg.Exit = b.newBlock("exit")
 	b.current = b.cfg.Entry
 	b.stmt(body)
+	b.add(&RunDefers{At: body.End()})
 	b.edge(b.current, b.cfg.Exit)
 	return b.cfg
 }
@@ -280,6 +300,9 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		b.branch(x)
 	case *ast.ReturnStmt:
 		b.add(x)
+		// Deferred calls run after the return operands are evaluated and
+		// before control leaves the function.
+		b.add(&RunDefers{At: x.Pos()})
 		b.edge(b.current, b.cfg.Exit)
 		b.current = b.newBlock("unreachable")
 	case *ast.EmptyStmt:

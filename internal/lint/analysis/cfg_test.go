@@ -61,8 +61,12 @@ func summarize(g *CFG) string {
 
 func TestCFGStraightLine(t *testing.T) {
 	g := buildFor(t, "a = 1\nb = 2")
-	if len(g.Entry.Nodes) != 2 {
-		t.Fatalf("entry should hold both statements, got %d: %s", len(g.Entry.Nodes), summarize(g))
+	// Both statements plus the synthetic RunDefers at the fall-off end.
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry should hold both statements and RunDefers, got %d: %s", len(g.Entry.Nodes), summarize(g))
+	}
+	if _, ok := g.Entry.Nodes[2].(*RunDefers); !ok {
+		t.Fatalf("last entry node should be RunDefers, got %T", g.Entry.Nodes[2])
 	}
 	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
 		t.Fatalf("entry should flow straight to exit: %s", summarize(g))
@@ -93,7 +97,8 @@ func TestCFGIfElseJoin(t *testing.T) {
 	if preds != 2 {
 		t.Fatalf("join should have 2 predecessors, got %d: %s", preds, summarize(g))
 	}
-	if len(join.Nodes) != 1 {
+	// Trailing statement plus the fall-off RunDefers.
+	if len(join.Nodes) != 2 {
 		t.Fatalf("join should carry the trailing statement: %s", summarize(g))
 	}
 }
@@ -156,7 +161,8 @@ func TestCFGForLoopBackEdge(t *testing.T) {
 	if !back {
 		t.Fatalf("post should edge back to head: %s", summarize(g))
 	}
-	if len(exit.Nodes) != 1 {
+	// Trailing statement plus the fall-off RunDefers.
+	if len(exit.Nodes) != 2 {
 		t.Fatalf("exit should carry the statement after the loop: %s", summarize(g))
 	}
 }
@@ -264,7 +270,7 @@ func TestCFGLabeledBreak(t *testing.T) {
 	// The inner loop's break L must edge to the OUTER loop's exit.
 	var outerExit *Block
 	for _, blk := range g.Blocks {
-		if blk.Kind == "for.exit" && len(blk.Nodes) == 1 {
+		if blk.Kind == "for.exit" && len(blk.Nodes) > 0 {
 			outerExit = blk // the outer exit carries the trailing statement
 		}
 	}
@@ -298,8 +304,15 @@ func TestCFGReturnUnreachable(t *testing.T) {
 		if blk.Kind == "unreachable" && seen[blk.Index] {
 			t.Fatalf("unreachable block is reachable: %s", summarize(g))
 		}
-		if blk.Kind == "unreachable" && len(blk.Nodes) != 1 {
-			t.Fatalf("statement after return should land in the dead block: %s", summarize(g))
+		if blk.Kind == "unreachable" {
+			// The dead block holds the statement after the return plus the
+			// fall-off RunDefers the builder appends at the body end.
+			if len(blk.Nodes) == 0 {
+				t.Fatalf("statement after return should land in the dead block: %s", summarize(g))
+			}
+			if _, ok := blk.Nodes[0].(*ast.AssignStmt); !ok {
+				t.Fatalf("dead block should start with the trailing statement, got %T", blk.Nodes[0])
+			}
 		}
 	}
 	if !seen[g.Exit.Index] {
@@ -331,6 +344,114 @@ func TestCFGGotoForward(t *testing.T) {
 	}
 	if target == nil || !seen[target.Index] {
 		t.Fatalf("goto target should exist and be reachable: %s", summarize(g))
+	}
+}
+
+// runDefersIn collects the RunDefers nodes of a block.
+func runDefersIn(blk *Block) []*RunDefers {
+	var out []*RunDefers
+	for _, n := range blk.Nodes {
+		if rd, ok := n.(*RunDefers); ok {
+			out = append(out, rd)
+		}
+	}
+	return out
+}
+
+func TestCFGDeferStaysInBlock(t *testing.T) {
+	// A DeferStmt is an ordinary block node — registration is path-sensitive
+	// — and the synthetic RunDefers marks the exit point after it.
+	g := buildFor(t, "defer func() {\n a = 1\n}()\nb = 2")
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry should hold defer, statement, RunDefers: %s", summarize(g))
+	}
+	if _, ok := g.Entry.Nodes[0].(*ast.DeferStmt); !ok {
+		t.Fatalf("first node should be the DeferStmt, got %T", g.Entry.Nodes[0])
+	}
+	if len(runDefersIn(g.Entry)) != 1 {
+		t.Fatalf("entry should end with one RunDefers: %s", summarize(g))
+	}
+}
+
+func TestCFGMultipleDefersKeepOrder(t *testing.T) {
+	g := buildFor(t, "defer func() {\n a = 1\n}()\ndefer func() {\n a = 2\n}()\nb = 3")
+	var defers []*ast.DeferStmt
+	for _, n := range g.Entry.Nodes {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			defers = append(defers, d)
+		}
+	}
+	if len(defers) != 2 {
+		t.Fatalf("want both DeferStmts in the entry block: %s", summarize(g))
+	}
+	if defers[0].Pos() >= defers[1].Pos() {
+		t.Fatalf("defer registration order must be source order")
+	}
+}
+
+func TestCFGRunDefersPerReturn(t *testing.T) {
+	// Every return gets its own RunDefers directly after the ReturnStmt, so
+	// path-sensitive defer stacks apply per exit path.
+	g := buildFor(t, "if cond {\n defer func() {\n  a = 1\n }()\n return\n}\nb = 2")
+	returns := 0
+	for _, blk := range reachableBlocks(g) {
+		for i, n := range blk.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); !ok {
+				continue
+			}
+			returns++
+			if i+1 >= len(blk.Nodes) {
+				t.Fatalf("return should be followed by RunDefers in its block: %s", summarize(g))
+			}
+			if _, ok := blk.Nodes[i+1].(*RunDefers); !ok {
+				t.Fatalf("node after return should be RunDefers, got %T", blk.Nodes[i+1])
+			}
+		}
+	}
+	if returns != 1 {
+		t.Fatalf("want 1 reachable return, got %d: %s", returns, summarize(g))
+	}
+	// The fall-off path has its own RunDefers too.
+	falloff := 0
+	for _, blk := range reachableBlocks(g) {
+		for _, rd := range runDefersIn(blk) {
+			_ = rd
+			falloff++
+		}
+	}
+	if falloff != 2 {
+		t.Fatalf("want one RunDefers per exit path (return + fall-off), got %d: %s", falloff, summarize(g))
+	}
+}
+
+func TestCFGDeferInLoopBody(t *testing.T) {
+	// A defer inside a loop body registers once per iteration; the builder
+	// must keep the DeferStmt in the loop body and must NOT place a
+	// RunDefers inside the loop (defers run at function exit, not loop exit).
+	g := buildFor(t, "for cond {\n defer func() {\n  a = 1\n }()\n}\nb = 2")
+	var body, exit *Block
+	for _, blk := range g.Blocks {
+		switch blk.Kind {
+		case "for.body":
+			body = blk
+		case "for.exit":
+			exit = blk
+		}
+	}
+	if body == nil || exit == nil {
+		t.Fatalf("missing loop blocks: %s", summarize(g))
+	}
+	if len(body.Nodes) != 1 {
+		t.Fatalf("loop body should hold exactly the DeferStmt: %s", summarize(g))
+	}
+	if _, ok := body.Nodes[0].(*ast.DeferStmt); !ok {
+		t.Fatalf("loop body node should be the DeferStmt, got %T", body.Nodes[0])
+	}
+	if len(runDefersIn(body)) != 0 {
+		t.Fatalf("no RunDefers inside the loop body: %s", summarize(g))
+	}
+	if len(runDefersIn(exit)) != 1 {
+		t.Fatalf("fall-off RunDefers should sit in the loop exit block: %s", summarize(g))
 	}
 }
 

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/token"
 	"strings"
 	"testing"
 )
@@ -23,6 +24,16 @@ func FuzzParseDirective(f *testing.F) {
 	f.Add("//lint:unit-cycles")
 	f.Add("//lint:úñit x")
 	f.Add("//lint:ignore unitcheck \x00")
+	f.Add("//lint:guardedby mu")
+	f.Add("//lint:guardedby store.mu guards the job table")
+	f.Add("//lint:guardedby .mu")
+	f.Add("//lint:guardedby a.b.c")
+	f.Add("//lint:guardedby 123")
+	f.Add("//lint:guardedby")
+	f.Add("//lint:guardedby müx")
+	f.Add("//lint:owns released by drain")
+	f.Add("//lint:owns")
+	f.Add("//lint:owns \t ")
 
 	f.Fuzz(func(t *testing.T, text string) {
 		name, args, ok, err := ParseDirective(text)
@@ -67,6 +78,52 @@ func FuzzParseDirective(f *testing.F) {
 			}
 		} else if err == nil {
 			t.Fatalf("malformed %q silently accepted: name=%q args=%q", text, name, args)
+		}
+
+		if err != nil {
+			return
+		}
+
+		// The annotation grammars layered on top of the directive marker:
+		// //lint:guardedby takes a one- or two-identifier guard reference
+		// before any prose, //lint:owns demands a non-empty justification.
+		// Both must classify exactly — never panic, never silently accept.
+		switch name {
+		case "guardedby":
+			recv, field, gerr := ParseGuardedBy(args)
+			ref, _, _ := strings.Cut(strings.TrimSpace(args), " ")
+			parts := strings.Split(ref, ".")
+			valid := ref != "" && len(parts) <= 2
+			for _, p := range parts {
+				if !token.IsIdentifier(p) {
+					valid = false
+				}
+			}
+			if valid != (gerr == nil) {
+				t.Fatalf("guardedby %q: valid=%v but err=%v", args, valid, gerr)
+			}
+			if gerr != nil {
+				return
+			}
+			if field != parts[len(parts)-1] {
+				t.Fatalf("guardedby %q: field=%q, want %q", args, field, parts[len(parts)-1])
+			}
+			wantRecv := ""
+			if len(parts) == 2 {
+				wantRecv = parts[0]
+			}
+			if recv != wantRecv {
+				t.Fatalf("guardedby %q: recv=%q, want %q", args, recv, wantRecv)
+			}
+		case "owns":
+			why, oerr := ParseOwns(args)
+			want := strings.TrimSpace(args)
+			if (want == "") != (oerr != nil) {
+				t.Fatalf("owns %q: justification=%q but err=%v", args, want, oerr)
+			}
+			if oerr == nil && why != want {
+				t.Fatalf("owns %q: why=%q, want %q", args, why, want)
+			}
 		}
 	})
 }

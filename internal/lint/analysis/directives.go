@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// ParseGuardedBy parses the argument of a //lint:guardedby annotation. The
+// guard reference is the first whitespace-separated token — either a bare
+// field name ("mu", a sibling field of the annotated one) or a dotted
+// "Type.mu" naming a struct type in the same package — and anything after
+// it is prose. The reference must be one or two Go identifiers; anything
+// else (empty, leading/trailing dots, deeper paths, non-identifier runes)
+// is an error so the annotator finds out instead of the annotation being
+// silently inert.
+func ParseGuardedBy(args string) (recv, field string, err error) {
+	ref, _, _ := strings.Cut(strings.TrimSpace(args), " ")
+	if ref == "" {
+		return "", "", fmt.Errorf("missing guard reference (want \"mu\" or \"Type.mu\")")
+	}
+	parts := strings.Split(ref, ".")
+	if len(parts) > 2 {
+		return "", "", fmt.Errorf("guard reference %q has too many dots (want \"mu\" or \"Type.mu\")", ref)
+	}
+	for _, p := range parts {
+		if !token.IsIdentifier(p) {
+			return "", "", fmt.Errorf("guard reference %q is not an identifier path", ref)
+		}
+	}
+	if len(parts) == 2 {
+		return parts[0], parts[1], nil
+	}
+	return "", parts[0], nil
+}
+
+// ParseOwns validates the argument of a //lint:owns annotation, which marks
+// a field or variable as taking ownership of arena handles stored into it.
+// Like suppression justifications, the prose is mandatory: an ownership
+// transfer without a stated protocol is exactly the situation handlecheck
+// exists to flag.
+func ParseOwns(args string) (why string, err error) {
+	why = strings.TrimSpace(args)
+	if why == "" {
+		return "", fmt.Errorf("missing justification: //lint:owns must say who releases the handle")
+	}
+	return why, nil
+}

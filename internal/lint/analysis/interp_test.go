@@ -173,6 +173,124 @@ func TestForwardUnreachableNil(t *testing.T) {
 	}
 }
 
+// deferToy is a miniature lock-set state for exercising the engine's defer
+// protocol: `a = 1` acquires, `a = 0` releases, a DeferStmt registers one
+// deferred release, and RunDefers applies the pending stack. held joins by
+// max (may-held), defers joins by min (the common registration prefix of the
+// merging paths — a defer registered on only one branch must not release on
+// the other).
+type deferToy struct {
+	held   int
+	defers int
+}
+
+func (s *deferToy) Clone() FlowState { c := *s; return &c }
+
+func (s *deferToy) Join(other FlowState) bool {
+	o := other.(*deferToy)
+	changed := false
+	if o.held > s.held {
+		s.held = o.held
+		changed = true
+	}
+	if o.defers < s.defers {
+		s.defers = o.defers
+		changed = true
+	}
+	return changed
+}
+
+func deferToyTransfer(n ast.Node, s FlowState) {
+	st := s.(*deferToy)
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+			if id, ok := x.Lhs[0].(*ast.Ident); ok && id.Name == "a" {
+				if lit, ok := x.Rhs[0].(*ast.BasicLit); ok {
+					if lit.Value == "1" {
+						st.held++
+					} else if lit.Value == "0" {
+						st.held--
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		st.defers++
+	case *RunDefers:
+		st.held -= st.defers
+		st.defers = 0
+	}
+}
+
+func TestForwardDeferredReleaseBalancesExit(t *testing.T) {
+	g := buildFor(t, "a = 1\ndefer func() {\n a = 0\n}()\nreturn")
+	in := Forward(g, &deferToy{}, deferToyTransfer)
+	exit := in[g.Exit.Index].(*deferToy)
+	if exit.held != 0 || exit.defers != 0 {
+		t.Fatalf("deferred release should balance the acquire at exit, got held=%d defers=%d", exit.held, exit.defers)
+	}
+}
+
+func TestForwardDeferWithoutAcquireLeaks(t *testing.T) {
+	g := buildFor(t, "a = 1\nreturn")
+	in := Forward(g, &deferToy{}, deferToyTransfer)
+	exit := in[g.Exit.Index].(*deferToy)
+	if exit.held != 1 {
+		t.Fatalf("acquire without deferred release must be visible at exit, got held=%d", exit.held)
+	}
+}
+
+func TestForwardBranchLocalDeferJoinsToPrefix(t *testing.T) {
+	// The defer registers on one branch only; the join keeps the common
+	// prefix (none), so the exit must not apply a release the else path
+	// never registered.
+	g := buildFor(t, "if cond {\n defer func() {\n  a = 0\n }()\n}\na = 1\nreturn")
+	in := Forward(g, &deferToy{}, deferToyTransfer)
+	exit := in[g.Exit.Index].(*deferToy)
+	if exit.held != 1 {
+		t.Fatalf("branch-local defer must not release on the other path, got held=%d", exit.held)
+	}
+}
+
+func TestForwardDeferInLoopStacksPerIteration(t *testing.T) {
+	// Each iteration registers another deferred release; min-join across the
+	// back edge keeps the entry count (0), and the engine converges.
+	g := buildFor(t, "for cond {\n defer func() {\n  a = 0\n }()\n a = 1\n}\nreturn")
+	in := Forward(g, &deferToy{}, deferToyTransfer)
+	var head *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "for.head" {
+			head = blk
+		}
+	}
+	st := in[head.Index].(*deferToy)
+	if st.defers != 0 {
+		t.Fatalf("loop head should join defers to the common prefix 0, got %d", st.defers)
+	}
+	if st.held < 1 {
+		t.Fatalf("acquire inside the loop should reach the head as may-held, got %d", st.held)
+	}
+}
+
+func TestForwardLabeledContinueCarriesLockSet(t *testing.T) {
+	// continue L skips the release, so the head must see the held lock from
+	// the continuing path — the engine behavior lockcheck's double-lock
+	// check rides on.
+	g := buildFor(t, "L:\nfor cond {\n a = 1\n if cond2 {\n  continue L\n }\n a = 0\n}\nreturn")
+	in := Forward(g, &deferToy{}, deferToyTransfer)
+	var head *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "for.head" {
+			head = blk
+		}
+	}
+	st := in[head.Index].(*deferToy)
+	if st.held < 1 {
+		t.Fatalf("labeled continue should carry the held lock to the loop head, got held=%d", st.held)
+	}
+}
+
 func TestReplayBlocksVisitsOnce(t *testing.T) {
 	// Forward revisits loop nodes while iterating; ReplayBlocks must apply
 	// the transfer exactly once per reachable node.
@@ -189,8 +307,8 @@ func TestReplayBlocksVisitsOnce(t *testing.T) {
 		}
 	}
 	// Every reachable node was visited: 2 straight-line assignments, the
-	// loop condition, the body assignment.
-	if len(visits) != 4 {
-		t.Fatalf("want 4 replayed nodes, got %d", len(visits))
+	// loop condition, the body assignment, and the fall-off RunDefers.
+	if len(visits) != 5 {
+		t.Fatalf("want 5 replayed nodes, got %d", len(visits))
 	}
 }

@@ -1,0 +1,27 @@
+package lint_test
+
+import (
+	"testing"
+
+	"coaxial/internal/lint"
+	"coaxial/internal/lint/analysis"
+	"coaxial/internal/lint/analysistest"
+)
+
+// fixtureHandleConfig points the arena protocol at the hermetic arena
+// stub package the handlefix fixture imports.
+func fixtureHandleConfig() lint.HandleConfig {
+	return lint.HandleConfig{
+		Scope:       []string{"handlefix"},
+		HandleTypes: []string{"arena.Request"},
+		Allocs:      []string{"arena.Arena.Alloc"},
+		Releases:    []string{"arena.Arena.Release"},
+		Inspectors:  []string{"arena.Arena.IsLive"},
+	}
+}
+
+func TestHandleCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{
+		lint.NewHandleCheck(fixtureHandleConfig()),
+	}, "handlefix")
+}

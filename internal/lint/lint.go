@@ -74,6 +74,8 @@ func Suite() []*analysis.Analyzer {
 			StatePackages: StatePackages,
 		}),
 		NewUnitCheck(DefaultUnitConfig()),
+		NewLockCheck(DefaultLockConfig()),
+		NewHandleCheck(DefaultHandleConfig()),
 	}
 }
 

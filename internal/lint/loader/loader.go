@@ -10,10 +10,12 @@ package loader
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"io"
@@ -47,6 +49,83 @@ type Program struct {
 	Packages []*Package
 }
 
+// PackageError is one package that failed to load or build. Pos, when
+// go list (or the parser) could pin the failure to a file, is a
+// file:line:column string; ImportPath is always set.
+type PackageError struct {
+	ImportPath string
+	Pos        string
+	Err        string
+}
+
+func (e *PackageError) Error() string {
+	if e.Pos != "" {
+		return fmt.Sprintf("%s: %s: %s", e.ImportPath, e.Pos, e.Err)
+	}
+	return fmt.Sprintf("%s: %s", e.ImportPath, e.Err)
+}
+
+// listError mirrors go list's JSON PackageError.
+type listError struct {
+	ImportPath string
+	Pos        string
+	Err        string
+}
+
+// asPackageError converts a go list error for pkg, preferring the error's
+// own import path (go list attributes dependency failures to the dep).
+// Build errors arrive with an empty Pos and compiler-style positions
+// embedded in the message, so the first one is lifted out.
+func (le *listError) asPackageError(pkg string) *PackageError {
+	path := le.ImportPath
+	if path == "" {
+		path = pkg
+	}
+	pos, msg := le.Pos, le.Err
+	if pos == "" {
+		pos, msg = splitPos(msg, path)
+	}
+	return &PackageError{ImportPath: path, Pos: pos, Err: msg}
+}
+
+// splitPos lifts a leading file:line[:col] position out of a
+// compiler-style message ("# pkg\nfile.go:3:25: msg\n\thave ()..."),
+// dropping the "# pkg" header. Messages with no such position come back
+// unchanged.
+func splitPos(msg, pkg string) (string, string) {
+	msg = strings.TrimPrefix(msg, "# "+pkg+"\n")
+	lines := strings.Split(msg, "\n")
+	for k, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		i := strings.Index(trimmed, ".go:")
+		if i < 0 {
+			continue
+		}
+		rest := trimmed[i+len(".go:"):]
+		j := strings.Index(rest, ": ")
+		if j < 0 || !numericPos(rest[:j]) {
+			continue
+		}
+		pos := trimmed[:i+len(".go:")+j]
+		lines[k] = strings.TrimSpace(rest[j+2:])
+		return pos, strings.Join(lines, "\n")
+	}
+	return "", msg
+}
+
+// numericPos reports whether s looks like "3" or "3:25".
+func numericPos(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if (r < '0' || r > '9') && r != ':' {
+			return false
+		}
+	}
+	return true
+}
+
 // listPackage is the subset of `go list -json` output the loader consumes.
 type listPackage struct {
 	ImportPath string
@@ -58,7 +137,8 @@ type listPackage struct {
 	ImportMap  map[string]string
 	DepOnly    bool
 	Incomplete bool
-	Error      *struct{ Err string }
+	Error      *listError
+	DepsErrors []*listError
 }
 
 // Load lists patterns in dir (a directory inside the module) and
@@ -81,7 +161,10 @@ func LoadOverlay(dir string, overlay map[string][]byte, patterns ...string) (*Pr
 	}
 	modulePath = strings.TrimSpace(modulePath)
 
-	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	// -e keeps go list alive across broken packages so every failure in
+	// the pattern set is reported below, each with its package path and
+	// (when known) file position — not just the first.
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
 	out, err := goOutput(dir, args...)
 	if err != nil {
 		return nil, fmt.Errorf("loader: go list: %w", err)
@@ -121,20 +204,46 @@ func LoadOverlay(dir string, overlay map[string][]byte, patterns ...string) (*Pr
 
 	// `go list -deps` emits dependencies before their importers, so a
 	// single pass type-checks each module package after everything it
-	// imports.
+	// imports. Broken packages are collected — not bailed on — so one run
+	// surfaces every failing package with its own path and position.
+	var loadErrs []error
+	seenErr := map[string]bool{}
+	addErr := func(pe *PackageError) {
+		key := pe.ImportPath + "\x00" + pe.Pos + "\x00" + pe.Err
+		if !seenErr[key] {
+			seenErr[key] = true
+			loadErrs = append(loadErrs, pe)
+		}
+	}
 	for _, lp := range listed {
 		if !inModule(lp.ImportPath) {
+			if lp.Error != nil {
+				addErr(lp.Error.asPackageError(lp.ImportPath))
+			}
 			continue
 		}
 		if lp.Error != nil {
-			return nil, fmt.Errorf("loader: %s: %s", lp.ImportPath, lp.Error.Err)
+			addErr(lp.Error.asPackageError(lp.ImportPath))
+			continue
+		}
+		for _, de := range lp.DepsErrors {
+			addErr(de.asPackageError(lp.ImportPath))
 		}
 		pkg, err := typeCheck(prog, lp, srcPkgs, gcImporter, overlay)
 		if err != nil {
-			return nil, err
+			var pe *PackageError
+			if errors.As(err, &pe) {
+				addErr(pe)
+			} else {
+				return nil, err
+			}
+			continue
 		}
 		srcPkgs[lp.ImportPath] = pkg
 		prog.Packages = append(prog.Packages, pkg)
+	}
+	if len(loadErrs) > 0 {
+		return nil, fmt.Errorf("loader: %w", errors.Join(loadErrs...))
 	}
 	return prog, nil
 }
@@ -151,7 +260,7 @@ func typeCheck(prog *Program, lp *listPackage, srcPkgs map[string]*Package,
 		}
 		f, err := parser.ParseFile(prog.Fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("loader: %s: %w", lp.ImportPath, err)
+			return nil, parseError(lp.ImportPath, err)
 		}
 		files = append(files, f)
 	}
@@ -189,6 +298,20 @@ func typeCheck(prog *Program, lp *listPackage, srcPkgs map[string]*Package,
 	}
 	pkg.Types, _ = conf.Check(lp.ImportPath, prog.Fset, files, pkg.Info)
 	return pkg, nil
+}
+
+// parseError shapes a parser failure into a *PackageError carrying the
+// first syntax error's file position.
+func parseError(importPath string, err error) *PackageError {
+	var el scanner.ErrorList
+	if errors.As(err, &el) && len(el) > 0 {
+		msg := el[0].Msg
+		if len(el) > 1 {
+			msg = fmt.Sprintf("%s (and %d more syntax errors)", msg, len(el)-1)
+		}
+		return &PackageError{ImportPath: importPath, Pos: el[0].Pos.String(), Err: msg}
+	}
+	return &PackageError{ImportPath: importPath, Err: err.Error()}
 }
 
 // importerFunc adapts a function to types.Importer.

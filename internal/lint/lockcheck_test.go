@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"coaxial/internal/lint"
+	"coaxial/internal/lint/analysis"
+	"coaxial/internal/lint/analysistest"
+)
+
+// fixtureLockConfig scopes lockcheck to the hermetic lockfix package,
+// keeping the default blocking-call list (the fixture exercises
+// sync.WaitGroup.Wait from it).
+func fixtureLockConfig() lint.LockConfig {
+	cfg := lint.DefaultLockConfig()
+	cfg.Scope = []string{"lockfix"}
+	return cfg
+}
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{
+		lint.NewLockCheck(fixtureLockConfig()),
+	}, "lockfix")
+}

@@ -1,0 +1,17 @@
+// Package arena is a hermetic stand-in for the real request arena: the
+// same Alloc/Release/inspector surface, enough for handlecheck fixtures
+// to exercise the protocol without importing the repository.
+package arena
+
+type Request struct {
+	Addr uint64
+	Kind int
+}
+
+type Arena struct{ live int }
+
+func New() *Arena { return &Arena{} }
+
+func (a *Arena) Alloc() *Request        { a.live++; return &Request{} }
+func (a *Arena) Release(r *Request)     { a.live-- }
+func (a *Arena) IsLive(r *Request) bool { return r != nil }

@@ -1,0 +1,200 @@
+// Package handlefix exercises the handlecheck analyzer: the arena
+// Alloc/Release protocol, alias-aware use-after-release and
+// double-release, ownership escapes gated on //lint:owns, deferred
+// releases, and interprocedural consume / returns-fresh summaries.
+package handlefix
+
+import "arena"
+
+// goodRoundTrip is the canonical lifetime: alloc, use, release.
+func goodRoundTrip(a *arena.Arena) {
+	r := a.Alloc()
+	r.Addr = 1
+	a.Release(r)
+}
+
+// useAfterRelease touches a field after the handle died.
+func useAfterRelease(a *arena.Arena) uint64 {
+	r := a.Alloc()
+	a.Release(r)
+	return r.Addr // want "use of handle after release"
+}
+
+// doubleRelease releases the same handle twice on one path.
+func doubleRelease(a *arena.Arena) {
+	r := a.Alloc()
+	a.Release(r)
+	a.Release(r) // want "double release"
+}
+
+// aliasDoubleRelease releases through both names of one handle.
+func aliasDoubleRelease(a *arena.Arena) {
+	r := a.Alloc()
+	q := r
+	a.Release(q)
+	a.Release(r) // want "double release"
+}
+
+// condUse releases on one path only; after the join the handle may be
+// released, which is enough to flag the use.
+func condUse(a *arena.Arena, b bool) uint64 {
+	r := a.Alloc()
+	if b {
+		a.Release(r)
+	}
+	return r.Addr // want "use of handle after release"
+}
+
+// inspectorsExempt: liveness probes accept released handles by design,
+// and nil comparisons are identity checks, not uses.
+func inspectorsExempt(a *arena.Arena) bool {
+	r := a.Alloc()
+	a.Release(r)
+	if r == nil {
+		return false
+	}
+	return a.IsLive(r)
+}
+
+// passAfterRelease hands a dead handle to an arbitrary function.
+func passAfterRelease(a *arena.Arena) {
+	r := a.Alloc()
+	a.Release(r)
+	sink(r) // want "handle passed to sink after release"
+}
+
+func sink(r *arena.Request) {}
+
+// pool stores handles without declaring ownership: the handle can never
+// be released again.
+type pool struct {
+	held []*arena.Request
+}
+
+func (p *pool) keep(a *arena.Arena) {
+	r := a.Alloc()
+	p.held = append(p.held, r) // want "live handle stored into field held"
+}
+
+// ownedPool declares the transfer protocol, so the store is sanctioned
+// and the analysis stops tracking the handle.
+type ownedPool struct {
+	//lint:owns released by drain, which returns every held handle to the arena
+	held []*arena.Request
+}
+
+func (p *ownedPool) keep(a *arena.Arena) {
+	r := a.Alloc()
+	p.held = append(p.held, r)
+}
+
+// box escapes a handle through a composite literal field.
+type box struct {
+	r *arena.Request
+}
+
+func badBox(a *arena.Arena) box {
+	r := a.Alloc()
+	return box{r: r} // want "live handle stored into field r"
+}
+
+// tracker escapes a handle as a map key.
+type tracker struct {
+	seen map[*arena.Request]bool
+}
+
+func (t *tracker) track(a *arena.Arena) {
+	r := a.Alloc()
+	t.seen[r] = true // want "live handle stored into field seen"
+}
+
+// scalarStoreIsNotEscape: storing a field read off a handle stores a
+// scalar, not the handle.
+type last struct {
+	addr uint64
+}
+
+func (l *last) note(a *arena.Arena) {
+	r := a.Alloc()
+	l.addr = r.Addr
+	a.Release(r)
+}
+
+// releaseBoth consumes its handle parameter; handlecheck infers the
+// summary and applies it at call sites.
+func releaseBoth(a *arena.Arena, r *arena.Request) {
+	r.Kind = 2
+	a.Release(r)
+}
+
+func callerDoubleViaHelper(a *arena.Arena) {
+	r := a.Alloc()
+	releaseBoth(a, r)
+	a.Release(r) // want "double release"
+}
+
+func callerUseViaHelper(a *arena.Arena) uint64 {
+	r := a.Alloc()
+	releaseBoth(a, r)
+	return r.Addr // want "use of handle after release"
+}
+
+// fresh is an Alloc wrapper; its returns-fresh summary makes the call
+// site a tracked allocation.
+func fresh(a *arena.Arena) *arena.Request {
+	r := a.Alloc()
+	r.Kind = 1
+	return r
+}
+
+func wrapperDoubleRelease(a *arena.Arena) {
+	r := fresh(a)
+	a.Release(r)
+	a.Release(r) // want "double release"
+}
+
+// deferRelease is the clean deferred form: every use precedes the
+// function-exit release.
+func deferRelease(a *arena.Arena) uint64 {
+	r := a.Alloc()
+	defer a.Release(r)
+	r.Addr = 2
+	return r.Addr
+}
+
+// deferDouble releases once inline and again at exit; the deferred
+// release fires at the closing brace.
+func deferDouble(a *arena.Arena) {
+	r := a.Alloc()
+	defer a.Release(r)
+	a.Release(r)
+} // want "double release"
+
+// stash is an unannotated package-level destination.
+var stash *arena.Request
+
+func stashIt(a *arena.Arena) {
+	r := a.Alloc()
+	stash = r // want "live handle stored into package variable stash"
+}
+
+// parked declares its ownership protocol, so parking a handle there is a
+// sanctioned transfer.
+//
+//lint:owns released by unpark, which returns the parked handle
+var parked *arena.Request
+
+func park(a *arena.Arena) {
+	r := a.Alloc()
+	parked = r
+}
+
+// loopRealloc re-allocates the same site each iteration; releasing the
+// previous iteration's handle is fine.
+func loopRealloc(a *arena.Arena, n int) {
+	for i := 0; i < n; i++ {
+		r := a.Alloc()
+		r.Addr = uint64(i)
+		a.Release(r)
+	}
+}

@@ -1,0 +1,227 @@
+// Package lockfix exercises the lockcheck analyzer: //lint:guardedby
+// field annotations, the held-lock lattice through defer and branches,
+// double-lock and unlock-without-lock, blocking operations under a lock,
+// interprocedural requires inference, and RWMutex read/write modes.
+package lockfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//lint:guardedby mu
+	n int
+}
+
+// good is the canonical pattern: manual lock/unlock bracket.
+func (c *counter) good() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// goodDefer releases via defer; the RunDefers node balances the exit.
+func (c *counter) goodDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// goodDeferClosure releases inside a deferred closure.
+func (c *counter) goodDeferClosure() {
+	c.mu.Lock()
+	defer func() {
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+// lateLock touches the guarded field before acquiring the guard. Because
+// the function manipulates mu itself, the miss is a local bug, not an
+// inferred entry requirement.
+func (c *counter) lateLock() {
+	c.n++ // want "write of n requires mu, which is not held"
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// doubleLock re-locks a mutex that is already held: Go mutexes are not
+// reentrant, so this self-deadlocks.
+func (c *counter) doubleLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want "Lock of mu, which may already be held"
+}
+
+// badUnlock releases a mutex that was never acquired.
+func (c *counter) badUnlock() {
+	c.mu.Unlock() // want "Unlock of mu, which is not held"
+}
+
+// leak returns with the lock still held on every path.
+func (c *counter) leak() {
+	c.mu.Lock() // want "mu acquired here is still held when leak returns"
+	c.n++
+}
+
+// condLeak releases on only one path.
+func (c *counter) condLeak(b bool) {
+	c.mu.Lock() // want "mu acquired here may still be held on some return paths of condLeak"
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// sendUnderLock performs an unbuffered-channel send while holding the
+// lock: if no receiver ever arrives, the lock is held forever.
+func (c *counter) sendUnderLock(ch chan int) {
+	c.mu.Lock()
+	ch <- 1 // want "channel send while holding mu"
+	c.mu.Unlock()
+}
+
+// recvUnderLock blocks on a receive while holding the lock.
+func (c *counter) recvUnderLock(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	<-ch // want "channel receive while holding mu"
+}
+
+// pollUnderLock is the sanctioned non-blocking form: a select with a
+// default clause polls instead of blocking, so holding the lock is fine.
+func (c *counter) pollUnderLock(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// selectUnderLock has no default clause, so the receive can block.
+func (c *counter) selectUnderLock(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-ch: // want "channel receive while holding mu"
+	}
+}
+
+// rangeChanUnderLock blocks on every iteration's receive.
+func (c *counter) rangeChanUnderLock(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for range ch { // want "range over channel while holding mu"
+	}
+}
+
+// waitUnderLock calls a configured blocking-list function under the lock.
+func (c *counter) waitUnderLock(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wg.Wait() // want "call to Wait while holding mu"
+}
+
+// nLocked reads guarded state and never manipulates mu itself, so
+// lockcheck infers that callers must hold mu on entry.
+func (c *counter) nLocked() int {
+	return c.n
+}
+
+// callsHelperGood holds the inferred requirement at the call site.
+func (c *counter) callsHelperGood() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nLocked()
+}
+
+// callsHelperBad calls the requires-mu helper without the lock. The
+// function manipulates mu elsewhere, so the miss is local, not inherited.
+func (c *counter) callsHelperBad() int {
+	n := c.nLocked() // want "call to nLocked requires mu, which is not held"
+	c.mu.Lock()
+	n += c.n
+	c.mu.Unlock()
+	return n
+}
+
+// spawnMethod spawns a requires-mu method directly: locks never transfer
+// across a go statement, so this is wrong even if the caller holds mu.
+func (c *counter) spawnMethod() {
+	go c.nLocked() // want "goroutine nLocked requires mu held, but locks do not transfer to goroutines"
+}
+
+// loopContinue leaks the lock on the continue path: the labeled continue
+// skips the unlock, so the next iteration's Lock may self-deadlock and
+// the loop can exit with the lock held.
+func (c *counter) loopContinue(xs []int) {
+L:
+	for _, x := range xs {
+		c.mu.Lock() // want "Lock of mu, which may already be held" "mu acquired here may still be held on some return paths of loopContinue"
+		if x > 0 {
+			continue L
+		}
+		c.mu.Unlock()
+	}
+}
+
+// gauge exercises RWMutex read/write modes.
+type gauge struct {
+	rw sync.RWMutex
+	//lint:guardedby rw
+	v int
+}
+
+// read holds the guard in read mode, which is enough for a read.
+func (g *gauge) read() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.v
+}
+
+// writeUnderRLock mutates guarded state with only the read lock.
+func (g *gauge) writeUnderRLock() {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	g.v = 1 // want "write of v with rw held only in read mode"
+}
+
+// write holds the guard in write mode.
+func (g *gauge) write() {
+	g.rw.Lock()
+	defer g.rw.Unlock()
+	g.v = 2
+}
+
+// owner/item exercise the Type.mu annotation form: the guard lives on a
+// different struct than the guarded field.
+type owner struct {
+	mu sync.Mutex
+}
+
+type item struct {
+	//lint:guardedby owner.mu
+	val int
+}
+
+func useItemGood(o *owner, it *item) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	it.val++
+}
+
+func useItemBad(o *owner, it *item) {
+	it.val++ // want "write of val requires owner.mu, which is not held"
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// badAnn has annotations that cannot bind; an inert annotation is itself
+// a finding.
+type badAnn struct {
+	n int
+	//lint:guardedby notafield
+	x int // want "guard notafield not found in the annotated struct"
+	//lint:guardedby n
+	y int // want "guard n is not a sync.Mutex or sync.RWMutex"
+}

@@ -25,8 +25,9 @@ const arenaSlab = 256
 // cycle barrier), so the per-system arena needs no locking.
 type Arena struct {
 	slabs [][]Request
-	free  []*Request
-	live  int
+	//lint:owns the freelist is the released state; Alloc hands slots back out
+	free []*Request
+	live int
 
 	allocs, releases uint64
 
@@ -127,6 +128,7 @@ func (a *Arena) Releases() uint64 { return a.releases }
 // handle held across the request's release (an escaped handle) resolves to
 // nil instead of aliasing whatever the slot was recycled into.
 type Handle struct {
+	//lint:owns generation-checked weak reference; Request() revalidates before use
 	r   *Request
 	gen uint32
 }

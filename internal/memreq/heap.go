@@ -3,7 +3,8 @@ package memreq
 // Timed pairs a request with the cycle at which it becomes visible
 // (arrival) or completes (completion).
 type Timed struct {
-	At  int64
+	At int64
+	//lint:owns popped by the queue drain, which releases or re-routes the request
 	Req *Request
 }
 
@@ -11,6 +12,7 @@ type Timed struct {
 // for future arrivals into controller queues and for scheduled completions.
 // The zero value is ready to use.
 type TimedHeap struct {
+	//lint:owns every Push is balanced by a Pop whose caller takes the request back
 	items []Timed
 	seq   []uint64 // tie-break: FIFO among equal timestamps
 	next  uint64

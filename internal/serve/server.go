@@ -44,7 +44,7 @@ type Server struct {
 	baseCancel context.CancelFunc
 
 	mu       sync.Mutex
-	draining bool
+	draining bool //lint:guardedby mu
 }
 
 // New builds and starts a Server (its worker pool runs until Shutdown or

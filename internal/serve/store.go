@@ -105,24 +105,23 @@ type job struct {
 	// done closes exactly once, when the job reaches a terminal state.
 	done chan struct{}
 
-	// Guarded by store.mu from here down.
-	state    JobState
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	results  []PointResult
-	progress *ProgressEvent
-	errMsg   string
-	subs     []chan StreamEvent
+	state    JobState           //lint:guardedby store.mu
+	created  time.Time          //lint:guardedby store.mu
+	started  time.Time          //lint:guardedby store.mu
+	finished time.Time          //lint:guardedby store.mu
+	results  []PointResult      //lint:guardedby store.mu
+	progress *ProgressEvent     //lint:guardedby store.mu
+	errMsg   string             //lint:guardedby store.mu
+	subs     []chan StreamEvent //lint:guardedby store.mu
 }
 
 // store owns every job's mutable state. One lock serializes all mutations
 // and snapshots; simulation work never runs under it.
 type store struct {
 	mu    sync.Mutex
-	seq   int
-	jobs  map[string]*job
-	order []*job
+	seq   int             //lint:guardedby mu
+	jobs  map[string]*job //lint:guardedby mu
+	order []*job          //lint:guardedby mu
 	clock Clock
 }
 

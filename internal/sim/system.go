@@ -46,6 +46,7 @@ const (
 // spillItem is a request refused by a full backend ingress queue, held for
 // in-order retry.
 type spillItem struct {
+	//lint:owns released through the normal send path once flushSpill re-enqueues it
 	r  *memreq.Request
 	at int64
 }
@@ -77,6 +78,7 @@ const (
 // parallel) backend tick phase, delivered by drainCompletions at the cycle
 // barrier in backend order.
 type completion struct {
+	//lint:owns released by Complete (reads) or the retired drain (writes) after delivery
 	r  *memreq.Request
 	at int64
 }
@@ -155,6 +157,7 @@ type System struct {
 	// clocking mode and parallelism level — so results are identical by
 	// construction whatever the worker count.
 	coreEvents [][]memEvent
+	//lint:owns drained every cycle barrier by drainCompletions, which hands each entry to Complete
 	doneBuf    [][]completion
 	completers []*chanCompleter
 

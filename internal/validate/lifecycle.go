@@ -21,7 +21,9 @@ const maxLifecycleErrors = 16
 // loop (send and Complete both run outside the parallel backend phase),
 // so it needs no locking.
 type Lifecycle struct {
-	reads  map[*memreq.Request]struct{}
+	//lint:owns tracking keys only; entries are deleted on completion/retire, never dereferenced after release
+	reads map[*memreq.Request]struct{}
+	//lint:owns tracking keys only; entries are deleted on completion/retire, never dereferenced after release
 	writes map[*memreq.Request]struct{}
 
 	issuedReads    uint64

@@ -36,8 +36,8 @@ type Runner struct {
 // surfaced through WarmStats.
 type warmCache struct {
 	mu       sync.Mutex
-	entries  map[string]*warmEntry
-	captures int
+	entries  map[string]*warmEntry //lint:guardedby mu
+	captures int                   //lint:guardedby mu
 }
 
 // warmEntry memoizes one CaptureWarm call; the sync.Once collapses
