@@ -46,7 +46,7 @@ lint-baseline:
 # reordered arena releases, deleted ownership annotations) into the
 # shipping sources via a load-time overlay and fails if any survive.
 lint-mutations:
-	$(GO) test -count=1 -run 'TestUnitCheckMutations|TestLockCheckMutations|TestHandleCheckMutations' ./internal/lint/
+	$(GO) test -count=1 -run 'TestUnitCheckMutations|TestLockCheckMutations|TestHandleCheckMutations|TestAllocCheckMutations' ./internal/lint/
 
 # golden regenerates the golden result corpus after an intentional change
 # to simulated numbers. Review the testdata/golden diff like code.
@@ -59,22 +59,23 @@ golden:
 # fastest (least noise-polluted) run is recorded. Override BENCH_PR /
 # BENCH_NOTE / BENCH_OUT when cutting a new snapshot; keep the note honest
 # about what changed and how the numbers were taken.
-BENCH_PR   ?= 7
-BENCH_OUT  ?= BENCH_pr7.json
-BENCH_BASE ?= BENCH_pr6.json
+BENCH_PR   ?= 10
+BENCH_OUT  ?= BENCH_pr10.json
+BENCH_BASE ?= BENCH_pr7.json
 BENCH_NOTE ?= regenerated locally; see the checked-in snapshot for the PR-cut note
 bench:
-	@( $(GO) test -run '^$$' -bench 'BenchmarkSystemStep(Idle|Loaded)$$' -benchtime 2000000x . ; \
-	   $(GO) test -run '^$$' -bench 'BenchmarkRunWindow$$|BenchmarkRunWindowLoaded$$|BenchmarkRunWindowLoadedSampled$$|BenchmarkRunWindowPooled$$|BenchmarkRunWindowRack$$' -benchtime 15x -count 2 . ) \
+	@( $(GO) test -run '^$$' -bench 'BenchmarkSystemStep(Idle|Loaded)$$' -benchtime 2000000x -benchmem . ; \
+	   $(GO) test -run '^$$' -bench 'BenchmarkRunWindow$$|BenchmarkRunWindowLoaded$$|BenchmarkRunWindowLoadedSampled$$|BenchmarkRunWindowPooled$$|BenchmarkRunWindowRack$$' -benchtime 15x -count 2 -benchmem . ) \
 	 | tee /dev/stderr \
 	 | $(GO) run ./cmd/coaxial-bench -pr $(BENCH_PR) -baseline $(BENCH_BASE) -note '$(BENCH_NOTE)' > $(BENCH_OUT)
 	@echo wrote $(BENCH_OUT)
 
 # perf-smoke is CI's hot-path regression tripwire: the loaded-window
 # benchmark at reduced iterations must stay within 2x of the checked-in
-# snapshot. Deliberately loose so scheduler noise does not flake the build.
+# snapshot, in both time and (via -benchmem) allocations per op.
+# Deliberately loose so scheduler noise does not flake the build.
 perf-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkRunWindowLoaded$$' -benchtime 3x -count 2 . \
-	 | $(GO) run ./cmd/coaxial-bench -check $(BENCH_OUT) -factor 2
+	$(GO) test -run '^$$' -bench 'BenchmarkRunWindowLoaded$$' -benchtime 3x -count 2 -benchmem . \
+	 | $(GO) run ./cmd/coaxial-bench -check $(BENCH_OUT) -factor 2 -alloc-factor 2
 
 check: vet lint build test

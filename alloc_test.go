@@ -30,7 +30,10 @@ func TestLoadedWindowAllocBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	const budget = 10_000
+	// Observed ~1.1k on a warm window with alloccheck-clean hot paths;
+	// 2k leaves headroom for cache-clone jitter while still tripping on
+	// any reintroduced per-request allocation (60k requests/window).
+	const budget = 2_000
 	if allocs > budget {
 		t.Errorf("warm loaded window allocated %.0f objects, budget %d", allocs, budget)
 	}

@@ -12,6 +12,11 @@
 //
 //	go test -run '^$' -bench 'BenchmarkRunWindowLoaded$' -benchtime 3x . |
 //	    coaxial-bench -check BENCH_pr6.json -factor 2
+//
+// When the bench run used -benchmem, allocs/op is recorded in the
+// snapshot (allocs_per_op) and the check mode additionally fails on more
+// than -alloc-factor growth in allocations per op — the cheap CI proxy
+// for the zero-alloc hot-path discipline alloccheck enforces statically.
 package main
 
 import (
@@ -26,15 +31,20 @@ import (
 	"time"
 )
 
-// benchLine matches a testing benchmark result row:
-// BenchmarkName/sub-8  5  248123456 ns/op  [...]
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches a testing benchmark result row, with the optional
+// -benchmem columns:
+// BenchmarkName/sub-8  5  248123456 ns/op  [1024 B/op  12 allocs/op]
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
 
 // parseBench reads `go test -bench` output, returning ns/op per benchmark
-// name (GOMAXPROCS suffix stripped). Repeated names (-count > 1) keep the
-// minimum: the fastest run is the least noise-polluted estimate.
-func parseBench(f *os.File) (map[string]float64, error) {
+// name (GOMAXPROCS suffix stripped) and, when the run used -benchmem,
+// allocs/op. Repeated names (-count > 1) keep the minimum of each metric
+// independently: the fastest run is the least noise-polluted time
+// estimate, and the smallest allocation count is the steady-state floor
+// (warm-up runs can only allocate more).
+func parseBench(f *os.File) (map[string]float64, map[string]float64, error) {
 	out := make(map[string]float64)
+	allocs := make(map[string]float64)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -43,25 +53,37 @@ func parseBench(f *os.File) (map[string]float64, error) {
 		}
 		v, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+			return nil, nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
 		}
 		if prev, ok := out[m[1]]; !ok || v < prev {
 			out[m[1]] = v
 		}
+		if m[3] != "" {
+			a, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			if prev, ok := allocs[m[1]]; !ok || a < prev {
+				allocs[m[1]] = a
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("no benchmark results on stdin")
+		return nil, nil, fmt.Errorf("no benchmark results on stdin")
 	}
-	return out, nil
+	return out, allocs, nil
 }
 
 // snapshot is the subset of the BENCH_pr<N>.json schema both modes need.
+// Allocs is absent from snapshots cut before -benchmem was added; the
+// check mode then skips the allocation gate.
 type snapshot struct {
 	PR         int                `json:"pr"`
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	Allocs     map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
 func readSnapshot(path string) (snapshot, error) {
@@ -78,15 +100,16 @@ func readSnapshot(path string) (snapshot, error) {
 
 func main() {
 	var (
-		pr       = flag.Int("pr", 0, "PR number for the emitted snapshot")
-		note     = flag.String("note", "", "free-form note recorded in the snapshot")
-		baseline = flag.String("baseline", "", "prior BENCH_pr<N>.json to record baselines and speedups against")
-		check    = flag.String("check", "", "check mode: snapshot to compare stdin against instead of emitting")
-		factor   = flag.Float64("factor", 2.0, "check mode: maximum allowed slowdown vs the snapshot")
+		pr          = flag.Int("pr", 0, "PR number for the emitted snapshot")
+		note        = flag.String("note", "", "free-form note recorded in the snapshot")
+		baseline    = flag.String("baseline", "", "prior BENCH_pr<N>.json to record baselines and speedups against")
+		check       = flag.String("check", "", "check mode: snapshot to compare stdin against instead of emitting")
+		factor      = flag.Float64("factor", 2.0, "check mode: maximum allowed slowdown vs the snapshot")
+		allocFactor = flag.Float64("alloc-factor", 2.0, "check mode: maximum allowed allocs/op growth vs the snapshot (needs -benchmem on both sides)")
 	)
 	flag.Parse()
 
-	cur, err := parseBench(os.Stdin)
+	cur, curAllocs, err := parseBench(os.Stdin)
 	if err != nil {
 		fail(err)
 	}
@@ -110,12 +133,27 @@ func main() {
 				failed++
 			}
 			fmt.Printf("%-50s %12.0f -> %12.0f ns/op (%.2fx) %s\n", name, ref, got, ratio, status)
+			// Allocation gate: only when both the snapshot and the fresh
+			// run carry allocs/op for this benchmark. A zero-alloc
+			// reference tolerates a small absolute drift instead of an
+			// infinite ratio.
+			refA, okRef := snap.Allocs[name]
+			gotA, okGot := curAllocs[name]
+			if !okRef || !okGot {
+				continue
+			}
+			aStatus := "ok"
+			if (refA == 0 && gotA > 8) || (refA > 0 && gotA/refA > *allocFactor) {
+				aStatus = "ALLOC REGRESSION"
+				failed++
+			}
+			fmt.Printf("%-50s %12.0f -> %12.0f allocs/op %s\n", name, refA, gotA, aStatus)
 		}
 		if compared == 0 {
 			fail(fmt.Errorf("no benchmark in stdin matches any name in %s (renamed benchmarks silently skip the gate)", *check))
 		}
 		if failed > 0 {
-			fail(fmt.Errorf("%d of %d benchmarks regressed more than %.1fx vs %s", failed, compared, *factor, *check))
+			fail(fmt.Errorf("%d gate(s) regressed beyond %.1fx time / %.1fx allocs vs %s", failed, *factor, *allocFactor, *check))
 		}
 		fmt.Printf("%d benchmarks within %.1fx of %s\n", compared, *factor, *check)
 		return
@@ -127,6 +165,9 @@ func main() {
 		"go":         "make bench (go test -run '^$' -bench <name> .)",
 		"note":       *note,
 		"benchmarks": round(cur),
+	}
+	if len(curAllocs) > 0 {
+		doc["allocs_per_op"] = curAllocs
 	}
 	if *baseline != "" {
 		snap, err := readSnapshot(*baseline)

@@ -60,6 +60,8 @@ func main() {
 		writeBaseline = flag.Bool("write-baseline", false, "rewrite the baseline with the current findings and exit")
 		listChecks    = flag.Bool("checks", false, "list the analyzers and exit")
 		jsonOut       = flag.Bool("json", false, "emit findings as a JSON array (stable order: file, line, column, analyzer)")
+		packagesFlag  = flag.String("packages", "", "comma-separated import-path patterns (trailing /... wildcards) restricting which packages report; the whole module is still loaded, so cross-package facts stay exact")
+		applyFix      = flag.Bool("fix", false, "apply the suggested fixes attached to findings, then report only what remains unfixable")
 	)
 	flag.Parse()
 
@@ -89,6 +91,11 @@ func main() {
 	for _, pkg := range prog.Packages {
 		if pkg.Target && len(pkg.TypeErrors) > 0 {
 			fatal(fmt.Errorf("%s: type errors (does the package build?): %v", pkg.ImportPath, pkg.TypeErrors[0]))
+		}
+	}
+	if *packagesFlag != "" {
+		if err := scopeTargets(prog, *packagesFlag); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -129,6 +136,24 @@ func main() {
 		}
 		fresh = append(fresh, d)
 	}
+	if *applyFix {
+		n, err := analysis.ApplyFixes(fresh, os.ReadFile, func(name string, b []byte) error {
+			return os.WriteFile(name, b, 0o644)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("coaxial-lint: applied %d edit(s)\n", n)
+		// Findings whose fix was just applied are resolved; only the
+		// unfixable remainder still fails the run.
+		var rest []analysis.Diagnostic
+		for _, d := range fresh {
+			if d.Fix == nil {
+				rest = append(rest, d)
+			}
+		}
+		fresh = rest
+	}
 	if *jsonOut {
 		if err := writeJSON(os.Stdout, fresh); err != nil {
 			fatal(err)
@@ -146,13 +171,16 @@ func main() {
 
 // jsonDiagnostic is the -json wire form of one finding. Diagnostics arrive
 // already sorted (file, line, column, analyzer), so the output is stable
-// across runs for diffing and for the CI problem matcher.
+// across runs for diffing and for the CI problem matcher. Fix, when
+// present, carries byte-offset edits a tool can apply directly (the same
+// shape ApplyFixes consumes).
 type jsonDiagnostic struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File     string                 `json:"file"`
+	Line     int                    `json:"line"`
+	Column   int                    `json:"column"`
+	Analyzer string                 `json:"analyzer"`
+	Message  string                 `json:"message"`
+	Fix      *analysis.SuggestedFix `json:"fix,omitempty"`
 }
 
 // writeJSON emits the findings as one indented JSON array ([] when clean).
@@ -165,11 +193,46 @@ func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
 			Column:   d.Pos.Column,
 			Analyzer: d.Analyzer,
 			Message:  d.Message,
+			Fix:      d.Fix,
 		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// scopeTargets narrows reporting to the packages matching the -packages
+// patterns: exact import paths, or prefix patterns with a trailing "/...".
+// Dependencies stay loaded (facts remain whole-module exact); only the
+// Target bit — which gates reporting — changes. An unmatched pattern is an
+// error, catching typos that would otherwise silently lint nothing.
+func scopeTargets(prog *loader.Program, patterns string) error {
+	pats := strings.Split(patterns, ",")
+	matched := make([]bool, len(pats))
+	match := func(path string) bool {
+		ok := false
+		for i, p := range pats {
+			p = strings.TrimSpace(p)
+			if p == path || p == "..." ||
+				(strings.HasSuffix(p, "/...") && (path == strings.TrimSuffix(p, "/...") ||
+					strings.HasPrefix(path, strings.TrimSuffix(p, "...")))) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		return ok
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.Target && !match(pkg.ImportPath) {
+			pkg.Target = false
+		}
+	}
+	for i, hit := range matched {
+		if !hit {
+			return fmt.Errorf("-packages pattern %q matched no loaded package", strings.TrimSpace(pats[i]))
+		}
+	}
+	return nil
 }
 
 // printVersion answers `-V=full` in the form cmd/go's toolID parser accepts:

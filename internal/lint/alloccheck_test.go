@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"coaxial/internal/lint"
+	"coaxial/internal/lint/analysis"
+	"coaxial/internal/lint/analysistest"
+)
+
+// fixtureAllocConfig rebinds the hot-root table to the hermetic allocfix
+// fixture: one table-declared root (tableHot) beside the annotation-driven
+// ones, with the default always-allocates list unchanged.
+func fixtureAllocConfig() lint.AllocConfig {
+	cfg := lint.DefaultAllocConfig()
+	cfg.HotFuncs = []string{"allocfix.tableHot"}
+	return cfg
+}
+
+func TestAllocCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{
+		lint.NewAllocCheck(fixtureAllocConfig()),
+	}, "allocfix")
+}

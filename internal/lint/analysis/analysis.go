@@ -44,6 +44,9 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fix, when non-nil, is a machine-applicable resolution the -fix
+	// driver can apply (ApplyFixes). Fixes ride along through -json.
+	Fix *SuggestedFix
 }
 
 // String formats the diagnostic the way gc and go vet do.
@@ -247,6 +250,12 @@ func (p *Pass) DirectiveOn(pos token.Pos, name string) (args string, ok bool) {
 // directives), and carries a non-empty justification; a matching directive
 // without a justification is itself reported, keeping annotations honest.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportWithFix(pos, nil, format, args...)
+}
+
+// ReportWithFix is Reportf carrying a suggested fix; the same suppression
+// directives apply (a suppressed diagnostic's fix is never offered).
+func (p *Pass) ReportWithFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	for _, d := range p.directives[position.Filename] {
 		if d.line != position.Line && !(d.standalone && d.line == position.Line-1) {
@@ -281,6 +290,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 

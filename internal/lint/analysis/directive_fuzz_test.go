@@ -34,6 +34,12 @@ func FuzzParseDirective(f *testing.F) {
 	f.Add("//lint:owns released by drain")
 	f.Add("//lint:owns")
 	f.Add("//lint:owns \t ")
+	f.Add("//lint:allocfree")
+	f.Add("//lint:allocfree trailing words")
+	f.Add("//lint:alloc one-time window-end report, measured cold")
+	f.Add("//lint:alloc")
+	f.Add("//lint:alloc \t ")
+	f.Add("//lint:ignore alloccheck startup-only wiring")
 
 	f.Fuzz(func(t *testing.T, text string) {
 		name, args, ok, err := ParseDirective(text)

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// TextEdit is one byte-range replacement in a single file. Offsets are
+// 0-based byte offsets into the file's current contents ([Start, End)
+// half-open); an insertion has Start == End. Offsets rather than
+// line/column make the edit machine-applicable without re-parsing, and
+// they survive the -json round trip losslessly.
+type TextEdit struct {
+	Filename string `json:"file"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	NewText  string `json:"newText"`
+}
+
+// SuggestedFix is a machine-applicable resolution for one diagnostic:
+// a short imperative message ("add a capacity hint") plus the edits that
+// implement it. Fixes must be conservative — applying one may not change
+// program behavior, only allocation behavior — because the -fix driver
+// applies them without human review.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// Edit builds a TextEdit replacing the [pos, end) source range.
+func Edit(fset *token.FileSet, pos, end token.Pos, newText string) TextEdit {
+	p, e := fset.Position(pos), fset.Position(end)
+	return TextEdit{Filename: p.Filename, Start: p.Offset, End: e.Offset, NewText: newText}
+}
+
+// Insert builds a TextEdit inserting newText before pos.
+func Insert(fset *token.FileSet, pos token.Pos, newText string) TextEdit {
+	p := fset.Position(pos)
+	return TextEdit{Filename: p.Filename, Start: p.Offset, End: p.Offset, NewText: newText}
+}
+
+// ApplyFixes applies every diagnostic's suggested fix to the file
+// contents provided by read, handing each rewritten file to write once.
+// Edits are grouped per file and applied in descending offset order so
+// earlier edits never shift later ones; overlapping edits within one file
+// are an error (two fixes fighting over the same bytes need a human), as
+// is an edit whose range falls outside the file. Returns the number of
+// edits applied.
+func ApplyFixes(diags []Diagnostic, read func(string) ([]byte, error), write func(string, []byte) error) (int, error) {
+	byFile := map[string][]TextEdit{}
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			byFile[e.Filename] = append(byFile[e.Filename], e)
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	applied := 0
+	for _, fname := range files {
+		edits := byFile[fname]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start > edits[j].Start
+			}
+			return edits[i].End > edits[j].End
+		})
+		for i := 1; i < len(edits); i++ {
+			// Descending order: edits[i] precedes edits[i-1] in the file.
+			if edits[i].End > edits[i-1].Start {
+				// Identical edits (two diagnostics proposing the same
+				// change) collapse instead of conflicting.
+				if edits[i] == edits[i-1] {
+					edits = append(edits[:i], edits[i+1:]...)
+					i--
+					continue
+				}
+				return applied, fmt.Errorf("%s: overlapping suggested fixes at offsets %d-%d and %d-%d",
+					fname, edits[i].Start, edits[i].End, edits[i-1].Start, edits[i-1].End)
+			}
+		}
+		content, err := read(fname)
+		if err != nil {
+			return applied, err
+		}
+		for _, e := range edits {
+			if e.Start < 0 || e.End < e.Start || e.End > len(content) {
+				return applied, fmt.Errorf("%s: suggested fix range %d-%d outside file (len %d)",
+					fname, e.Start, e.End, len(content))
+			}
+			content = append(content[:e.Start], append([]byte(e.NewText), content[e.End:]...)...)
+			applied++
+		}
+		if err := write(fname, content); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// memFiles is an in-memory file store for applier tests.
+type memFiles map[string]string
+
+func (m memFiles) read(name string) ([]byte, error) {
+	s, ok := m[name]
+	if !ok {
+		return nil, errors.New("no such file: " + name)
+	}
+	return []byte(s), nil
+}
+
+func (m memFiles) write(name string, b []byte) error {
+	m[name] = string(b)
+	return nil
+}
+
+func fixDiag(file string, edits ...TextEdit) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: 1},
+		Analyzer: "alloccheck",
+		Message:  "test finding",
+		Fix:      &SuggestedFix{Message: "test fix", Edits: edits},
+	}
+}
+
+func TestApplyFixesReplaceAndInsert(t *testing.T) {
+	files := memFiles{"a.go": "x := make([]int, 0)\nfor range s {\n\tx = append(x, 1)\n}\n"}
+	n, err := ApplyFixes([]Diagnostic{
+		fixDiag("a.go", TextEdit{Filename: "a.go", Start: 5, End: 19, NewText: "make([]int, 0, len(s))"}),
+	}, files.read, files.write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("applied %d edits, want 1", n)
+	}
+	if want := "x := make([]int, 0, len(s))\n"; !strings.HasPrefix(files["a.go"], want) {
+		t.Errorf("edited file starts %q, want prefix %q", files["a.go"], want)
+	}
+}
+
+// TestApplyFixesDescendingOrder plants two edits in one file in ascending
+// source order and checks neither shifts the other: the applier must work
+// back-to-front.
+func TestApplyFixesDescendingOrder(t *testing.T) {
+	files := memFiles{"b.go": "aaa bbb ccc"}
+	n, err := ApplyFixes([]Diagnostic{
+		fixDiag("b.go",
+			TextEdit{Filename: "b.go", Start: 0, End: 3, NewText: "AAAA"},
+			TextEdit{Filename: "b.go", Start: 8, End: 11, NewText: "C"}),
+	}, files.read, files.write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || files["b.go"] != "AAAA bbb C" {
+		t.Errorf("got %q (%d edits), want %q (2 edits)", files["b.go"], n, "AAAA bbb C")
+	}
+}
+
+func TestApplyFixesOverlapRejected(t *testing.T) {
+	files := memFiles{"c.go": "0123456789"}
+	_, err := ApplyFixes([]Diagnostic{
+		fixDiag("c.go", TextEdit{Filename: "c.go", Start: 2, End: 6, NewText: "x"}),
+		fixDiag("c.go", TextEdit{Filename: "c.go", Start: 4, End: 8, NewText: "y"}),
+	}, files.read, files.write)
+	if err == nil || !strings.Contains(err.Error(), "overlapping") {
+		t.Fatalf("want overlapping-fix error, got %v (file now %q)", err, files["c.go"])
+	}
+}
+
+// TestApplyFixesIdenticalCollapse: two diagnostics proposing the same edit
+// (e.g. two appends to one un-hinted make) apply it once, not twice.
+func TestApplyFixesIdenticalCollapse(t *testing.T) {
+	files := memFiles{"d.go": "make([]int, 0)"}
+	e := TextEdit{Filename: "d.go", Start: 0, End: 14, NewText: "make([]int, 0, n)"}
+	n, err := ApplyFixes([]Diagnostic{fixDiag("d.go", e), fixDiag("d.go", e)}, files.read, files.write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || files["d.go"] != "make([]int, 0, n)" {
+		t.Errorf("got %q (%d edits), want the edit applied exactly once", files["d.go"], n)
+	}
+}
+
+func TestApplyFixesRangeChecked(t *testing.T) {
+	files := memFiles{"e.go": "short"}
+	_, err := ApplyFixes([]Diagnostic{
+		fixDiag("e.go", TextEdit{Filename: "e.go", Start: 2, End: 99, NewText: "x"}),
+	}, files.read, files.write)
+	if err == nil || !strings.Contains(err.Error(), "outside file") {
+		t.Fatalf("want out-of-range error, got %v", err)
+	}
+}
+
+func TestApplyFixesSkipsFixlessDiagnostics(t *testing.T) {
+	files := memFiles{}
+	n, err := ApplyFixes([]Diagnostic{{Pos: token.Position{Filename: "f.go"}, Message: "no fix"}},
+		files.read, files.write)
+	if err != nil || n != 0 {
+		t.Fatalf("fixless diagnostics must be a no-op, got n=%d err=%v", n, err)
+	}
+}
+
+// TestSuggestedFixJSONRoundTrip pins the wire shape the -json flag emits:
+// a fix marshals to {message, edits:[{file,start,end,newText}]}, and the
+// decoded form drives ApplyFixes to the same result as the original.
+func TestSuggestedFixJSONRoundTrip(t *testing.T) {
+	orig := fixDiag("g.go", TextEdit{Filename: "g.go", Start: 5, End: 9, NewText: "make([]int, 0, 8)"})
+	b, err := json.Marshal(orig.Fix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"message"`, `"edits"`, `"file"`, `"start"`, `"end"`, `"newText"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("wire form %s missing key %s", b, key)
+		}
+	}
+	var decoded SuggestedFix
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	before := memFiles{"g.go": "x := ____ rest"}
+	after := memFiles{"g.go": "x := ____ rest"}
+	if _, err := ApplyFixes([]Diagnostic{orig}, before.read, before.write); err != nil {
+		t.Fatal(err)
+	}
+	rt := orig
+	rt.Fix = &decoded
+	if _, err := ApplyFixes([]Diagnostic{rt}, after.read, after.write); err != nil {
+		t.Fatal(err)
+	}
+	if before["g.go"] != after["g.go"] {
+		t.Errorf("round-tripped fix applied %q, original applied %q", after["g.go"], before["g.go"])
+	}
+}

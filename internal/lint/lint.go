@@ -76,6 +76,7 @@ func Suite() []*analysis.Analyzer {
 		NewUnitCheck(DefaultUnitConfig()),
 		NewLockCheck(DefaultLockConfig()),
 		NewHandleCheck(DefaultHandleConfig()),
+		NewAllocCheck(DefaultAllocConfig()),
 	}
 }
 

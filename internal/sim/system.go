@@ -672,7 +672,7 @@ func (s *System) drainCompletions() {
 // response path).
 func (s *System) Complete(r *memreq.Request, now int64) {
 	if s.val != nil {
-		s.val.lc.OnComplete(r, now)
+		s.val.lc.OnComplete(r, now) //lint:alloc validation hook; allocates only when recording an invariant failure
 	}
 	if r.Kind == memreq.Write {
 		return // writes die in the backends; the retired drain releases them
@@ -801,7 +801,7 @@ func (s *System) wakeBackend(ch int, at int64) {
 // no locking.
 func (s *System) send(r *memreq.Request, ch int, at int64) {
 	if s.val != nil {
-		s.val.lc.OnIssue(r, at)
+		s.val.lc.OnIssue(r, at) //lint:alloc validation hook; allocates only when recording an invariant failure
 	}
 	q := &s.spillR[ch]
 	if r.Kind == memreq.Write {
